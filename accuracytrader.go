@@ -1,0 +1,149 @@
+// Package accuracytrader is a from-scratch Go reproduction of
+// "AccuracyTrader: Accuracy-aware Approximate Processing for Low Tail
+// Latency and High Result Accuracy in Cloud Online Services" (Han, Huang,
+// Tang, Chang, Zhan — ICPP 2016, arXiv:1607.02734).
+//
+// AccuracyTrader targets highly parallel online services in which every
+// request fans out over hundreds of components, each owning a subset of a
+// large input dataset, so the component tail latency (p99.9) determines
+// the service latency. The framework trades a small, controlled amount of
+// result accuracy for large tail-latency reductions:
+//
+//   - Offline (BuildSynopsis, Synopsis.Update): each component's data
+//     subset is reduced to a low-dimensional latent space with
+//     incremental SVD, similar points are grouped with an R-tree, and
+//     each group becomes one aggregated data point of a small synopsis
+//     plus an index-file entry mapping it to its original members.
+//     Updates are incremental: only groups whose membership changed are
+//     re-aggregated.
+//   - Online (Run, RunWithDeadline — Algorithm 1 of the paper): a
+//     component first processes its synopsis, producing a fast initial
+//     result and a correlation estimate per aggregated point, then
+//     improves the result with the original member sets in descending
+//     correlation order until the service deadline (l_spe) or the set
+//     cap (imax).
+//
+// This package is the facade over the implementation packages:
+//
+//	internal/core      Algorithm 1 (generic over applications)
+//	internal/synopsis  offline synopsis management
+//	internal/svd       incremental (Funk/Gorrell) SVD
+//	internal/rtree     R-tree with bulk load, level cuts, updates
+//	internal/cf        user-based CF recommender application
+//	internal/textindex Lucene-style search engine application
+//	internal/service   live goroutine fan-out runtime (wall clock)
+//	internal/cluster   discrete-event cluster simulator (virtual clock)
+//	internal/experiments  regeneration of every paper table and figure
+//
+// See examples/ for runnable end-to-end programs and EXPERIMENTS.md for
+// the paper-vs-measured record.
+package accuracytrader
+
+import (
+	"io"
+	"time"
+
+	"accuracytrader/internal/core"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/svd"
+	"accuracytrader/internal/synopsis"
+)
+
+// FeatureSource exposes a data subset as sparse numeric feature vectors —
+// the input to synopsis creation (paper §2.2 step 1).
+type FeatureSource = synopsis.FeatureSource
+
+// FeatureCell is one (column, value) pair of a sparse feature vector.
+type FeatureCell = svd.Cell
+
+// SynopsisConfig controls offline synopsis creation.
+type SynopsisConfig = synopsis.Config
+
+// SVDConfig controls the step-1 dimensionality reduction.
+type SVDConfig = svd.Config
+
+// Synopsis is a component's synopsis plus index file (paper §2.2).
+type Synopsis = synopsis.Synopsis
+
+// Group is one index-file entry: the members of one aggregated point.
+type Group = synopsis.Group
+
+// Change describes an input-data change for incremental updating.
+type Change = synopsis.Change
+
+// Change kinds (paper §2.2: new data points and changed data points,
+// plus deletion).
+const (
+	Add    = synopsis.Add
+	Modify = synopsis.Modify
+	Delete = synopsis.Delete
+)
+
+// UpdateStats reports what an incremental update touched.
+type UpdateStats = synopsis.UpdateStats
+
+// BuildSynopsis creates a synopsis for one component's data subset.
+func BuildSynopsis(src FeatureSource, cfg SynopsisConfig) (*Synopsis, error) {
+	return synopsis.Build(src, cfg)
+}
+
+// LoadSynopsis reads a synopsis written with Synopsis.Save.
+func LoadSynopsis(r io.Reader) (*Synopsis, error) {
+	return synopsis.Load(r)
+}
+
+// Engine is the application side of Algorithm 1: process the synopsis
+// (returning per-aggregated-point correlations) and improve the result
+// one member set at a time.
+type Engine = core.Engine
+
+// Continue decides whether Algorithm 1 may process another set.
+type Continue = core.Continue
+
+// Trace reports what a run processed.
+type Trace = core.Trace
+
+// Run executes Algorithm 1 with an arbitrary continuation condition.
+func Run(e Engine, cont Continue, imax int) Trace {
+	return core.Run(e, cont, imax)
+}
+
+// RunWithDeadline executes Algorithm 1 against a wall-clock deadline
+// (l_spe in the paper; 100ms in its evaluation).
+func RunWithDeadline(e Engine, deadline time.Duration, imax int) Trace {
+	return core.RunWithDeadline(e, deadline, imax)
+}
+
+// BudgetContinue allows exactly k improvement steps.
+func BudgetContinue(k int) Continue { return core.BudgetContinue(k) }
+
+// Rank orders aggregated points by descending correlation.
+func Rank(correlations []float64) []int { return core.Rank(correlations) }
+
+// Handler processes one sub-operation in the live runtime.
+type Handler = service.Handler
+
+// Cluster is the live fan-out runtime: one worker goroutine per
+// component, gather policies matching the paper's compared techniques.
+type Cluster = service.Cluster
+
+// ClusterOptions configures the live runtime.
+type ClusterOptions = service.Options
+
+// SubResult is one component's reply in the live runtime.
+type SubResult = service.SubResult
+
+// Policy selects the live runtime's gather behaviour.
+type Policy = service.Policy
+
+// Gather policies of the live runtime.
+const (
+	WaitAll       = service.WaitAll       // Basic: wait for every component
+	PartialGather = service.PartialGather // Partial execution: skip late components
+	Hedged        = service.Hedged        // Request reissue: hedge stragglers
+)
+
+// NewCluster starts a live cluster over the given per-subset handlers.
+func NewCluster(handlers []Handler, policy Policy, opts ClusterOptions) (*Cluster, error) {
+	return service.New(handlers, policy, opts)
+}

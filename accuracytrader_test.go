@@ -1,0 +1,100 @@
+package accuracytrader
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// toySource is a minimal FeatureSource: two clusters of points.
+type toySource struct{ n int }
+
+func (t toySource) NumPoints() int   { return t.n }
+func (t toySource) NumFeatures() int { return 4 }
+func (t toySource) Features(i int) []FeatureCell {
+	base := 1.0
+	if i >= t.n/2 {
+		base = 5.0
+	}
+	return []FeatureCell{
+		{Col: 0, Val: base},
+		{Col: 1, Val: base + float64(i%3)*0.1},
+		{Col: 2, Val: base - float64(i%2)*0.1},
+	}
+}
+
+func TestFacadeBuildSynopsisAndPersist(t *testing.T) {
+	syn, err := BuildSynopsis(toySource{n: 80}, SynopsisConfig{
+		SVD:              SVDConfig{Dims: 2, Epochs: 15, Seed: 1},
+		CompressionRatio: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumPoints() != 80 || syn.NumGroups() < 2 {
+		t.Fatalf("shape: points=%d groups=%d", syn.NumPoints(), syn.NumGroups())
+	}
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumGroups() != syn.NumGroups() {
+		t.Fatal("round trip changed groups")
+	}
+	// Incremental update through the facade.
+	st, err := loaded.Update([]Change{{Kind: Add, Cells: toySource{n: 80}.Features(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+type countEngine struct {
+	corr []float64
+	sets int
+}
+
+func (c *countEngine) ProcessSynopsis() []float64 { return c.corr }
+func (c *countEngine) ProcessSet(int)             { c.sets++ }
+
+func TestFacadeAlgorithm1(t *testing.T) {
+	e := &countEngine{corr: []float64{0.3, 0.9, 0.1}}
+	tr := Run(e, BudgetContinue(2), 0)
+	if tr.SetsProcessed != 2 || e.sets != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	order := Rank([]float64{0.3, 0.9, 0.1})
+	if order[0] != 1 {
+		t.Fatalf("rank = %v", order)
+	}
+	e2 := &countEngine{corr: []float64{0.5}}
+	tr2 := RunWithDeadline(e2, 100*time.Millisecond, 0)
+	if tr2.SetsProcessed != 1 {
+		t.Fatalf("deadline run processed %d", tr2.SetsProcessed)
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	h := func(ctx context.Context, payload interface{}) (interface{}, error) {
+		return payload, nil
+	}
+	cl, err := NewCluster([]Handler{h, h}, WaitAll, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Call(context.Background(), "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Value != "ping" || res[1].Value != "ping" {
+		t.Fatalf("results = %+v", res)
+	}
+}

@@ -1,0 +1,234 @@
+// Command attrader regenerates the tables and figures of the
+// AccuracyTrader paper (ICPP 2016) from the Go reproduction.
+//
+// Usage:
+//
+//	attrader -exp list                 # show available experiments
+//	attrader -exp table1               # Tables 1+2 (CF workloads)
+//	attrader -exp fig3                 # synopsis updating overheads
+//	attrader -exp fig4                 # synopsis effectiveness sections
+//	attrader -exp fig5                 # hours 9/10/24 latency panels (+fig6)
+//	attrader -exp fig7                 # 24-hour panels (+fig8)
+//	attrader -exp creation             # synopsis creation overheads
+//	attrader -exp headline             # paper §4.3 headline ratios
+//	attrader -exp all                  # everything above
+//
+// Scale flags shrink or grow the reproduction; defaults regenerate all
+// shapes in a few minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"accuracytrader/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "list", "experiment to run (list|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|creation|headline|all)")
+		quick    = flag.Bool("quick", false, "use the reduced test-size scale")
+		comps    = flag.Int("components", 0, "override simulated component count")
+		shards   = flag.Int("shards", 0, "override real data shard count")
+		session  = flag.Float64("session", 0, "override session seconds per arrival rate")
+		samples  = flag.Int("samples", 0, "override accuracy samples per run")
+		seed     = flag.Uint64("seed", 0, "override random seed")
+		repeats  = flag.Int("repeats", 3, "fig3 repeats per scenario")
+		requests = flag.Int("requests", 200, "fig4 requests per service")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	if *comps > 0 {
+		sc.Components = *comps
+	}
+	if *shards > 0 {
+		sc.Shards = *shards
+	}
+	if *session > 0 {
+		sc.SessionSeconds = *session
+	}
+	if *samples > 0 {
+		sc.AccuracySamples = *samples
+	}
+	if *seed > 0 {
+		sc.Seed = *seed
+	}
+
+	if err := run(*exp, sc, *repeats, *requests); err != nil {
+		fmt.Fprintln(os.Stderr, "attrader:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, sc experiments.Scale, repeats, requests int) error {
+	switch exp {
+	case "list":
+		fmt.Println("experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 creation headline all")
+		return nil
+	case "table1", "table2":
+		return runTables(sc)
+	case "fig3":
+		return runFig3(sc, repeats)
+	case "fig4":
+		return runFig4(sc, requests)
+	case "fig5", "fig6":
+		return runHours(sc)
+	case "fig7", "fig8":
+		_, err := runDay(sc, true)
+		return err
+	case "creation":
+		return runCreation(sc)
+	case "headline":
+		return runHeadline(sc)
+	case "all":
+		if err := runCreation(sc); err != nil {
+			return err
+		}
+		if err := runFig3(sc, repeats); err != nil {
+			return err
+		}
+		if err := runFig4(sc, requests); err != nil {
+			return err
+		}
+		if err := runTables(sc); err != nil {
+			return err
+		}
+		if err := runHours(sc); err != nil {
+			return err
+		}
+		if err := runHeadline(sc); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func timed(name string, f func() error) error {
+	t0 := time.Now()
+	fmt.Printf("== %s ==\n", name)
+	if err := f(); err != nil {
+		return err
+	}
+	fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
+	return nil
+}
+
+func runTables(sc experiments.Scale) error {
+	return timed("Tables 1-2 (CF recommender workloads)", func() error {
+		svc, err := experiments.BuildCFService(sc)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunCFComparison(svc, []float64{20, 40, 60, 80, 100})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.RenderTable1())
+		fmt.Println(res.RenderTable2())
+		return nil
+	})
+}
+
+func runFig3(sc experiments.Scale, repeats int) error {
+	return timed("Figure 3 (synopsis updating)", func() error {
+		f3, err := experiments.RunFig3(sc, repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f3.Render())
+		return nil
+	})
+}
+
+func runFig4(sc experiments.Scale, requests int) error {
+	return timed("Figure 4 (synopsis effectiveness)", func() error {
+		cfSvc, err := experiments.BuildCFService(sc)
+		if err != nil {
+			return err
+		}
+		sSvc, err := experiments.BuildSearchService(sc)
+		if err != nil {
+			return err
+		}
+		f4, err := experiments.RunFig4(cfSvc, sSvc, requests)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f4.Render())
+		return nil
+	})
+}
+
+func runHours(sc experiments.Scale) error {
+	return timed("Figures 5-6 (hours 9/10/24, search workloads)", func() error {
+		svc, err := experiments.BuildSearchService(sc)
+		if err != nil {
+			return err
+		}
+		hf, err := experiments.RunHourFigures(svc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(hf.RenderFig5())
+		fmt.Println(hf.RenderFig6())
+		return nil
+	})
+}
+
+func runDay(sc experiments.Scale, render bool) (*experiments.DayFigures, error) {
+	var day *experiments.DayFigures
+	err := timed("Figures 7-8 (24-hour search workloads)", func() error {
+		svc, err := experiments.BuildSearchService(sc)
+		if err != nil {
+			return err
+		}
+		day, err = experiments.RunDayFigures(svc)
+		if err != nil {
+			return err
+		}
+		if render {
+			fmt.Println(day.RenderFig7())
+			fmt.Println(day.RenderFig8())
+		}
+		return nil
+	})
+	return day, err
+}
+
+func runCreation(sc experiments.Scale) error {
+	return timed("Synopsis creation overheads", func() error {
+		rep, err := experiments.RunCreation(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		return nil
+	})
+}
+
+func runHeadline(sc experiments.Scale) error {
+	return timed("Headline results", func() error {
+		cfSvc, err := experiments.BuildCFService(sc)
+		if err != nil {
+			return err
+		}
+		cfc, err := experiments.RunCFComparison(cfSvc, []float64{20, 40, 60, 80, 100})
+		if err != nil {
+			return err
+		}
+		day, err := runDay(sc, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ComputeHeadline(cfc, day, sc.SearchPeakRate).Render())
+		return nil
+	})
+}

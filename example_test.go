@@ -1,0 +1,60 @@
+package accuracytrader_test
+
+import (
+	"fmt"
+
+	at "accuracytrader"
+)
+
+// matrix is a tiny FeatureSource: 40 points in two obvious clusters.
+type matrix struct{}
+
+func (matrix) NumPoints() int   { return 40 }
+func (matrix) NumFeatures() int { return 3 }
+func (matrix) Features(i int) []at.FeatureCell {
+	v := 1.0
+	if i >= 20 {
+		v = 9.0
+	}
+	return []at.FeatureCell{
+		{Col: 0, Val: v},
+		{Col: 1, Val: v + 0.1*float64(i%4)},
+		{Col: 2, Val: v - 0.1*float64(i%3)},
+	}
+}
+
+// ExampleBuildSynopsis builds the offline synopsis of a data subset: the
+// paper's step 1 (SVD), step 2 (R-tree grouping) and the index file.
+func ExampleBuildSynopsis() {
+	syn, err := at.BuildSynopsis(matrix{}, at.SynopsisConfig{
+		SVD:              at.SVDConfig{Dims: 2, Epochs: 20, Seed: 7},
+		CompressionRatio: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("points:", syn.NumPoints())
+	fmt.Println("aggregated points:", syn.NumGroups())
+	// Output:
+	// points: 40
+	// aggregated points: 6
+}
+
+// stubEngine is a minimal Algorithm 1 engine: correlations are fixed and
+// each processed set is recorded.
+type stubEngine struct{ order []int }
+
+func (s *stubEngine) ProcessSynopsis() []float64 { return []float64{0.2, 0.9, 0.5} }
+func (s *stubEngine) ProcessSet(g int)           { s.order = append(s.order, g) }
+
+// ExampleRun executes Algorithm 1 with a two-set budget: the most
+// correlated member sets are processed first.
+func ExampleRun() {
+	e := &stubEngine{}
+	trace := at.Run(e, at.BudgetContinue(2), 0)
+	fmt.Println("sets processed:", trace.SetsProcessed)
+	fmt.Println("order:", e.order)
+	// Output:
+	// sets processed: 2
+	// order: [1 2]
+}

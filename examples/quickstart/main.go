@@ -1,0 +1,169 @@
+// Quickstart: build a synopsis for a small numeric dataset and answer a
+// request with Algorithm 1 through the public accuracytrader API.
+//
+// The dataset is a toy user-item rating matrix with two obvious taste
+// clusters. The request asks for the rating of one target item by an
+// active user from cluster A; the engine first answers from the
+// aggregated users (synopsis), then refines with the most correlated
+// member sets until the deadline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	at "accuracytrader"
+)
+
+// dataset is a FeatureSource over a dense toy matrix: 60 users x 12
+// items, two taste clusters.
+type dataset struct{ rows [][]float64 }
+
+func (d dataset) NumPoints() int   { return len(d.rows) }
+func (d dataset) NumFeatures() int { return len(d.rows[0]) }
+func (d dataset) Features(i int) []at.FeatureCell {
+	cells := make([]at.FeatureCell, 0, len(d.rows[i]))
+	for c, v := range d.rows[i] {
+		if v > 0 {
+			cells = append(cells, at.FeatureCell{Col: int32(c), Val: v})
+		}
+	}
+	return cells
+}
+
+// engine implements Algorithm 1 for "predict item T's rating": the
+// correlation of an aggregated user is its profile similarity to the
+// active user; the result is the similarity-weighted mean of member
+// ratings on T, refined group by group.
+type engine struct {
+	data    dataset
+	groups  []at.Group
+	aggs    [][]float64 // mean profile per group
+	active  []float64
+	target  int
+	num     float64
+	den     float64
+	initial float64
+}
+
+// sim is the mean-centered cosine similarity (Pearson-like), floored at
+// zero so dissimilar users do not contribute.
+func sim(a, b []float64) float64 {
+	ma, mb := mean(a), mean(b)
+	var dot, na, nb float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	s := dot / math.Sqrt(na*nb)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func (e *engine) ProcessSynopsis() []float64 {
+	corr := make([]float64, len(e.groups))
+	for g, prof := range e.aggs {
+		s := sim(e.active, prof)
+		corr[g] = s
+		e.num += s * prof[e.target]
+		e.den += s
+	}
+	if e.den > 0 {
+		e.initial = e.num / e.den
+	}
+	return corr
+}
+
+func (e *engine) ProcessSet(g int) {
+	// Replace the group's aggregated contribution with its members'.
+	s := sim(e.active, e.aggs[g])
+	e.num -= s * e.aggs[g][e.target]
+	e.den -= s
+	for _, u := range e.groups[g].Members {
+		row := e.data.rows[u]
+		w := sim(e.active, row)
+		e.num += w * row[e.target]
+		e.den += w
+	}
+}
+
+func (e *engine) estimate() float64 {
+	if e.den <= 0 {
+		return 0
+	}
+	return e.num / e.den
+}
+
+func main() {
+	// Two clusters: users 0..29 love the first six items, users 30..59
+	// the last six.
+	d := dataset{}
+	for u := 0; u < 60; u++ {
+		row := make([]float64, 12)
+		for i := range row {
+			lo, hi := 0, 6
+			if u >= 30 {
+				lo, hi = 6, 12
+			}
+			if i >= lo && i < hi {
+				row[i] = 4 + float64((u+i)%2)
+			} else {
+				row[i] = 1 + float64((u*i)%2)
+			}
+		}
+		d.rows = append(d.rows, row)
+	}
+
+	syn, err := at.BuildSynopsis(d, at.SynopsisConfig{
+		SVD:              at.SVDConfig{Dims: 3, Epochs: 30, Seed: 1},
+		CompressionRatio: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synopsis: %d original points -> %d aggregated points (mean group size %.1f)\n",
+		syn.NumPoints(), syn.NumGroups(), syn.MeanGroupSize())
+
+	// Active user from cluster A asks about item 2.
+	active := make([]float64, 12)
+	for i := 0; i < 6; i++ {
+		active[i] = 4.5
+	}
+	for i := 6; i < 12; i++ {
+		active[i] = 1.5
+	}
+	e := &engine{data: d, groups: syn.Groups(), target: 2, active: active}
+	for _, g := range syn.Groups() {
+		prof := make([]float64, 12)
+		for _, u := range g.Members {
+			for i, v := range d.rows[u] {
+				prof[i] += v / float64(len(g.Members))
+			}
+		}
+		e.aggs = append(e.aggs, prof)
+	}
+
+	trace := at.RunWithDeadline(e, 100*time.Millisecond, 0)
+	fmt.Printf("initial (synopsis-only) estimate: %.2f\n", e.initial)
+	fmt.Printf("refined estimate after %d of %d sets: %.2f (expected ~4.5)\n",
+		trace.SetsProcessed, syn.NumGroups(), e.estimate())
+}

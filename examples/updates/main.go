@@ -1,0 +1,103 @@
+// Updates: the offline synopsis-management lifecycle (paper §2.2/§3.1) on
+// a search component — creation, persistence, incremental updating with
+// new and changed pages, low-priority background updating, and the
+// load-adaptive synopsis ladder.
+//
+// Run with: go run ./examples/updates
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	at "accuracytrader"
+	"accuracytrader/internal/synopsis"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/workload"
+)
+
+func main() {
+	ccfg := workload.DefaultCorpusConfig()
+	ccfg.DocsPerSubset = 300
+	ccfg.Seed = 11
+	data := workload.GenerateCorpus(ccfg, 1)
+	ix := data.Subsets[0]
+
+	// Creation: SVD reduction + R-tree grouping + content aggregation.
+	t0 := time.Now()
+	comp, err := textindex.BuildComponent(ix, at.SynopsisConfig{
+		SVD:              at.SVDConfig{Dims: 3, Epochs: 25, Seed: 11},
+		CompressionRatio: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created synopsis for %d pages in %v: %d aggregated pages (%.1f pages each)\n",
+		ix.NumDocs(), time.Since(t0).Round(time.Millisecond),
+		comp.Syn.NumGroups(), comp.Syn.MeanGroupSize())
+
+	// Persistence: store the R-tree + index file, reload, keep updating.
+	var buf bytes.Buffer
+	if err := comp.Syn.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted synopsis: %d bytes (gob)\n", buf.Len())
+
+	// Incremental updating: 5% new pages and 5% changed pages. Only the
+	// affected groups are re-aggregated.
+	var changes []at.Change
+	for i := 0; i < 15; i++ {
+		doc := ix.Add(data.PageText(uint64(1000+i), i%9))
+		changes = append(changes, at.Change{Kind: at.Add,
+			Cells: textindex.FeatureSource{Ix: ix}.Features(doc)})
+	}
+	for i := 0; i < 15; i++ {
+		doc := i * 7 % 300
+		ix.Update(doc, data.PageText(uint64(2000+i), (i+3)%9))
+		changes = append(changes, at.Change{Kind: at.Modify, Point: doc,
+			Cells: textindex.FeatureSource{Ix: ix}.Features(doc)})
+	}
+	t1 := time.Now()
+	st, err := comp.ApplyChanges(changes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d adds + %d changes in %v: %d groups kept, %d re-aggregated\n",
+		st.Added, st.Modified, time.Since(t1).Round(time.Millisecond),
+		st.GroupsKept, st.GroupsReaggregated)
+
+	// Low-priority background updating: changes queue while the
+	// component is "busy" and flow once it goes idle.
+	var busy atomic.Bool
+	busy.Store(true)
+	sched := synopsis.NewUpdateScheduler(comp.ApplyChanges, busy.Load, 2*time.Millisecond)
+	sched.Start()
+	doc := ix.Add(data.PageText(3000, 4))
+	sched.Enqueue(at.Change{Kind: at.Add, Cells: textindex.FeatureSource{Ix: ix}.Features(doc)})
+	time.Sleep(10 * time.Millisecond)
+	applied, skipped, _ := sched.Stats()
+	fmt.Printf("scheduler under load: applied=%d, skipped rounds=%d, pending=%d\n",
+		applied, skipped, sched.Pending())
+	busy.Store(false)
+	for {
+		if a, _, _ := sched.Stats(); a > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sched.Stop()
+	applied, _, _ = sched.Stats()
+	fmt.Printf("scheduler after idle: applied=%d pending=%d\n", applied, sched.Pending())
+
+	// Load-adaptive ladder: alternative cuts for heavy-load answering.
+	ladder := comp.Syn.BuildLadder(8, 30, 100)
+	for i, ratio := range ladder.Ratios {
+		fmt.Printf("ladder level %d (ratio %3d): %d groups\n", i, ratio, len(ladder.Cuts[i]))
+	}
+	_, idleCut := ladder.Select(0)
+	_, satCut := ladder.Select(1)
+	fmt.Printf("idle selects %d groups; saturated selects %d groups\n", len(idleCut), len(satCut))
+}

@@ -1,0 +1,144 @@
+// Websearch: the paper's second case study — a Lucene-style web search
+// engine — on the live goroutine runtime, comparing the gather policies
+// that correspond to the paper's techniques on one query stream:
+//
+//   - WaitAll (Basic): exact scan, wait for every component;
+//   - PartialGather (Partial execution): exact scan, skip components that
+//     miss the deadline — losing their top pages entirely;
+//   - AccuracyTrader: Algorithm 1 under the same deadline — every
+//     component answers, first from its synopsis, then refined with its
+//     most query-similar page groups.
+//
+// It reports latency and top-10 overlap vs exact for each policy.
+//
+// Run with: go run ./examples/websearch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	at "accuracytrader"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/workload"
+)
+
+const (
+	shards   = 6
+	deadline = 15 * time.Millisecond
+	queries  = 80
+	topK     = 10
+)
+
+// scanFor models the time an exact scan of the shard occupies its
+// single-server component (sleeping, so the demo is stable on small
+// machines; the worker is still serialized, which is what queueing needs).
+func scanFor(d time.Duration) {
+	time.Sleep(d)
+}
+
+func main() {
+	ccfg := workload.DefaultCorpusConfig()
+	ccfg.DocsPerSubset = 300
+	ccfg.Seed = 42
+	data := workload.GenerateCorpus(ccfg, shards)
+
+	fmt.Printf("building %d search components (%d pages each)...\n", shards, ccfg.DocsPerSubset)
+	comps := make([]*textindex.Component, shards)
+	for s := range comps {
+		comp, err := textindex.BuildComponent(data.Subsets[s], at.SynopsisConfig{
+			SVD:              at.SVDConfig{Dims: 3, Epochs: 25, Seed: 42},
+			CompressionRatio: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		comps[s] = comp
+	}
+
+	// Exact handlers burn simulated scan time (one straggler component is
+	// 10x slower); AccuracyTrader handlers respect the deadline instead.
+	exactHandlers := make([]at.Handler, shards)
+	atHandlers := make([]at.Handler, shards)
+	for s := range comps {
+		comp := comps[s]
+		scan := 4 * time.Millisecond
+		if s == 0 {
+			scan = 40 * time.Millisecond // straggler
+		}
+		exactHandlers[s] = func(ctx context.Context, payload interface{}) (interface{}, error) {
+			scanFor(scan)
+			return textindex.ExactTopK(comp, comp.Ix.ParseQuery(payload.(string)), topK), nil
+		}
+		synScan := scan / 20
+		atHandlers[s] = func(ctx context.Context, payload interface{}) (interface{}, error) {
+			scanFor(synScan)
+			e := textindex.NewEngine(comp, comp.Ix.ParseQuery(payload.(string)))
+			at.RunWithDeadline(e, deadline-synScan, 0)
+			return e.TopK(topK), nil
+		}
+	}
+
+	// Basic waits for everything (generous timeout); Partial gathers only
+	// until the service deadline; AccuracyTrader's handlers bound
+	// themselves, so WaitAll composes complete results quickly.
+	basic := mustCluster(exactHandlers, at.WaitAll, 5*time.Second)
+	defer basic.Close()
+	partial := mustCluster(exactHandlers, at.PartialGather, deadline)
+	defer partial.Close()
+	trader := mustCluster(atHandlers, at.WaitAll, 5*time.Second)
+	defer trader.Close()
+
+	qs := data.SampleQueries(7, queries)
+	var basicLat, partialLat, atLat stats.LatencyRecorder
+	var partialOv, atOv stats.Summary
+	for _, q := range qs {
+		exact := gather(basic, q, &basicLat)
+		got := gather(partial, q, &partialLat)
+		partialOv.Add(textindex.TopKOverlap(exact, got))
+		got = gather(trader, q, &atLat)
+		atOv.Add(textindex.TopKOverlap(exact, got))
+	}
+
+	fmt.Printf("\n%d queries x %d components, deadline %v, component 0 is a 10x straggler\n",
+		queries, shards, deadline)
+	fmt.Printf("%-28s%12s%12s%14s\n", "policy", "mean ms", "p99 ms", "top-10 found")
+	fmt.Printf("%-28s%12.2f%12.2f%14s\n", "Basic (WaitAll)", basicLat.Mean(), basicLat.Percentile(99), "100%")
+	fmt.Printf("%-28s%12.2f%12.2f%13.1f%%\n", "Partial execution", partialLat.Mean(), partialLat.Percentile(99), 100*partialOv.Mean())
+	fmt.Printf("%-28s%12.2f%12.2f%13.1f%%\n", "AccuracyTrader", atLat.Mean(), atLat.Percentile(99), 100*atOv.Mean())
+}
+
+func mustCluster(handlers []at.Handler, policy at.Policy, gatherDeadline time.Duration) *at.Cluster {
+	cl, err := at.NewCluster(handlers, policy, at.ClusterOptions{Deadline: gatherDeadline})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cl
+}
+
+// gather calls the cluster and merges per-shard hits into a global
+// top-10 with shard-unique page ids.
+func gather(cl *at.Cluster, q string, lat *stats.LatencyRecorder) []textindex.Hit {
+	t0 := time.Now()
+	res, err := cl.Call(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat.Record(float64(time.Since(t0)) / float64(time.Millisecond))
+	var parts [][]textindex.Hit
+	for s, r := range res {
+		if r.Skipped || r.Err != nil {
+			continue
+		}
+		hits := r.Value.([]textindex.Hit)
+		global := make([]textindex.Hit, len(hits))
+		for i, h := range hits {
+			global[i] = textindex.Hit{Doc: s*1_000_000 + h.Doc, Score: h.Score}
+		}
+		parts = append(parts, global)
+	}
+	return textindex.MergeTopK(parts, topK)
+}

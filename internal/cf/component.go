@@ -1,0 +1,163 @@
+package cf
+
+import (
+	"runtime"
+	"sync"
+
+	"accuracytrader/internal/synopsis"
+)
+
+// AggregatedUser is one synopsis point: the paper's step-3 aggregation for
+// numeric data. Its rating on item i is the mean rating of the member
+// users who rated i.
+type AggregatedUser struct {
+	GroupID int64
+	Ratings []Rating // sorted by item
+	Mean    float64  // mean of its rating scores
+	Members []int
+}
+
+// aggregate builds the aggregated user for a member set.
+func aggregate(m *Matrix, groupID int64, members []int) AggregatedUser {
+	sums := make(map[int32]float64)
+	counts := make(map[int32]int)
+	for _, u := range members {
+		for _, r := range m.Ratings(u) {
+			sums[r.Item] += r.Score
+			counts[r.Item]++
+		}
+	}
+	ag := AggregatedUser{GroupID: groupID, Members: members}
+	for item, s := range sums {
+		ag.Ratings = append(ag.Ratings, Rating{Item: item, Score: s / float64(counts[item])})
+	}
+	sortRatings(ag.Ratings)
+	// Sum after sorting: map iteration order must not leak into the mean
+	// (floating-point addition is not associative), or aggregation would
+	// not be bit-for-bit deterministic.
+	total := 0.0
+	for _, r := range ag.Ratings {
+		total += r.Score
+	}
+	if len(ag.Ratings) > 0 {
+		ag.Mean = total / float64(len(ag.Ratings))
+	}
+	return ag
+}
+
+func sortRatings(rs []Rating) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Item < rs[j-1].Item; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Component is one parallel service component of the CF recommender: its
+// rating-matrix subset plus the synopsis and cached aggregated users.
+type Component struct {
+	M    *Matrix
+	Syn  *synopsis.Synopsis
+	Aggs []AggregatedUser
+}
+
+// BuildComponent creates the component's synopsis (offline module) and
+// aggregates every group.
+func BuildComponent(m *Matrix, cfg synopsis.Config) (*Component, error) {
+	syn, err := synopsis.Build(FeatureSource{M: m}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Component{M: m, Syn: syn}
+	c.reaggregate(nil)
+	return c, nil
+}
+
+// reaggregate rebuilds aggregated users, reusing cached ones whose group
+// ID survived (prev maps group ID -> cached aggregate).
+func (c *Component) reaggregate(prev map[int64]AggregatedUser) {
+	c.Aggs = AggregateGroups(c.M, c.Syn.Groups(), prev)
+}
+
+// AggregateGroups performs step 3 of synopsis creation (information
+// aggregation) for all groups, in parallel across CPU cores — the
+// in-process substitute for the paper's Spark-based distributed
+// aggregation (§3.1), which exists for the same reason: step 3 is the
+// most computation-expensive creation step. Groups present in prev (by
+// ID) reuse their cached aggregate.
+func AggregateGroups(m *Matrix, groups []synopsis.Group, prev map[int64]AggregatedUser) []AggregatedUser {
+	aggs := make([]AggregatedUser, len(groups))
+	var todo []int
+	for i, g := range groups {
+		if ag, ok := prev[g.ID]; ok {
+			aggs[i] = ag
+			continue
+		}
+		todo = append(todo, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, i := range todo {
+			aggs[i] = aggregate(m, groups[i].ID, groups[i].Members)
+		}
+		return aggs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				aggs[i] = aggregate(m, groups[i].ID, groups[i].Members)
+			}
+		}()
+	}
+	for _, i := range todo {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return aggs
+}
+
+// ApplyChanges routes input-data changes through the synopsis updater and
+// re-aggregates only the groups whose membership changed — the paper's
+// incremental synopsis updating. New users must already be in the matrix
+// (AddUser) and changed users updated (SetUser) before calling.
+func (c *Component) ApplyChanges(changes []synopsis.Change) (synopsis.UpdateStats, error) {
+	prev := make(map[int64]AggregatedUser, len(c.Aggs))
+	for _, ag := range c.Aggs {
+		prev[ag.GroupID] = ag
+	}
+	st, err := c.Syn.Update(changes)
+	if err != nil {
+		return st, err
+	}
+	c.reaggregate(prev)
+	return st, nil
+}
+
+// SynopsisSize returns the total number of ratings across aggregated
+// users — the data volume scanned when processing the synopsis.
+func (c *Component) SynopsisSize() int {
+	n := 0
+	for _, ag := range c.Aggs {
+		n += len(ag.Ratings)
+	}
+	return n
+}
+
+// GroupSize returns the number of ratings held by group g's members — the
+// data volume scanned when improving with that group (the simulator's cost
+// model reads this).
+func (c *Component) GroupSize(g int) int {
+	n := 0
+	for _, u := range c.Aggs[g].Members {
+		n += len(c.M.Ratings(u))
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package cf
+
+import "math"
+
+// Request is one recommendation request: an active user's known ratings
+// and the target items whose ratings should be predicted. All targets
+// share the neighbour weights, so one request processes the component data
+// once regardless of the target count.
+type Request struct {
+	Ratings []Rating // active user's known ratings, sorted by item
+	Targets []int32  // items to predict
+}
+
+// NewRequest sorts the active ratings and returns a Request.
+func NewRequest(ratings []Rating, targets []int32) Request {
+	cp := append([]Rating(nil), ratings...)
+	sortRatings(cp)
+	return Request{Ratings: cp, Targets: targets}
+}
+
+// ActiveMean returns the mean of the active user's known ratings.
+func (r Request) ActiveMean() float64 {
+	if len(r.Ratings) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range r.Ratings {
+		s += x.Score
+	}
+	return s / float64(len(r.Ratings))
+}
+
+// Result is a component's partial prediction state: per target item, the
+// weighted deviation sum and the weight normalizer. Partial results from
+// many components merge by addition, so the composer can combine exact,
+// approximate and skipped components uniformly.
+type Result struct {
+	Num []float64
+	Den []float64
+}
+
+// NewResult returns a zeroed result for n targets.
+func NewResult(n int) Result {
+	return Result{Num: make([]float64, n), Den: make([]float64, n)}
+}
+
+// Merge adds other into r.
+func (r Result) Merge(other Result) {
+	for i := range r.Num {
+		r.Num[i] += other.Num[i]
+		r.Den[i] += other.Den[i]
+	}
+}
+
+// Predictions converts merged partial results into final predicted
+// ratings: activeMean + num/den, falling back to the active mean when no
+// neighbour rated the target.
+func (r Result) Predictions(activeMean float64) []float64 {
+	out := make([]float64, len(r.Num))
+	for i := range out {
+		if r.Den[i] > 0 {
+			out[i] = activeMean + r.Num[i]/r.Den[i]
+		} else {
+			out[i] = activeMean
+		}
+	}
+	return out
+}
+
+// contribute accumulates one neighbour (weight w, neighbour ratings rs,
+// neighbour mean) into the result for every target it rated.
+func contribute(res Result, targets []int32, w float64, rs []Rating, mean float64, sign float64) {
+	if w == 0 {
+		return
+	}
+	aw := math.Abs(w)
+	for t, item := range targets {
+		// Binary search in the sorted ratings.
+		lo, hi := 0, len(rs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if rs[mid].Item < item {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(rs) && rs[lo].Item == item {
+			res.Num[t] += sign * w * (rs[lo].Score - mean)
+			res.Den[t] += sign * aw
+		}
+	}
+}
+
+// Engine runs Algorithm 1 for one CF request on one component. It
+// implements core.Engine: ProcessSynopsis predicts from aggregated users
+// and returns |weight| correlations; ProcessSet replaces one aggregated
+// user's coarse contribution with its member users' exact contributions.
+type Engine struct {
+	Comp *Component
+	Req  Request
+
+	res        Result
+	aggWeights []float64
+}
+
+// NewEngine prepares an engine for a request.
+func NewEngine(c *Component, req Request) *Engine {
+	return &Engine{Comp: c, Req: req, res: NewResult(len(req.Targets))}
+}
+
+// ProcessSynopsis computes the aggregated-user weights, accumulates their
+// contributions as the initial result, and returns the correlation
+// estimates (|weight|, per paper §4.2's evaluation of weights as
+// correlations).
+func (e *Engine) ProcessSynopsis() []float64 {
+	m := len(e.Comp.Aggs)
+	e.aggWeights = make([]float64, m)
+	corr := make([]float64, m)
+	for g, ag := range e.Comp.Aggs {
+		w := Weight(e.Req.Ratings, ag.Ratings)
+		e.aggWeights[g] = w
+		corr[g] = math.Abs(w)
+		contribute(e.res, e.Req.Targets, w, ag.Ratings, ag.Mean, +1)
+	}
+	return corr
+}
+
+// ProcessSet improves the result with group g's original users: the
+// aggregated contribution is retracted and each member user contributes
+// with its exact weight (Algorithm 1 line 7).
+func (e *Engine) ProcessSet(g int) {
+	ag := e.Comp.Aggs[g]
+	contribute(e.res, e.Req.Targets, e.aggWeights[g], ag.Ratings, ag.Mean, -1)
+	for _, u := range ag.Members {
+		rs := e.Comp.M.Ratings(u)
+		w := Weight(e.Req.Ratings, rs)
+		contribute(e.res, e.Req.Targets, w, rs, e.Comp.M.Mean(u), +1)
+	}
+}
+
+// Result returns the current partial result.
+func (e *Engine) Result() Result { return e.res }
+
+// ExactResult computes the component's exact partial result: every
+// original user contributes — the paper's "full computation over the
+// entire input data" baseline.
+func ExactResult(c *Component, req Request) Result {
+	res := NewResult(len(req.Targets))
+	for u := 0; u < c.M.NumUsers(); u++ {
+		rs := c.M.Ratings(u)
+		w := Weight(req.Ratings, rs)
+		contribute(res, req.Targets, w, rs, c.M.Mean(u), +1)
+	}
+	return res
+}
+
+// RMSE returns the root-mean-square error between predicted and actual
+// ratings (the paper's recommender accuracy metric). It returns NaN for
+// empty input.
+func RMSE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic("cf: RMSE length mismatch")
+	}
+	if len(predicted) == 0 {
+		return math.NaN()
+	}
+	se := 0.0
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(predicted)))
+}

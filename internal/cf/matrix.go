@@ -1,0 +1,141 @@
+// Package cf implements the user-based collaborative-filtering recommender
+// service of the paper (§3.2): a user-item rating matrix, Pearson
+// similarity weights, weighted-average rating prediction, and the
+// AccuracyTrader integration — aggregated users built from synopsis groups
+// and an Algorithm 1 engine that first predicts from aggregated users and
+// then refines with the original users of the most correlated groups.
+package cf
+
+import (
+	"sort"
+
+	"accuracytrader/internal/svd"
+	"accuracytrader/internal/vmath"
+)
+
+// Rating is one (item, score) pair of a user.
+type Rating struct {
+	Item  int32
+	Score float64
+}
+
+// Matrix is the user-item rating matrix of one service component's data
+// subset. User ratings are kept sorted by item for merge-join weight
+// computation.
+type Matrix struct {
+	users  [][]Rating
+	means  []float64
+	nItems int
+}
+
+// NewMatrix returns an empty matrix over nItems items.
+func NewMatrix(nItems int) *Matrix {
+	if nItems <= 0 {
+		panic("cf: non-positive item count")
+	}
+	return &Matrix{nItems: nItems}
+}
+
+// AddUser appends a user with the given ratings and returns the user id.
+func (m *Matrix) AddUser(rs []Rating) int {
+	id := len(m.users)
+	m.users = append(m.users, nil)
+	m.means = append(m.means, 0)
+	m.SetUser(id, rs)
+	return id
+}
+
+// SetUser replaces user u's ratings (an input-data change).
+func (m *Matrix) SetUser(u int, rs []Rating) {
+	if u < 0 || u >= len(m.users) {
+		panic("cf: SetUser out of range")
+	}
+	cp := append([]Rating(nil), rs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Item < cp[j].Item })
+	sum := 0.0
+	for _, r := range cp {
+		if r.Item < 0 || int(r.Item) >= m.nItems {
+			panic("cf: rating item out of range")
+		}
+		sum += r.Score
+	}
+	m.users[u] = cp
+	if len(cp) > 0 {
+		m.means[u] = sum / float64(len(cp))
+	} else {
+		m.means[u] = 0
+	}
+}
+
+// NumUsers returns the number of users.
+func (m *Matrix) NumUsers() int { return len(m.users) }
+
+// NumItems returns the item-space size.
+func (m *Matrix) NumItems() int { return m.nItems }
+
+// NumRatings returns the total number of ratings stored.
+func (m *Matrix) NumRatings() int {
+	n := 0
+	for _, u := range m.users {
+		n += len(u)
+	}
+	return n
+}
+
+// Ratings returns user u's ratings sorted by item (shared slice).
+func (m *Matrix) Ratings(u int) []Rating { return m.users[u] }
+
+// Mean returns user u's mean rating (0 when the user has no ratings).
+func (m *Matrix) Mean(u int) float64 { return m.means[u] }
+
+// Rating returns user u's score for an item, if rated.
+func (m *Matrix) Rating(u int, item int32) (float64, bool) {
+	rs := m.users[u]
+	k := sort.Search(len(rs), func(i int) bool { return rs[i].Item >= item })
+	if k < len(rs) && rs[k].Item == item {
+		return rs[k].Score, true
+	}
+	return 0, false
+}
+
+// Weight returns the Pearson correlation coefficient between two users'
+// rating vectors over their co-rated items — the paper's similarity weight.
+// Users with fewer than two co-rated items get weight 0.
+func Weight(a, b []Rating) float64 {
+	var xs, ys []float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Item < b[j].Item:
+			i++
+		case a[i].Item > b[j].Item:
+			j++
+		default:
+			xs = append(xs, a[i].Score)
+			ys = append(ys, b[j].Score)
+			i++
+			j++
+		}
+	}
+	return vmath.Pearson(xs, ys)
+}
+
+// FeatureSource adapts the matrix to synopsis building: each user is a
+// data point whose sparse features are item ratings (paper step 1).
+type FeatureSource struct{ M *Matrix }
+
+// NumPoints returns the number of users.
+func (f FeatureSource) NumPoints() int { return f.M.NumUsers() }
+
+// NumFeatures returns the item-space size.
+func (f FeatureSource) NumFeatures() int { return f.M.NumItems() }
+
+// Features returns user i's ratings as SVD cells.
+func (f FeatureSource) Features(i int) []svd.Cell {
+	rs := f.M.Ratings(i)
+	cells := make([]svd.Cell, len(rs))
+	for k, r := range rs {
+		cells[k] = svd.Cell{Col: r.Item, Val: r.Score}
+	}
+	return cells
+}

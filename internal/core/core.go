@@ -1,0 +1,113 @@
+// Package core implements the online accuracy-aware approximate processing
+// module of AccuracyTrader — Algorithm 1 of the paper. A component first
+// processes its synopsis, obtaining a fast initial result plus a
+// correlation estimate for every aggregated data point; it then improves
+// the result by processing the aggregated points' original member sets in
+// descending correlation order, until a deadline or a set cap (imax) stops
+// it.
+//
+// The algorithm is generic over the application: collaborative filtering
+// and web search plug in through the Engine interface. Time is abstracted
+// behind Continue so the exact same loop runs under wall-clock deadlines
+// (internal/service) and under the discrete-event simulator's modeled
+// budgets (internal/cluster).
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Engine is the application-specific side of Algorithm 1. Implementations
+// exist for the CF recommender (internal/cf) and the web search engine
+// (internal/textindex).
+type Engine interface {
+	// ProcessSynopsis computes the initial approximate result for the
+	// request (Algorithm 1 line 1) and returns, for every aggregated data
+	// point, its estimated correlation to the request's result accuracy.
+	// The returned result is improved in place by subsequent ProcessSet
+	// calls.
+	ProcessSynopsis() (correlations []float64)
+	// ProcessSet improves the current result with the original data points
+	// of the set belonging to aggregated point ag (Algorithm 1 line 7).
+	ProcessSet(ag int)
+}
+
+// Continue is consulted before each improvement step; processing stops as
+// soon as it returns false. setsDone counts the sets already processed.
+type Continue func(setsDone int) bool
+
+// Trace records what a Run actually did, for experiments and debugging.
+type Trace struct {
+	SetsProcessed int   // sets improved before stopping
+	Ranking       []int // aggregated point ids in processing order
+}
+
+// Run executes Algorithm 1: process the synopsis, rank the aggregated
+// points by descending correlation, then improve with each ranked member
+// set while cont allows and fewer than imax sets have been processed.
+// imax <= 0 means "no cap" (all sets are eligible).
+func Run(e Engine, cont Continue, imax int) Trace {
+	corr := e.ProcessSynopsis()
+	ranking := Rank(corr)
+	if imax <= 0 || imax > len(ranking) {
+		imax = len(ranking)
+	}
+	done := 0
+	for _, ag := range ranking[:imax] {
+		if !cont(done) {
+			break
+		}
+		e.ProcessSet(ag)
+		done++
+	}
+	return Trace{SetsProcessed: done, Ranking: ranking}
+}
+
+// Rank returns aggregated point ids sorted by descending correlation
+// (Algorithm 1 line 2). Ties break toward the lower id so ranking is
+// deterministic.
+func Rank(corr []float64) []int {
+	ids := make([]int, len(corr))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return corr[ids[a]] > corr[ids[b]] })
+	return ids
+}
+
+// Clock abstracts "elapsed service time since the request arrived"
+// (Algorithm 1's l_ela). The wall-clock implementation is used by the live
+// runtime; the simulator provides virtual clocks.
+type Clock interface {
+	Elapsed() time.Duration
+}
+
+// WallClock measures elapsed time from a fixed start using the runtime
+// monotonic clock.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a clock whose Elapsed counts from now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Elapsed returns the wall time since the clock was created.
+func (w *WallClock) Elapsed() time.Duration { return time.Since(w.start) }
+
+// DeadlineContinue adapts a Clock and a deadline (l_spe) into a Continue:
+// improvement proceeds while elapsed time stays below the deadline.
+func DeadlineContinue(c Clock, deadline time.Duration) Continue {
+	return func(int) bool { return c.Elapsed() < deadline }
+}
+
+// BudgetContinue returns a Continue that allows exactly k improvement
+// steps. The simulator uses it after converting a time budget into a set
+// count with its cost model.
+func BudgetContinue(k int) Continue {
+	return func(done int) bool { return done < k }
+}
+
+// RunWithDeadline is the convenience form used by live services: run
+// Algorithm 1 against a wall-clock deadline.
+func RunWithDeadline(e Engine, deadline time.Duration, imax int) Trace {
+	return Run(e, DeadlineContinue(NewWallClock(), deadline), imax)
+}

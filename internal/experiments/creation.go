@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/workload"
+)
+
+// CreationReport is the §4.2 "overheads of synopsis creation" evaluation:
+// per-step timings for one subset of each service, plus the aggregation
+// statistics the paper reports (mean original points per aggregated
+// point).
+type CreationReport struct {
+	CFPoints        int
+	CFRatings       int
+	CFStep1Ms       float64 // incremental SVD
+	CFStep2Ms       float64 // R-tree build + cut
+	CFStep3Ms       float64 // information aggregation
+	CFGroups        int
+	CFMeanGroupSize float64
+
+	SearchPoints        int
+	SearchStep1Ms       float64
+	SearchStep2Ms       float64
+	SearchStep3Ms       float64
+	SearchGroups        int
+	SearchMeanGroupSize float64
+}
+
+// RunCreation builds one subset of each service and reports the per-step
+// creation overheads.
+func RunCreation(sc Scale) (*CreationReport, error) {
+	rep := &CreationReport{}
+
+	rcfg := workload.DefaultRatingsConfig()
+	rcfg.UsersPerSubset = sc.UsersPerSubset
+	rcfg.Items = sc.Items
+	rcfg.Seed = sc.Seed
+	m := workload.GenerateRatings(rcfg, 1).Subsets[0]
+	t0 := time.Now()
+	cfComp, err := cf.BuildComponent(m, sc.synopsisConfig())
+	if err != nil {
+		return nil, err
+	}
+	totalCF := float64(time.Since(t0)) / float64(time.Millisecond)
+	tm := cfComp.Syn.Timings()
+	rep.CFPoints = m.NumUsers()
+	rep.CFRatings = m.NumRatings()
+	rep.CFStep1Ms = tm.SVDMs
+	rep.CFStep2Ms = tm.TreeMs
+	rep.CFStep3Ms = totalCF - tm.SVDMs - tm.TreeMs
+	rep.CFGroups = len(cfComp.Aggs)
+	rep.CFMeanGroupSize = cfComp.Syn.MeanGroupSize()
+
+	ccfg := workload.DefaultCorpusConfig()
+	ccfg.DocsPerSubset = sc.DocsPerSubset
+	ccfg.Seed = sc.Seed
+	ix := workload.GenerateCorpus(ccfg, 1).Subsets[0]
+	t1 := time.Now()
+	sComp, err := textindex.BuildComponent(ix, sc.synopsisConfig())
+	if err != nil {
+		return nil, err
+	}
+	totalS := float64(time.Since(t1)) / float64(time.Millisecond)
+	stm := sComp.Syn.Timings()
+	rep.SearchPoints = ix.NumDocs()
+	rep.SearchStep1Ms = stm.SVDMs
+	rep.SearchStep2Ms = stm.TreeMs
+	rep.SearchStep3Ms = totalS - stm.SVDMs - stm.TreeMs
+	rep.SearchGroups = len(sComp.Aggs)
+	rep.SearchMeanGroupSize = sComp.Syn.MeanGroupSize()
+	return rep, nil
+}
+
+// Render prints the creation-overhead report.
+func (r *CreationReport) Render() string {
+	var b strings.Builder
+	b.WriteString("SYNOPSIS CREATION OVERHEADS (one subset per service)\n")
+	fmt.Fprintf(&b, "%-34s%14s%14s\n", "", "recommender", "search")
+	row := func(name string, a, c float64) {
+		fmt.Fprintf(&b, "%-34s%14.1f%14.1f\n", name, a, c)
+	}
+	fmt.Fprintf(&b, "%-34s%14d%14d\n", "data points in subset", r.CFPoints, r.SearchPoints)
+	row("step 1: incremental SVD (ms)", r.CFStep1Ms, r.SearchStep1Ms)
+	row("step 2: R-tree construction (ms)", r.CFStep2Ms, r.SearchStep2Ms)
+	row("step 3: information aggregation (ms)", r.CFStep3Ms, r.SearchStep3Ms)
+	fmt.Fprintf(&b, "%-34s%14d%14d\n", "aggregated points (groups)", r.CFGroups, r.SearchGroups)
+	row("original points per aggregated", r.CFMeanGroupSize, r.SearchMeanGroupSize)
+	return b.String()
+}
+
+// Headline summarizes the paper's §4.3 closing claims from the Table 1-2
+// and Figure 7-8 runs: tail-latency reduction vs request reissue under
+// load (with AccuracyTrader's own accuracy loss), and accuracy-loss
+// reduction vs partial execution at the same service latency.
+type Headline struct {
+	CFTailReductionVsReissue     float64
+	CFATLoss                     float64
+	CFLossReductionVsPartial     float64
+	SearchTailReductionVsReissue float64
+	SearchATLoss                 float64
+	SearchLossReductionVsPartial float64
+}
+
+// ComputeHeadline derives the headline numbers. Heavy-load cells are
+// those where the exact techniques run past saturation: rates >= 60 for
+// the CF runs, hours with arrival rate >= 60% of peak for the day runs.
+func ComputeHeadline(cfc *CFComparison, day *DayFigures, peakRate float64) *Headline {
+	h := &Headline{}
+	var tailRatio, atLoss, lossRatio ratioAcc
+	for i, rate := range cfc.Rates {
+		if rate < 60 {
+			continue
+		}
+		tailRatio.add(cfc.ReissueTail[i], cfc.ATTail[i])
+		atLoss.addVal(cfc.ATLoss[i])
+		lossRatio.add(cfc.PartialLoss[i], cfc.ATLoss[i])
+	}
+	h.CFTailReductionVsReissue = tailRatio.ratio()
+	h.CFATLoss = atLoss.mean()
+	h.CFLossReductionVsPartial = lossRatio.ratio()
+
+	var sTail, sLoss, sRatio ratioAcc
+	for hour := 0; hour < 24; hour++ {
+		if day.HourRate[hour] < 0.6*peakRate {
+			continue
+		}
+		sTail.add(day.ReissueTail[hour], day.ATTail[hour])
+		sLoss.addVal(day.ATLoss[hour])
+		sRatio.add(day.PartialLoss[hour], day.ATLoss[hour])
+	}
+	h.SearchTailReductionVsReissue = sTail.ratio()
+	h.SearchATLoss = sLoss.mean()
+	h.SearchLossReductionVsPartial = sRatio.ratio()
+	return h
+}
+
+// ratioAcc averages numerators and denominators separately, which keeps
+// the ratio stable when individual denominators approach zero.
+type ratioAcc struct {
+	num, den float64
+	sum      float64
+	n        int
+}
+
+func (r *ratioAcc) add(num, den float64) {
+	r.num += num
+	r.den += den
+	r.n++
+}
+
+func (r *ratioAcc) addVal(v float64) {
+	r.sum += v
+	r.n++
+}
+
+func (r *ratioAcc) ratio() float64 {
+	if r.den == 0 {
+		return 0
+	}
+	return r.num / r.den
+}
+
+func (r *ratioAcc) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Render prints the headline summary.
+func (h *Headline) Render() string {
+	var b strings.Builder
+	b.WriteString("HEADLINE RESULTS (heavy-load aggregate, paper §4.3 'Results')\n")
+	fmt.Fprintf(&b, "CF recommender workloads:\n")
+	fmt.Fprintf(&b, "  tail latency reduction vs request reissue: %.1fx (AccuracyTrader loss %.2f%%)\n",
+		h.CFTailReductionVsReissue, h.CFATLoss)
+	fmt.Fprintf(&b, "  accuracy-loss reduction vs partial execution at equal latency: %.1fx\n",
+		h.CFLossReductionVsPartial)
+	fmt.Fprintf(&b, "Search engine workloads:\n")
+	fmt.Fprintf(&b, "  tail latency reduction vs request reissue: %.1fx (AccuracyTrader loss %.2f%%)\n",
+		h.SearchTailReductionVsReissue, h.SearchATLoss)
+	fmt.Fprintf(&b, "  accuracy-loss reduction vs partial execution at equal latency: %.1fx\n",
+		h.SearchLossReductionVsPartial)
+	return b.String()
+}

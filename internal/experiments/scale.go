@@ -1,0 +1,111 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment is a pure function of a Scale (the
+// knobs that shrink the paper's 30-node testbed onto a laptop) returning
+// a typed result with a paper-style text rendering.
+//
+// Scaling approach (DESIGN.md §4): the latency experiments simulate the
+// full fan-out width (108 components by default, as in the paper) on the
+// discrete-event cluster; the data those components serve is backed by a
+// smaller number of distinct shards of real CF/search data, cycled across
+// components. Accuracy is computed by replaying the real application
+// engines over exactly the sets each simulated component had time to
+// process.
+package experiments
+
+// Scale holds every size knob of the reproduction.
+type Scale struct {
+	// Components is the simulated fan-out width (paper: 108).
+	Components int
+	// Shards is the number of distinct real data subsets backing the
+	// components (component c serves shard c mod Shards). Set equal to
+	// Components for full fidelity at higher build cost.
+	Shards int
+
+	// CF data shape.
+	UsersPerSubset int
+	Items          int
+
+	// Search data shape.
+	DocsPerSubset int
+
+	// SessionSeconds is the measured window per arrival rate (Tables 1-2)
+	// and per hour (Figures 5-8).
+	SessionSeconds float64
+	// AccuracySamples is the number of requests replayed for accuracy per
+	// run.
+	AccuracySamples int
+
+	// DeadlineMs is l_spe (paper: 100 ms).
+	DeadlineMs float64
+	// CompressionRatio is the synopsis target (paper: ~100x in points;
+	// scaled with subset size).
+	CompressionRatio int
+
+	// SearchPeakRate is the busiest-hour arrival rate (req/s) of the
+	// diurnal search workload; calibrated so daytime hours run the exact
+	// techniques past saturation, as in the paper's Figures 5-8.
+	SearchPeakRate float64
+	// HourWindowSeconds is the simulated continuous window representing
+	// one hour in Figures 5-6 (the hour's rate profile is time-warped
+	// onto it; 60 per-minute bins are reported).
+	HourWindowSeconds float64
+	// DayWindowSeconds is the per-hour window used by the 24-hour
+	// Figures 7-8.
+	DayWindowSeconds float64
+
+	Seed uint64
+}
+
+// DefaultScale is the laptop-scale configuration used by cmd/attrader:
+// full 108-component fan-out over 12 real shards, 30-second sessions.
+func DefaultScale() Scale {
+	return Scale{
+		Components:        108,
+		Shards:            12,
+		UsersPerSubset:    400,
+		Items:             200,
+		DocsPerSubset:     400,
+		SessionSeconds:    30,
+		AccuracySamples:   120,
+		DeadlineMs:        100,
+		CompressionRatio:  8,
+		SearchPeakRate:    90,
+		HourWindowSeconds: 240,
+		DayWindowSeconds:  60,
+		Seed:              1,
+	}
+}
+
+// QuickScale is the reduced configuration used by unit tests and
+// benchmarks: small enough for tight edit-test loops while preserving
+// every qualitative behaviour.
+func QuickScale() Scale {
+	return Scale{
+		Components:        16,
+		Shards:            4,
+		UsersPerSubset:    200,
+		Items:             120,
+		DocsPerSubset:     160,
+		SessionSeconds:    8,
+		AccuracySamples:   30,
+		DeadlineMs:        100,
+		CompressionRatio:  8,
+		SearchPeakRate:    90,
+		HourWindowSeconds: 48,
+		DayWindowSeconds:  15,
+		Seed:              1,
+	}
+}
+
+// fullScanMs is the calibrated cost of one exact subset scan at speed 1.
+// It anchors the simulation to the paper's light-load component latencies
+// (Table 1, rate 20: tens of milliseconds) independent of the scaled
+// subset size: one work unit is one original data point scanned, and the
+// per-unit cost is fullScanMs divided by the subset's point count.
+const fullScanMs = 15.0
+
+// cfUnitCostMs returns the per-user scan cost for the CF service.
+func (s Scale) cfUnitCostMs() float64 { return fullScanMs / float64(s.UsersPerSubset) }
+
+// searchUnitCostMs returns the per-page scan cost for the search service.
+func (s Scale) searchUnitCostMs() float64 { return fullScanMs / float64(s.DocsPerSubset) }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/cluster"
+	"accuracytrader/internal/interference"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/svd"
+	"accuracytrader/internal/synopsis"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/workload"
+)
+
+// synopsisConfig returns the offline-module configuration for a scale.
+func (s Scale) synopsisConfig() synopsis.Config {
+	return synopsis.Config{
+		SVD:              svd.Config{Dims: 3, Epochs: 25, Seed: s.Seed ^ 0x5f},
+		CompressionRatio: s.CompressionRatio,
+		FoldInEpochs:     25,
+	}
+}
+
+// CFService bundles the recommender's real data shards with the work
+// models the cluster simulator needs.
+type CFService struct {
+	Scale Scale
+	Data  *workload.RatingsData
+	Comps []*cf.Component     // one per shard
+	Work  []cluster.WorkModel // one per simulated component
+}
+
+// BuildCFService generates rating shards and builds each shard's synopsis
+// and aggregated users.
+func BuildCFService(sc Scale) (*CFService, error) {
+	rcfg := workload.DefaultRatingsConfig()
+	rcfg.UsersPerSubset = sc.UsersPerSubset
+	rcfg.Items = sc.Items
+	rcfg.Seed = sc.Seed
+	data := workload.GenerateRatings(rcfg, sc.Shards)
+	svc := &CFService{Scale: sc, Data: data}
+	for _, m := range data.Subsets {
+		comp, err := cf.BuildComponent(m, sc.synopsisConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build CF component: %w", err)
+		}
+		svc.Comps = append(svc.Comps, comp)
+	}
+	svc.Work = make([]cluster.WorkModel, sc.Components)
+	for c := 0; c < sc.Components; c++ {
+		comp := svc.Comps[c%sc.Shards]
+		svc.Work[c] = cluster.WorkModel{
+			FullUnits:     float64(comp.M.NumUsers()),
+			SynopsisUnits: float64(len(comp.Aggs)),
+			NumGroups:     len(comp.Aggs),
+		}
+	}
+	return svc, nil
+}
+
+// Shard returns the real component behind simulated component c.
+func (s *CFService) Shard(c int) *cf.Component { return s.Comps[c%s.Scale.Shards] }
+
+// SearchService bundles the search engine's real data shards with the
+// work models of the cluster simulator.
+type SearchService struct {
+	Scale Scale
+	Data  *workload.CorpusData
+	Comps []*textindex.Component
+	Work  []cluster.WorkModel
+}
+
+// BuildSearchService generates corpus shards and builds their synopses and
+// aggregated pages.
+func BuildSearchService(sc Scale) (*SearchService, error) {
+	ccfg := workload.DefaultCorpusConfig()
+	ccfg.DocsPerSubset = sc.DocsPerSubset
+	ccfg.Seed = sc.Seed
+	data := workload.GenerateCorpus(ccfg, sc.Shards)
+	svc := &SearchService{Scale: sc, Data: data}
+	for _, ix := range data.Subsets {
+		comp, err := textindex.BuildComponent(ix, sc.synopsisConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build search component: %w", err)
+		}
+		svc.Comps = append(svc.Comps, comp)
+	}
+	svc.Work = make([]cluster.WorkModel, sc.Components)
+	for c := 0; c < sc.Components; c++ {
+		comp := svc.Comps[c%sc.Shards]
+		svc.Work[c] = cluster.WorkModel{
+			FullUnits:     float64(comp.Ix.NumDocs()),
+			SynopsisUnits: float64(comp.SynopsisSize()),
+			NumGroups:     len(comp.Aggs),
+		}
+	}
+	return svc, nil
+}
+
+// Shard returns the real component behind simulated component c.
+func (s *SearchService) Shard(c int) *textindex.Component {
+	return s.Comps[c%s.Scale.Shards]
+}
+
+// slowdownFunc builds the per-node interference slowdown used by all
+// latency runs: one independent trace per component over the horizon.
+func slowdownFunc(seed uint64, components int, horizonMs float64) func(int, float64) float64 {
+	traces := interference.GenerateNodes(stats.NewRNG(seed^0x1f2e3d4c), components, horizonMs, interference.DefaultConfig())
+	return func(c int, t float64) float64 { return traces[c].At(t) }
+}

@@ -1,0 +1,170 @@
+// Package interference models the performance interference from co-located
+// MapReduce workloads (paper §4.1: WordCount and Sort jobs replayed from
+// the SWIM/Facebook trace with BigDataBench-MT). What the tail-latency
+// experiments need from the co-located jobs is their effect: a
+// time-varying, bursty, node-specific slowdown of the service components.
+// The generator reproduces that effect directly: jobs arrive at each node
+// as a Poisson process, job durations are heavy-tailed (lognormal — the
+// SWIM Facebook trace is dominated by short jobs with a long tail), and
+// each running job contributes a slowdown depending on its class
+// (CPU-bound WordCount vs I/O-bound Sort).
+package interference
+
+import (
+	"sort"
+
+	"accuracytrader/internal/stats"
+)
+
+// Config shapes the interference workload on one node.
+type Config struct {
+	// JobsPerSecond is the mean arrival rate of co-located jobs.
+	JobsPerSecond float64
+	// CPUShare is the fraction of CPU-bound (WordCount-like) jobs; the
+	// rest are I/O-bound (Sort-like).
+	CPUShare float64
+	// MeanDurationMs and DurationSigma parametrize the lognormal job
+	// duration (of the underlying normal, in log-space).
+	MeanDurationMs float64
+	DurationSigma  float64
+	// CPUSlow and IOSlow are the per-job slowdown contributions: a node
+	// running one CPU job processes service work (1+CPUSlow) times slower.
+	CPUSlow float64
+	IOSlow  float64
+	// MaxSlowdown caps the total node slowdown factor.
+	MaxSlowdown float64
+}
+
+// DefaultConfig returns the interference intensity used by the
+// experiments, calibrated so the time-weighted mean node slowdown is
+// ~1.2-1.3 with occasional bursts of several x — co-location that
+// perturbs the tail without saturating the nodes by itself.
+func DefaultConfig() Config {
+	return Config{
+		JobsPerSecond:  0.35,
+		CPUShare:       0.5,
+		MeanDurationMs: 500,
+		DurationSigma:  1.1,
+		CPUSlow:        0.9,
+		IOSlow:         0.5,
+		MaxSlowdown:    4,
+	}
+}
+
+// Trace is a piecewise-constant slowdown function of virtual time for one
+// node.
+type Trace struct {
+	times []float64 // segment start times, ascending; times[0] == 0
+	slow  []float64 // slowdown factor of each segment (>= 1)
+}
+
+// At returns the node slowdown factor at time t (ms). Times before 0 or
+// after the generated horizon clamp to the nearest segment.
+func (tr *Trace) At(t float64) float64 {
+	if len(tr.times) == 0 {
+		return 1
+	}
+	i := sort.SearchFloat64s(tr.times, t)
+	// SearchFloat64s returns the first index with times[i] >= t; the
+	// segment covering t starts one earlier unless t hits a boundary.
+	if i == len(tr.times) || tr.times[i] > t {
+		i--
+	}
+	if i < 0 {
+		i = 0
+	}
+	return tr.slow[i]
+}
+
+// Mean returns the time-weighted mean slowdown over [0, horizon].
+func (tr *Trace) Mean(horizon float64) float64 {
+	if len(tr.times) == 0 || horizon <= 0 {
+		return 1
+	}
+	total := 0.0
+	for i := range tr.times {
+		start := tr.times[i]
+		if start >= horizon {
+			break
+		}
+		end := horizon
+		if i+1 < len(tr.times) && tr.times[i+1] < horizon {
+			end = tr.times[i+1]
+		}
+		total += (end - start) * tr.slow[i]
+	}
+	return total / horizon
+}
+
+// Generate builds a slowdown trace covering [0, horizonMs) for one node.
+func Generate(rng *stats.RNG, horizonMs float64, cfg Config) *Trace {
+	type edge struct {
+		t     float64
+		delta float64
+	}
+	var edges []edge
+	// Job arrivals over the horizon (also admit jobs that started before
+	// time 0 by extending the generation window backwards one mean
+	// duration, so the trace does not start artificially idle).
+	lead := cfg.MeanDurationMs * 2
+	t := -lead
+	for {
+		if cfg.JobsPerSecond <= 0 {
+			break
+		}
+		t += rng.Exp(cfg.JobsPerSecond / 1000) // rate per ms
+		if t >= horizonMs {
+			break
+		}
+		dur := rng.LogNormal(0, cfg.DurationSigma) * cfg.MeanDurationMs
+		slow := cfg.IOSlow
+		if rng.Float64() < cfg.CPUShare {
+			slow = cfg.CPUSlow
+		}
+		// Scale the contribution a little per job so bursts differ.
+		slow *= 0.5 + rng.Float64()
+		edges = append(edges, edge{t: t, delta: slow}, edge{t: t + dur, delta: -slow})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	tr := &Trace{times: []float64{0}, slow: []float64{1}}
+	level := 0.0
+	for _, e := range edges {
+		if e.t < 0 {
+			level += e.delta
+			tr.slow[0] = clampSlow(1+level, cfg.MaxSlowdown)
+			continue
+		}
+		if e.t >= horizonMs {
+			break
+		}
+		level += e.delta
+		s := clampSlow(1+level, cfg.MaxSlowdown)
+		if e.t == tr.times[len(tr.times)-1] {
+			tr.slow[len(tr.slow)-1] = s
+			continue
+		}
+		tr.times = append(tr.times, e.t)
+		tr.slow = append(tr.slow, s)
+	}
+	return tr
+}
+
+func clampSlow(s, max float64) float64 {
+	if s < 1 {
+		return 1
+	}
+	if max > 0 && s > max {
+		return max
+	}
+	return s
+}
+
+// GenerateNodes builds one independent trace per node, each from a split
+// of the base RNG, mirroring the paper's per-node co-location.
+func GenerateNodes(rng *stats.RNG, nodes int, horizonMs float64, cfg Config) []*Trace {
+	traces := make([]*Trace, nodes)
+	for i := range traces {
+		traces[i] = Generate(rng.Split(uint64(i)+1), horizonMs, cfg)
+	}
+	return traces
+}

@@ -1,0 +1,119 @@
+package interference
+
+import (
+	"testing"
+
+	"accuracytrader/internal/stats"
+)
+
+func TestTraceAtPiecewise(t *testing.T) {
+	tr := &Trace{times: []float64{0, 10, 20}, slow: []float64{1, 2, 1.5}}
+	cases := []struct{ t, want float64 }{
+		{-5, 1}, {0, 1}, {9.99, 1}, {10, 2}, {15, 2}, {20, 1.5}, {100, 1.5},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTraceAtEmpty(t *testing.T) {
+	tr := &Trace{}
+	if tr.At(5) != 1 {
+		t.Fatal("empty trace should be 1")
+	}
+}
+
+func TestTraceMean(t *testing.T) {
+	tr := &Trace{times: []float64{0, 10}, slow: []float64{1, 3}}
+	if got := tr.Mean(20); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := tr.Mean(10); got != 1 {
+		t.Fatalf("Mean(10) = %v", got)
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cfg := DefaultConfig()
+	tr := Generate(rng, 60000, cfg)
+	for _, s := range tr.slow {
+		if s < 1 || s > cfg.MaxSlowdown {
+			t.Fatalf("slowdown %v out of bounds", s)
+		}
+	}
+	for i := 1; i < len(tr.times); i++ {
+		if tr.times[i] <= tr.times[i-1] {
+			t.Fatalf("times not increasing at %d", i)
+		}
+	}
+	if tr.times[0] != 0 {
+		t.Fatalf("trace must start at 0, got %v", tr.times[0])
+	}
+}
+
+func TestGenerateProducesVariance(t *testing.T) {
+	rng := stats.NewRNG(2)
+	tr := Generate(rng, 600000, DefaultConfig())
+	// A 10-minute trace should contain both idle (1.0) and slowed
+	// segments.
+	sawIdle, sawBusy := false, false
+	for _, s := range tr.slow {
+		if s == 1 {
+			sawIdle = true
+		}
+		if s > 1.3 {
+			sawBusy = true
+		}
+	}
+	if !sawIdle || !sawBusy {
+		t.Fatalf("trace lacks variance: idle=%v busy=%v (%d segments)", sawIdle, sawBusy, len(tr.slow))
+	}
+	m := tr.Mean(600000)
+	if m < 1.05 || m > 3 {
+		t.Fatalf("mean slowdown %v implausible for default config", m)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(stats.NewRNG(3), 60000, DefaultConfig())
+	b := Generate(stats.NewRNG(3), 60000, DefaultConfig())
+	if len(a.times) != len(b.times) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.times {
+		if a.times[i] != b.times[i] || a.slow[i] != b.slow[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestGenerateNodesIndependent(t *testing.T) {
+	rng := stats.NewRNG(4)
+	traces := GenerateNodes(rng, 4, 60000, DefaultConfig())
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	// Different nodes should have different busy patterns.
+	same := 0
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 600
+		if traces[0].At(tm) == traces[1].At(tm) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("node traces identical")
+	}
+}
+
+func TestZeroRateIsIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JobsPerSecond = 0
+	tr := Generate(stats.NewRNG(5), 60000, cfg)
+	if tr.At(30000) != 1 {
+		t.Fatal("zero-rate interference should be idle")
+	}
+}

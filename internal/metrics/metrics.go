@@ -1,0 +1,138 @@
+// Package metrics defines the evaluation metrics of the paper (§4.1) and
+// the time-binned series used to render the per-minute / per-hour panels
+// of Figures 5-8.
+//
+// Accuracy-loss definitions (documented in EXPERIMENTS.md):
+//
+//   - Search engine: accuracy is the fraction of the actual top-10 pages
+//     present in the retrieved top-10; exact processing scores 1 by
+//     construction, so loss% = 100*(1 - overlap).
+//   - Recommender: the paper reports losses in [0,100]% even when a
+//     technique answers with no usable neighbours, so raw RMSE ratios do
+//     not work as the loss measure. We define accuracy as prediction
+//     skill over the trivial predictor (always answering the active
+//     user's mean rating): skill = max(0, 1 - RMSE/RMSE_trivial). A
+//     technique that degrades to the trivial answer has skill 0, i.e.
+//     100% loss — exactly the regime Partial execution reaches under
+//     overload. loss% = 100*(skill_exact - skill_approx)/skill_exact.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"accuracytrader/internal/stats"
+)
+
+// Skill converts an RMSE into prediction skill relative to the trivial
+// baseline RMSE: 1 is perfect, 0 is no better than the baseline.
+func Skill(rmse, baselineRMSE float64) float64 {
+	if baselineRMSE <= 0 || math.IsNaN(rmse) {
+		return 0
+	}
+	s := 1 - rmse/baselineRMSE
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// LossPct is the percentage decrease from the exact accuracy to the
+// approximate accuracy, clamped to [0,100].
+func LossPct(exact, approx float64) float64 {
+	if exact <= 0 {
+		return 0
+	}
+	l := 100 * (exact - approx) / exact
+	if l < 0 {
+		return 0
+	}
+	if l > 100 {
+		return 100
+	}
+	return l
+}
+
+// OverlapLossPct is the search-engine loss: 100*(1-overlap).
+func OverlapLossPct(overlap float64) float64 {
+	return LossPct(1, overlap)
+}
+
+// Series accumulates (time, value) observations into fixed-width time
+// bins and reports per-bin summary statistics — the building block of the
+// paper's fluctuation figures (one bin per minute for Figures 5-6, one
+// per hour for Figures 7-8).
+type Series struct {
+	binMs float64
+	bins  [][]float64
+}
+
+// NewSeries returns a series with n bins of width binMs starting at t=0.
+func NewSeries(binMs float64, n int) *Series {
+	if binMs <= 0 || n <= 0 {
+		panic("metrics: invalid series shape")
+	}
+	return &Series{binMs: binMs, bins: make([][]float64, n)}
+}
+
+// Add records value v at time t (ms). Out-of-range times are dropped.
+func (s *Series) Add(t, v float64) {
+	if t < 0 {
+		return
+	}
+	i := int(t / s.binMs)
+	if i >= len(s.bins) {
+		return
+	}
+	s.bins[i] = append(s.bins[i], v)
+}
+
+// Bins returns the number of bins.
+func (s *Series) Bins() int { return len(s.bins) }
+
+// Count returns the number of observations in bin i.
+func (s *Series) Count(i int) int { return len(s.bins[i]) }
+
+// Percentile returns the p-th percentile of bin i (NaN when empty).
+func (s *Series) Percentile(i int, p float64) float64 {
+	return percentile(s.bins[i], p)
+}
+
+// Mean returns the mean of bin i (NaN when empty).
+func (s *Series) Mean(i int) float64 {
+	if len(s.bins[i]) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.bins[i] {
+		sum += v
+	}
+	return sum / float64(len(s.bins[i]))
+}
+
+// MeanSeries returns per-bin means.
+func (s *Series) MeanSeries() []float64 {
+	out := make([]float64, len(s.bins))
+	for i := range s.bins {
+		out[i] = s.Mean(i)
+	}
+	return out
+}
+
+// PercentileSeries returns per-bin p-th percentiles.
+func (s *Series) PercentileSeries(p float64) []float64 {
+	out := make([]float64, len(s.bins))
+	for i := range s.bins {
+		out[i] = s.Percentile(i, p)
+	}
+	return out
+}
+
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	return stats.PercentileSorted(cp, p)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSkill(t *testing.T) {
+	if got := Skill(0.5, 1.0); got != 0.5 {
+		t.Fatalf("Skill = %v", got)
+	}
+	if got := Skill(0, 1); got != 1 {
+		t.Fatalf("perfect skill = %v", got)
+	}
+	if got := Skill(2, 1); got != 0 {
+		t.Fatal("worse than baseline must floor at 0")
+	}
+	if got := Skill(0.5, 0); got != 0 {
+		t.Fatal("zero baseline must give 0")
+	}
+	if got := Skill(math.NaN(), 1); got != 0 {
+		t.Fatal("NaN RMSE must give 0")
+	}
+}
+
+func TestLossPct(t *testing.T) {
+	if got := LossPct(0.8, 0.6); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("LossPct = %v", got)
+	}
+	if got := LossPct(0.8, 0.9); got != 0 {
+		t.Fatal("improvement must clamp to 0")
+	}
+	if got := LossPct(0.8, -5); got != 100 {
+		t.Fatal("loss must clamp to 100")
+	}
+	if got := LossPct(0, 0.5); got != 0 {
+		t.Fatal("zero exact accuracy must give 0")
+	}
+}
+
+func TestOverlapLossPct(t *testing.T) {
+	if got := OverlapLossPct(0.7); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("OverlapLossPct = %v", got)
+	}
+	if got := OverlapLossPct(1); got != 0 {
+		t.Fatalf("full overlap loss = %v", got)
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(1000, 3)
+	s.Add(0, 10)
+	s.Add(999, 20)
+	s.Add(1000, 30)
+	s.Add(2500, 40)
+	s.Add(5000, 99) // out of range: dropped
+	s.Add(-1, 99)   // out of range: dropped
+	if s.Bins() != 3 {
+		t.Fatalf("Bins = %d", s.Bins())
+	}
+	if s.Count(0) != 2 || s.Count(1) != 1 || s.Count(2) != 1 {
+		t.Fatalf("counts = %d,%d,%d", s.Count(0), s.Count(1), s.Count(2))
+	}
+	if got := s.Mean(0); got != 15 {
+		t.Fatalf("Mean(0) = %v", got)
+	}
+	if got := s.Percentile(0, 100); got != 20 {
+		t.Fatalf("P100(0) = %v", got)
+	}
+}
+
+func TestSeriesEmptyBin(t *testing.T) {
+	s := NewSeries(100, 2)
+	if !math.IsNaN(s.Mean(0)) || !math.IsNaN(s.Percentile(1, 50)) {
+		t.Fatal("empty bins must be NaN")
+	}
+}
+
+func TestSeriesSeries(t *testing.T) {
+	s := NewSeries(10, 2)
+	s.Add(5, 1)
+	s.Add(6, 3)
+	s.Add(15, 5)
+	means := s.MeanSeries()
+	if means[0] != 2 || means[1] != 5 {
+		t.Fatalf("means = %v", means)
+	}
+	p := s.PercentileSeries(50)
+	if p[0] != 2 || p[1] != 5 {
+		t.Fatalf("medians = %v", p)
+	}
+}
+
+func TestSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0, 5)
+}

@@ -1,0 +1,140 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// Item is a (point, ID) pair for bulk loading.
+type Item struct {
+	Point []float64
+	ID    int
+}
+
+// Bulk builds a tree over the items using Sort-Tile-Recursive (STR)
+// packing, which produces well-clustered, depth-balanced trees far faster
+// than repeated insertion. The synopsis builder uses Bulk for initial
+// creation and Insert/Delete for incremental updates.
+func Bulk(dim, min, max int, items []Item) *Tree {
+	t := New(dim, min, max)
+	if len(items) == 0 {
+		return t
+	}
+	for _, it := range items {
+		if len(it.Point) != dim {
+			panic("rtree: bulk item dimension mismatch")
+		}
+	}
+	leaves := packLeaves(dim, max, items)
+	t.size = len(items)
+	level := leaves
+	for len(level) > 1 {
+		level = packInternal(dim, max, level)
+	}
+	t.root = level[0]
+	t.root.parent = nil
+	return t
+}
+
+// packLeaves tiles the items into leaf nodes of up to max entries.
+func packLeaves(dim, max int, items []Item) []*node {
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: PointRect(it.Point), id: it.ID}
+	}
+	groups := strTile(dim, 0, max, entries)
+	leaves := make([]*node, len(groups))
+	for i, g := range groups {
+		leaves[i] = &node{leaf: true, entries: g}
+	}
+	return leaves
+}
+
+// packInternal tiles child nodes into parent nodes of up to max entries.
+func packInternal(dim, max int, children []*node) []*node {
+	entries := make([]entry, len(children))
+	for i, c := range children {
+		entries[i] = entry{rect: mbr(c.entries), child: c}
+	}
+	groups := strTile(dim, 0, max, entries)
+	parents := make([]*node, len(groups))
+	for i, g := range groups {
+		p := &node{leaf: false, entries: g}
+		for _, e := range g {
+			e.child.parent = p
+		}
+		parents[i] = p
+	}
+	return parents
+}
+
+// strTile recursively sorts entries by the center coordinate of dimension
+// d, slices them into vertical slabs, and tiles each slab on the next
+// dimension; at the last dimension it emits runs of up to max entries.
+func strTile(dim, d, max int, entries []entry) [][]entry {
+	if len(entries) <= max {
+		// Copy: entries may be a subslice of a larger shared array, and
+		// every node must own its entry storage (appends during later
+		// dynamic inserts/splits would otherwise clobber sibling nodes).
+		return [][]entry{append([]entry(nil), entries...)}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return center(entries[i].rect, d) < center(entries[j].rect, d)
+	})
+	if d == dim-1 {
+		var out [][]entry
+		for i := 0; i < len(entries); i += max {
+			end := i + max
+			if end > len(entries) {
+				end = len(entries)
+			}
+			out = append(out, append([]entry(nil), entries[i:end]...))
+		}
+		return rebalanceTail(out, max)
+	}
+	// Number of slabs: ceil((n/max)^(1/(dim-d))) per STR.
+	nNodes := int(math.Ceil(float64(len(entries)) / float64(max)))
+	slabs := int(math.Ceil(math.Pow(float64(nNodes), 1/float64(dim-d))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	per := int(math.Ceil(float64(len(entries)) / float64(slabs)))
+	var out [][]entry
+	for i := 0; i < len(entries); i += per {
+		end := i + per
+		if end > len(entries) {
+			end = len(entries)
+		}
+		out = append(out, strTile(dim, d+1, max, entries[i:end])...)
+	}
+	return rebalanceTail(out, max)
+}
+
+// rebalanceTail fixes a final group that is smaller than the minimum fill
+// by borrowing from its neighbour, so bulk-loaded trees satisfy the same
+// occupancy invariant as incrementally built ones.
+func rebalanceTail(groups [][]entry, max int) [][]entry {
+	min := max / 4
+	if min < 1 {
+		min = 1
+	}
+	last := len(groups) - 1
+	if last >= 1 && len(groups[last]) < min {
+		prev := groups[last-1]
+		need := min - len(groups[last])
+		if len(prev)-need >= min {
+			moved := append([]entry(nil), prev[len(prev)-need:]...)
+			groups[last-1] = prev[:len(prev)-need]
+			groups[last] = append(moved, groups[last]...)
+		} else {
+			// Merge the two tail groups when borrowing would underfill.
+			merged := append(append([]entry(nil), prev...), groups[last]...)
+			if len(merged) <= max {
+				groups = append(groups[:last-1], merged)
+			}
+		}
+	}
+	return groups
+}
+
+func center(r Rect, d int) float64 { return (r.Lo[d] + r.Hi[d]) / 2 }

@@ -1,0 +1,64 @@
+package rtree
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants the rest of the
+// system depends on and returns a descriptive error when one is violated:
+//
+//   - the tree is depth-balanced (all leaves at the same depth);
+//   - every internal entry's rectangle equals the MBR of its child;
+//   - node occupancy is within [min,max] except at the root;
+//   - parent pointers are consistent;
+//   - the stored size matches the number of leaf entries.
+//
+// It is exported so that property-based tests in dependent packages can
+// assert tree health after arbitrary operation sequences.
+func (t *Tree) CheckInvariants() error {
+	leafDepth := -1
+	count := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n != t.root {
+			if len(n.entries) < t.min {
+				return fmt.Errorf("rtree: node at depth %d underfull (%d < %d)", depth, len(n.entries), t.min)
+			}
+		}
+		if len(n.entries) > t.max {
+			return fmt.Errorf("rtree: node at depth %d overfull (%d > %d)", depth, len(n.entries), t.max)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for i, e := range n.entries {
+			if e.child == nil {
+				return fmt.Errorf("rtree: internal entry %d has nil child", i)
+			}
+			if e.child.parent != n {
+				return fmt.Errorf("rtree: broken parent pointer at depth %d", depth)
+			}
+			if len(e.child.entries) > 0 {
+				m := mbr(e.child.entries)
+				if !e.rect.Contains(m) {
+					return fmt.Errorf("rtree: entry MBR does not cover child at depth %d", depth)
+				}
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d leaf entries", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package rtree implements the depth-balanced R-tree used by the offline
+// synopsis-management module (DESIGN.md §2, paper §2.2). It supports
+// dynamic insertion (Guttman, quadratic split), deletion with tree
+// condensation, STR bulk loading, range search and — the operation the
+// synopsis builder relies on — enumeration of all nodes at a chosen depth
+// together with the data-point IDs below each node.
+package rtree
+
+import "math"
+
+// Rect is an axis-aligned minimum bounding rectangle in d dimensions.
+type Rect struct {
+	Lo, Hi []float64
+}
+
+// PointRect returns the degenerate rectangle covering a single point.
+func PointRect(p []float64) Rect {
+	lo := make([]float64, len(p))
+	hi := make([]float64, len(p))
+	copy(lo, p)
+	copy(hi, p)
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// NewRect returns a rectangle with the given corners; it panics when the
+// corners disagree in dimension or ordering, which is always a bug.
+func NewRect(lo, hi []float64) Rect {
+	if len(lo) != len(hi) {
+		panic("rtree: corner dimension mismatch")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic("rtree: lo > hi")
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Dim returns the dimensionality of the rectangle.
+func (r Rect) Dim() int { return len(r.Lo) }
+
+// Area returns the d-dimensional volume of the rectangle.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Lo {
+		a *= r.Hi[i] - r.Lo[i]
+	}
+	return a
+}
+
+// Margin returns the sum of edge lengths (used by split heuristics).
+func (r Rect) Margin() float64 {
+	m := 0.0
+	for i := range r.Lo {
+		m += r.Hi[i] - r.Lo[i]
+	}
+	return m
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] || s.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the point p lies inside r (inclusive).
+func (r Rect) ContainsPoint(p []float64) bool {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s overlap (boundary touch counts).
+func (r Rect) Intersects(s Rect) bool {
+	for i := range r.Lo {
+		if s.Hi[i] < r.Lo[i] || s.Lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	lo := make([]float64, len(r.Lo))
+	hi := make([]float64, len(r.Hi))
+	for i := range r.Lo {
+		lo[i] = math.Min(r.Lo[i], s.Lo[i])
+		hi[i] = math.Max(r.Hi[i], s.Hi[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Enlargement returns the area increase needed for r to cover s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() []float64 {
+	c := make([]float64, len(r.Lo))
+	for i := range r.Lo {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+func (r Rect) clone() Rect {
+	lo := make([]float64, len(r.Lo))
+	hi := make([]float64, len(r.Hi))
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return Rect{Lo: lo, Hi: hi}
+}

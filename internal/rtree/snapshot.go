@@ -1,0 +1,70 @@
+package rtree
+
+// Snapshot is a serialization-friendly image of a Tree. The paper stores
+// the R-tree alongside the index file so synopsis updating can resume from
+// it; Snapshot/FromSnapshot give the synopsis layer exactly that without
+// exposing internal node types.
+type Snapshot struct {
+	Dim, Min, Max, Size int
+	Root                *NodeSnapshot
+}
+
+// NodeSnapshot is one node of a Snapshot. Leaves carry the stored points
+// and IDs; internal nodes carry children. Entry MBRs are recomputed on
+// load.
+type NodeSnapshot struct {
+	Leaf     bool
+	IDs      []int
+	Points   [][]float64
+	Children []*NodeSnapshot
+}
+
+// Snapshot captures the tree's current structure.
+func (t *Tree) Snapshot() Snapshot {
+	return Snapshot{
+		Dim:  t.dim,
+		Min:  t.min,
+		Max:  t.max,
+		Size: t.size,
+		Root: snapNode(t.root),
+	}
+}
+
+func snapNode(n *node) *NodeSnapshot {
+	s := &NodeSnapshot{Leaf: n.leaf}
+	if n.leaf {
+		for _, e := range n.entries {
+			s.IDs = append(s.IDs, e.id)
+			s.Points = append(s.Points, append([]float64(nil), e.rect.Lo...))
+		}
+		return s
+	}
+	for _, e := range n.entries {
+		s.Children = append(s.Children, snapNode(e.child))
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a tree with the identical structure (same
+// nodes, same level cut) as the snapshotted one.
+func FromSnapshot(s Snapshot) *Tree {
+	t := New(s.Dim, s.Min, s.Max)
+	t.size = s.Size
+	t.root = unsnapNode(s.Root, nil)
+	return t
+}
+
+func unsnapNode(s *NodeSnapshot, parent *node) *node {
+	n := &node{leaf: s.Leaf, parent: parent}
+	if s.Leaf {
+		for i, id := range s.IDs {
+			n.entries = append(n.entries, entry{rect: PointRect(s.Points[i]), id: id})
+		}
+		return n
+	}
+	for _, cs := range s.Children {
+		child := unsnapNode(cs, n)
+		n.entries = append(n.entries, entry{rect: mbr(child.entries), child: child})
+	}
+	return n
+}

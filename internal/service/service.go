@@ -1,0 +1,360 @@
+// Package service is the live (wall-clock) runtime of the AccuracyTrader
+// reproduction: the same fan-out topology the simulator models — a
+// frontend partitioning each request across n parallel components, each a
+// single-server FIFO worker goroutine, and a composer gathering
+// sub-results — running on real goroutines with context deadlines.
+//
+// The gather policies mirror the compared techniques:
+//
+//   - WaitAll — the Basic behaviour: block until every component replies.
+//   - PartialGather — partial execution: return whatever arrived by the
+//     deadline and skip the rest.
+//   - Hedged — request reissue: when a sub-operation has been outstanding
+//     longer than the estimated p95 sub-operation latency, enqueue a
+//     replica of it on another component and use the quicker reply.
+//
+// AccuracyTrader itself needs no special gather policy: components finish
+// within the deadline by construction (their handler runs Algorithm 1 via
+// core.RunWithDeadline), so WaitAll composes complete results quickly.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accuracytrader/internal/stats"
+)
+
+// Handler processes one sub-operation against one data subset. Handlers
+// must be safe for concurrent use: under hedging, the same subset's
+// handler may run on another component's worker.
+type Handler func(ctx context.Context, payload interface{}) (interface{}, error)
+
+// Policy selects the gather behaviour of Call.
+type Policy int
+
+// Gather policies (see package comment).
+const (
+	WaitAll Policy = iota
+	PartialGather
+	Hedged
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// QueueLen bounds each component's mailbox (default 1024). A full
+	// mailbox makes enqueues fail fast, surfacing overload instead of
+	// buffering it invisibly.
+	QueueLen int
+	// Deadline bounds gathering for PartialGather (and is the default
+	// Call timeout for the other policies; default 1s).
+	Deadline time.Duration
+	// HedgeFloor is the minimum hedge delay before the p95 estimator has
+	// warmed up (default 1ms).
+	HedgeFloor time.Duration
+	// ReplicaOf maps a subset to the component that executes its hedged
+	// replica (default: next component).
+	ReplicaOf func(subset, n int) int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = time.Second
+	}
+	if o.HedgeFloor <= 0 {
+		o.HedgeFloor = time.Millisecond
+	}
+	if o.ReplicaOf == nil {
+		o.ReplicaOf = func(subset, n int) int { return (subset + 1) % n }
+	}
+	return o
+}
+
+// SubResult is one component's reply.
+type SubResult struct {
+	Subset  int
+	Value   interface{}
+	Err     error
+	Latency time.Duration
+	Skipped bool // PartialGather: deadline passed before the reply
+	Hedged  bool // Hedged: a replica was issued for this sub-operation
+}
+
+// ErrQueueFull is reported for a sub-operation whose component mailbox
+// was full at enqueue time.
+var ErrQueueFull = errors.New("service: component queue full")
+
+// ErrClosed is returned by Call after Close.
+var ErrClosed = errors.New("service: cluster closed")
+
+type job struct {
+	handler  Handler
+	payload  interface{}
+	subset   int
+	hedged   *atomic.Bool // set once a replica has been issued for the sub-op
+	enqueued time.Time
+	done     *atomic.Bool
+	reply    chan<- SubResult
+	ctx      context.Context
+}
+
+type component struct {
+	mailbox chan job
+}
+
+// quit signals workers to stop; mailboxes are never closed, so a hedge
+// callback racing with Close can still enqueue harmlessly.
+
+// Cluster is a fan-out service: one worker goroutine per component.
+type Cluster struct {
+	handlers []Handler
+	comps    []*component
+	opts     Options
+	policy   Policy
+
+	// Streaming quantile estimators keep the runtime's memory constant no
+	// matter how long the cluster serves (P², see internal/stats).
+	mu      sync.Mutex
+	p95est  *stats.P2Quantile
+	p999est *stats.P2Quantile
+	subOps  int
+	hedges  int64
+	closed  bool
+	quit    chan struct{}
+	wg      sync.WaitGroup // worker goroutines
+	calls   sync.WaitGroup // in-flight Calls, drained by Close
+	p95ms   atomic.Uint64  // cached estimate, in microseconds
+}
+
+// New starts a cluster with one worker per handler. handlers[i] owns data
+// subset i.
+func New(handlers []Handler, policy Policy, opts Options) (*Cluster, error) {
+	if len(handlers) == 0 {
+		return nil, fmt.Errorf("service: no handlers")
+	}
+	opts = opts.withDefaults()
+	cl := &Cluster{
+		handlers: handlers,
+		opts:     opts,
+		policy:   policy,
+		p95est:   stats.NewP2Quantile(0.95),
+		p999est:  stats.NewP2Quantile(0.999),
+		quit:     make(chan struct{}),
+	}
+	cl.p95ms.Store(uint64(opts.HedgeFloor / time.Microsecond))
+	for range handlers {
+		c := &component{mailbox: make(chan job, opts.QueueLen)}
+		cl.comps = append(cl.comps, c)
+		cl.wg.Add(1)
+		go cl.worker(c)
+	}
+	return cl, nil
+}
+
+// worker drains one component's mailbox sequentially — the single-server
+// FIFO queue of the model.
+func (cl *Cluster) worker(c *component) {
+	defer cl.wg.Done()
+	for {
+		select {
+		case <-cl.quit:
+			return
+		case j := <-c.mailbox:
+			if j.done.Load() {
+				continue // the other replica already answered
+			}
+			v, err := j.handler(j.ctx, j.payload)
+			lat := time.Since(j.enqueued)
+			if j.done.CompareAndSwap(false, true) {
+				cl.recordLatency(lat)
+				hedged := j.hedged != nil && j.hedged.Load()
+				j.reply <- SubResult{Subset: j.subset, Value: v, Err: err, Latency: lat, Hedged: hedged}
+			}
+		}
+	}
+}
+
+func (cl *Cluster) recordLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	cl.mu.Lock()
+	cl.subOps++
+	cl.p95est.Add(ms)
+	cl.p999est.Add(ms)
+	if cl.subOps%16 == 0 {
+		p := cl.p95est.Value()
+		floor := float64(cl.opts.HedgeFloor) / float64(time.Millisecond)
+		if p < floor {
+			p = floor
+		}
+		cl.p95ms.Store(uint64(p * 1000))
+	}
+	cl.mu.Unlock()
+}
+
+// hedgeDelay returns the current reissue trigger delay.
+func (cl *Cluster) hedgeDelay() time.Duration {
+	return time.Duration(cl.p95ms.Load()) * time.Microsecond
+}
+
+// Stats reports cluster-level counters.
+type Stats struct {
+	SubOps int
+	Hedges int64
+	P999Ms float64
+}
+
+// Stats returns a snapshot of the recorded sub-operation statistics.
+// P999Ms is a streaming P² estimate, not an exact percentile.
+func (cl *Cluster) Stats() Stats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	st := Stats{SubOps: cl.subOps, Hedges: atomic.LoadInt64(&cl.hedges)}
+	if st.SubOps > 0 {
+		st.P999Ms = cl.p999est.Value()
+	}
+	return st
+}
+
+// Call fans the payload out to every component and gathers sub-results
+// according to the cluster policy. The returned slice always has one
+// entry per subset, in subset order; skipped or failed sub-operations
+// carry Err/Skipped.
+func (cl *Cluster) Call(ctx context.Context, payload interface{}) ([]SubResult, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cl.calls.Add(1)
+	cl.mu.Unlock()
+	defer cl.calls.Done()
+	n := len(cl.comps)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.opts.Deadline)
+		defer cancel()
+	}
+	reply := make(chan SubResult, 2*n)
+	dones := make([]*atomic.Bool, n)
+	var timers []*time.Timer
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		dones[i] = &atomic.Bool{}
+		j := job{
+			handler:  cl.handlers[i],
+			payload:  payload,
+			subset:   i,
+			hedged:   &atomic.Bool{},
+			enqueued: now,
+			done:     dones[i],
+			reply:    reply,
+			ctx:      ctx,
+		}
+		if !cl.enqueue(i, j) {
+			dones[i].Store(true)
+			reply <- SubResult{Subset: i, Err: ErrQueueFull}
+			continue
+		}
+		if cl.policy == Hedged {
+			timers = append(timers, cl.armHedge(j))
+		}
+	}
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
+
+	out := make([]SubResult, n)
+	got := make([]bool, n)
+	remaining := n
+	var deadlineC <-chan time.Time
+	if cl.policy == PartialGather {
+		t := time.NewTimer(cl.opts.Deadline - time.Since(now))
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	for remaining > 0 {
+		select {
+		case r := <-reply:
+			if !got[r.Subset] {
+				got[r.Subset] = true
+				out[r.Subset] = r
+				remaining--
+			}
+		case <-deadlineC:
+			// Partial execution: skip everything still outstanding. The
+			// components keep working (wasted computation, as in the
+			// paper), but their replies are ignored via the done flags.
+			for i := range got {
+				if !got[i] {
+					dones[i].Store(true)
+					out[i] = SubResult{Subset: i, Skipped: true}
+					remaining--
+				}
+			}
+		case <-ctx.Done():
+			for i := range got {
+				if !got[i] {
+					dones[i].Store(true)
+					out[i] = SubResult{Subset: i, Err: ctx.Err(), Skipped: true}
+					remaining--
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (cl *Cluster) enqueue(comp int, j job) bool {
+	select {
+	case cl.comps[comp].mailbox <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// armHedge schedules the reissue check for one sub-operation.
+func (cl *Cluster) armHedge(j job) *time.Timer {
+	return time.AfterFunc(cl.hedgeDelay(), func() {
+		if j.done.Load() {
+			return
+		}
+		rc := cl.opts.ReplicaOf(j.subset, len(cl.comps))
+		if rc == j.subset {
+			return
+		}
+		// Mark before enqueueing so the replica's own reply (which may win
+		// immediately) already observes the flag.
+		j.hedged.Store(true)
+		if cl.enqueue(rc, j) {
+			atomic.AddInt64(&cl.hedges, 1)
+		} else {
+			j.hedged.Store(false)
+		}
+	})
+}
+
+// Close shuts the cluster down: it waits for in-flight Calls (including
+// their hedge timers' enqueues), processes pending mailbox jobs, then
+// stops the workers. Call returns ErrClosed afterwards.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+	cl.calls.Wait()
+	close(cl.quit)
+	cl.wg.Wait()
+}

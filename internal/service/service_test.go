@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func sleepHandler(d time.Duration, v interface{}) Handler {
+	return func(ctx context.Context, _ interface{}) (interface{}, error) {
+		select {
+		case <-time.After(d):
+			return v, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func TestWaitAllGathersEverything(t *testing.T) {
+	cl, err := New([]Handler{
+		sleepHandler(time.Millisecond, 1),
+		sleepHandler(2*time.Millisecond, 2),
+		sleepHandler(time.Millisecond, 3),
+	}, WaitAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Call(context.Background(), "req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("sub %d: %+v", i, r)
+		}
+		if r.Value.(int) != i+1 {
+			t.Fatalf("sub %d value %v", i, r.Value)
+		}
+		if r.Subset != i {
+			t.Fatalf("order broken: %+v", r)
+		}
+	}
+}
+
+func TestNewRequiresHandlers(t *testing.T) {
+	if _, err := New(nil, WaitAll, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPartialGatherSkipsSlow(t *testing.T) {
+	cl, err := New([]Handler{
+		sleepHandler(time.Millisecond, "fast"),
+		sleepHandler(300*time.Millisecond, "slow"),
+	}, PartialGather, Options{Deadline: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("partial gather blocked for %v", elapsed)
+	}
+	if res[0].Skipped || res[0].Value != "fast" {
+		t.Fatalf("fast sub-op wrong: %+v", res[0])
+	}
+	if !res[1].Skipped {
+		t.Fatalf("slow sub-op not skipped: %+v", res[1])
+	}
+}
+
+func TestHedgedUsesReplica(t *testing.T) {
+	// Subset 0's primary worker is blocked by a long-running job, so the
+	// hedge must reissue subset 0 onto component 1 and win.
+	var calls0 atomic.Int64
+	h0 := func(ctx context.Context, _ interface{}) (interface{}, error) {
+		calls0.Add(1)
+		return "zero", nil
+	}
+	blocker := sleepHandler(150*time.Millisecond, "blocked")
+	cl, err := New([]Handler{h0, sleepHandler(time.Millisecond, "one")}, Hedged,
+		Options{HedgeFloor: 10 * time.Millisecond, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Occupy component 0 with a long job so the real sub-op queues.
+	done := &atomic.Bool{}
+	blockReply := make(chan SubResult, 1)
+	cl.comps[0].mailbox <- job{
+		handler: blocker, subset: 0, done: done, reply: blockReply,
+		enqueued: time.Now(), ctx: context.Background(),
+	}
+	start := time.Now()
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res[0].Err != nil || res[0].Value != "zero" {
+		t.Fatalf("subset 0 result: %+v", res[0])
+	}
+	if !res[0].Hedged {
+		t.Fatalf("subset 0 should have been answered by a hedge: %+v", res[0])
+	}
+	if elapsed > 120*time.Millisecond {
+		t.Fatalf("hedge did not cut latency: %v", elapsed)
+	}
+	if cl.Stats().Hedges == 0 {
+		t.Fatal("no hedges recorded")
+	}
+	<-blockReply
+}
+
+func TestQueueFullFailsFast(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, _ interface{}) (interface{}, error) {
+		<-release
+		return nil, nil
+	}
+	cl, err := New([]Handler{blocking}, WaitAll, Options{QueueLen: 1, Deadline: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the worker and fill the 1-slot mailbox deterministically.
+	reply := make(chan SubResult, 2)
+	for i := 0; i < 2; i++ {
+		cl.comps[0].mailbox <- job{
+			handler: blocking, subset: 0, done: &atomic.Bool{}, reply: reply,
+			enqueued: time.Now(), ctx: context.Background(),
+		}
+	}
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res[0].Err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %+v", res[0])
+	}
+	close(release)
+	<-reply
+	<-reply
+	cl.Close()
+}
+
+func TestContextCancellation(t *testing.T) {
+	cl, err := New([]Handler{sleepHandler(500*time.Millisecond, nil)}, WaitAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := cl.Call(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("cancellation did not unblock Call")
+	}
+	if res[0].Err == nil {
+		t.Fatalf("expected context error: %+v", res[0])
+	}
+}
+
+func TestCloseIdempotentAndRejectsCalls(t *testing.T) {
+	cl, err := New([]Handler{sleepHandler(time.Millisecond, nil)}, WaitAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close()
+	if _, err := cl.Call(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cl, err := New([]Handler{sleepHandler(time.Millisecond, nil), sleepHandler(time.Millisecond, nil)}, WaitAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Call(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cl.Stats()
+	if st.SubOps != 10 {
+		t.Fatalf("SubOps = %d", st.SubOps)
+	}
+	if st.P999Ms <= 0 {
+		t.Fatalf("P999 = %v", st.P999Ms)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	cl, err := New([]Handler{
+		sleepHandler(time.Millisecond, 0),
+		sleepHandler(time.Millisecond, 1),
+		sleepHandler(time.Millisecond, 2),
+		sleepHandler(time.Millisecond, 3),
+	}, WaitAll, Options{QueueLen: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var wg int32 = 20
+	errCh := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func() {
+			_, err := cl.Call(context.Background(), nil)
+			errCh <- err
+			atomic.AddInt32(&wg, -1)
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	cl, err := New([]Handler{func(context.Context, interface{}) (interface{}, error) {
+		return nil, boom
+	}}, WaitAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res[0].Err, boom) {
+		t.Fatalf("error lost: %+v", res[0])
+	}
+}
+
+func TestReplicaOfOverride(t *testing.T) {
+	// Subset 0's fast handler is stuck behind blockers on BOTH its own
+	// worker and the default replica target (component 1). Routing the
+	// replica to component 2 via ReplicaOf is the only way to answer
+	// quickly.
+	fast := sleepHandler(time.Millisecond, "fast")
+	cl, err := New(
+		[]Handler{fast, sleepHandler(time.Millisecond, 1), sleepHandler(time.Millisecond, 2)},
+		Hedged,
+		Options{
+			HedgeFloor: 5 * time.Millisecond,
+			Deadline:   2 * time.Second,
+			ReplicaOf:  func(subset, n int) int { return (subset + 2) % n },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Block workers 0 and 1 with long jobs.
+	blocker := sleepHandler(250*time.Millisecond, "blocked")
+	blockReply := make(chan SubResult, 2)
+	for _, c := range []int{0, 1} {
+		cl.comps[c].mailbox <- job{
+			handler: blocker, subset: c, done: &atomic.Bool{}, hedged: &atomic.Bool{},
+			reply: blockReply, enqueued: time.Now(), ctx: context.Background(),
+		}
+	}
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[0].Value != "fast" {
+		t.Fatalf("subset 0 result: %+v", res[0])
+	}
+	if !res[0].Hedged {
+		t.Fatalf("subset 0 not hedged: %+v", res[0])
+	}
+	// Subset 0's sub-operation must have finished long before the 250ms
+	// blockers cleared — only possible via the ReplicaOf route to the
+	// free component 2 (subset 1's result legitimately takes ~250ms, so
+	// the overall call does too).
+	if res[0].Latency > 150*time.Millisecond {
+		t.Fatalf("replica did not take the ReplicaOf route: %v", res[0].Latency)
+	}
+	<-blockReply
+	<-blockReply
+}
+
+func TestReplicaOfSelfIsSkipped(t *testing.T) {
+	// A replica mapped to the same component would be useless; the hedge
+	// must not fire in that case.
+	cl, err := New([]Handler{sleepHandler(50*time.Millisecond, nil)}, Hedged, Options{
+		HedgeFloor: 2 * time.Millisecond,
+		Deadline:   time.Second,
+		ReplicaOf:  func(subset, n int) int { return subset },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Call(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats().Hedges != 0 {
+		t.Fatal("self-replica hedge fired")
+	}
+}
+
+func TestPartialGatherAllFast(t *testing.T) {
+	// When everything beats the deadline, nothing is skipped and the call
+	// returns as soon as all replies arrive.
+	cl, err := New([]Handler{
+		sleepHandler(time.Millisecond, 1),
+		sleepHandler(time.Millisecond, 2),
+	}, PartialGather, Options{Deadline: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("partial gather waited for the deadline with all replies in")
+	}
+	for _, r := range res {
+		if r.Skipped {
+			t.Fatalf("fast sub-op skipped: %+v", r)
+		}
+	}
+}
+
+func TestHedgeDelayAdaptsToObservedLatency(t *testing.T) {
+	cl, err := New([]Handler{sleepHandler(2*time.Millisecond, nil)}, Hedged, Options{
+		HedgeFloor: time.Millisecond,
+		Deadline:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 200; i++ {
+		if _, err := cl.Call(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After warm-up the estimate must reflect the ~2ms handler, not the
+	// 1ms floor.
+	if d := cl.hedgeDelay(); d < 1500*time.Microsecond {
+		t.Fatalf("hedge delay %v did not adapt upward", d)
+	}
+}

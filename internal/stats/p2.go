@@ -1,0 +1,134 @@
+package stats
+
+import "math"
+
+// P2Quantile is the P² (Jain & Chlamtac 1985) streaming quantile
+// estimator: it maintains five markers and estimates a single quantile in
+// O(1) memory and time per observation. The live service runtime uses it
+// so long-running clusters track p95/p99.9 without retaining samples;
+// the offline experiments keep exact recorders.
+type P2Quantile struct {
+	p     float64
+	n     int
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired positions
+	dWant [5]float64 // desired position increments
+	init  []float64
+}
+
+// NewP2Quantile returns an estimator for the quantile p in (0,1), e.g.
+// 0.95 for p95.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0,1)")
+	}
+	e := &P2Quantile{p: p, init: make([]float64, 0, 5)}
+	e.dWant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add incorporates one observation.
+func (e *P2Quantile) Add(x float64) {
+	e.n++
+	if len(e.init) < 5 {
+		e.init = append(e.init, x)
+		if len(e.init) == 5 {
+			sortFive(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	// Locate the cell containing x and clamp extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dWant[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := sign(d)
+			qNew := e.parabolic(i, s)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic prediction of marker i moved by
+// d (±1).
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Value returns the current quantile estimate (NaN when empty; exact for
+// fewer than five observations).
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if len(e.init) < 5 {
+		cp := append([]float64(nil), e.init...)
+		sortFive(cp)
+		rank := e.p * float64(len(cp)-1)
+		lo := int(rank)
+		if lo >= len(cp)-1 {
+			return cp[len(cp)-1]
+		}
+		frac := rank - float64(lo)
+		return cp[lo]*(1-frac) + cp[lo+1]*frac
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.n }
+
+// sortFive insertion-sorts a tiny slice.
+func sortFive(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

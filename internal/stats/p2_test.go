@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestP2AgainstExact(t *testing.T) {
+	rng := NewRNG(1)
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		e := NewP2Quantile(p)
+		var samples []float64
+		for i := 0; i < 50000; i++ {
+			// Lognormal: the skewed shape latencies actually have.
+			v := rng.LogNormal(3, 0.8)
+			e.Add(v)
+			samples = append(samples, v)
+		}
+		sort.Float64s(samples)
+		exact := PercentileSorted(samples, p*100)
+		got := e.Value()
+		if math.Abs(got-exact)/exact > 0.08 {
+			t.Fatalf("p=%v: P2 %v vs exact %v", p, got, exact)
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("single sample median = %v", e.Value())
+	}
+	e.Add(20)
+	e.Add(30)
+	if got := e.Value(); got != 20 {
+		t.Fatalf("3-sample median = %v", got)
+	}
+	if e.N() != 3 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestP2MonotoneInputs(t *testing.T) {
+	e := NewP2Quantile(0.9)
+	for i := 1; i <= 1000; i++ {
+		e.Add(float64(i))
+	}
+	got := e.Value()
+	if got < 850 || got > 950 {
+		t.Fatalf("p90 of 1..1000 estimated %v", got)
+	}
+}
+
+func TestP2ExtremesClamp(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	for _, v := range []float64{5, 5, 5, 5, 5} {
+		e.Add(v)
+	}
+	e.Add(1000) // new max
+	e.Add(-100) // new min
+	if got := e.Value(); got < -100 || got > 1000 {
+		t.Fatalf("estimate %v escaped observed range", got)
+	}
+}
+
+func TestP2Panics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

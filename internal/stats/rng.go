@@ -1,0 +1,161 @@
+// Package stats provides the deterministic random-number machinery,
+// probability distributions and summary statistics used throughout the
+// AccuracyTrader reproduction.
+//
+// Every stochastic element of the experiments draws from an explicitly
+// seeded RNG so that runs are reproducible bit-for-bit. The generator is
+// xoshiro256**, seeded through splitmix64 as recommended by its authors.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator (xoshiro256**).
+// It is not safe for concurrent use; give each goroutine its own RNG,
+// typically via Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// NewRNG returns a generator seeded from the given seed. Distinct seeds
+// yield independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	return r
+}
+
+// Split derives a new independent generator from r, keyed by id. Two Splits
+// with different ids produce decorrelated streams, which lets experiment
+// code hand one RNG per component or per worker without sharing state.
+func (r *RNG) Split(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id * 0xd1342543de82ef95))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	res := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return res
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Norm returns a normally distributed float64 with mean mu and standard
+// deviation sigma, via the Marsaglia polar method.
+func (r *RNG) Norm(mu, sigma float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mu + sigma*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Exp returns an exponentially distributed float64 with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1-u) / rate
+}
+
+// LogNormal returns a lognormally distributed float64 whose underlying
+// normal has mean mu and standard deviation sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Pareto returns a Pareto(xm, alpha) sample: heavy-tailed with minimum xm.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean. For
+// small means it uses Knuth's product method; for large means a normal
+// approximation with continuity correction, which is accurate enough for
+// workload generation.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := r.Norm(mean, math.Sqrt(mean))
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}

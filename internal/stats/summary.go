@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// Summary accumulates streaming count/mean/variance/min/max using
+// Welford's algorithm, so experiment code can report stable moments
+// without retaining samples.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean (NaN when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance (NaN for fewer than 2 samples).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (NaN when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Histogram is a fixed-width-bucket histogram over [lo, hi); values
+// outside the range are clamped into the first/last bucket. It is used to
+// render the per-minute latency fluctuation panels of Figures 5-7.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int
+	total   int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int, n)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// Buckets returns the raw bucket counts (shared slice).
+func (h *Histogram) Buckets() []int { return h.buckets }
+
+// Total returns the number of values recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketBounds returns the [lo,hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	return h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}

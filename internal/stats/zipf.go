@@ -1,0 +1,49 @@
+package stats
+
+import "math"
+
+// Zipf draws integers in [0,n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the cumulative distribution once so that
+// each draw is a binary search, which keeps corpus generation fast even
+// for vocabularies of hundreds of thousands of terms.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf returns a Zipf sampler over [0,n) with exponent s > 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw returns the next Zipf-distributed rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the support size of the sampler.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,71 @@
+package synopsis
+
+import "sort"
+
+// Ladder holds alternative cuts of one synopsis at several compression
+// ratios, coarse to fine. The paper (§2.3) defers load-adaptive synopsis
+// selection to the authors' SARP line of work; this implements that
+// extension: under heavy load a component can answer from a coarser
+// (cheaper) synopsis and still rank its member sets, trading initial
+// accuracy for initial latency.
+//
+// Ladder cuts are read-only views derived from the current R-tree: they
+// are not tracked across Update calls (rebuild the ladder after updating)
+// and their group IDs are local to the ladder.
+type Ladder struct {
+	Ratios []int
+	Cuts   [][]Group
+}
+
+// BuildLadder computes one cut per compression ratio. Ratios are sorted
+// descending (coarsest first); non-positive ratios are rejected by
+// clamping to 1.
+func (s *Synopsis) BuildLadder(ratios ...int) Ladder {
+	sorted := append([]int(nil), ratios...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	l := Ladder{Ratios: sorted}
+	var id int64
+	for _, ratio := range sorted {
+		if ratio < 1 {
+			ratio = 1
+		}
+		maxAgg := s.tree.Len() / ratio
+		if maxAgg < 1 {
+			maxAgg = 1
+		}
+		cuts := s.tree.CutToTarget(maxAgg)
+		groups := make([]Group, 0, len(cuts))
+		for _, c := range cuts {
+			members := append([]int(nil), c.Members...)
+			sort.Ints(members)
+			groups = append(groups, Group{ID: id, Members: members})
+			id++
+		}
+		l.Cuts = append(l.Cuts, groups)
+	}
+	return l
+}
+
+// Levels returns the number of ladder levels.
+func (l Ladder) Levels() int { return len(l.Cuts) }
+
+// Select picks a ladder level for the given load factor in [0,1]:
+// 0 (idle) selects the finest cut, 1 (saturated) the coarsest. Values
+// outside [0,1] are clamped.
+func (l Ladder) Select(load float64) (level int, groups []Group) {
+	if len(l.Cuts) == 0 {
+		return 0, nil
+	}
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	// Cuts are ordered coarse -> fine; map load 0 -> last (finest).
+	idx := int((1 - load) * float64(len(l.Cuts)))
+	if idx >= len(l.Cuts) {
+		idx = len(l.Cuts) - 1
+	}
+	return idx, l.Cuts[idx]
+}

@@ -1,0 +1,71 @@
+package synopsis
+
+import (
+	"testing"
+
+	"accuracytrader/internal/stats"
+)
+
+func TestBuildLadderShapes(t *testing.T) {
+	rng := stats.NewRNG(30)
+	s, _ := buildTestSynopsis(t, rng, 400)
+	l := s.BuildLadder(8, 40, 100)
+	if l.Levels() != 3 {
+		t.Fatalf("levels = %d", l.Levels())
+	}
+	// Ratios sorted descending: coarsest (100) first.
+	if l.Ratios[0] != 100 || l.Ratios[2] != 8 {
+		t.Fatalf("ratios = %v", l.Ratios)
+	}
+	// Finer levels have at least as many groups.
+	prev := 0
+	for i := range l.Cuts {
+		if len(l.Cuts[i]) < prev {
+			t.Fatalf("level %d has fewer groups (%d) than coarser level (%d)", i, len(l.Cuts[i]), prev)
+		}
+		prev = len(l.Cuts[i])
+		// Every level partitions all points.
+		seen := map[int]bool{}
+		for _, g := range l.Cuts[i] {
+			for _, m := range g.Members {
+				if seen[m] {
+					t.Fatalf("level %d: duplicate member %d", i, m)
+				}
+				seen[m] = true
+			}
+		}
+		if len(seen) != 400 {
+			t.Fatalf("level %d covers %d of 400", i, len(seen))
+		}
+	}
+	// The coarsest level must respect its ratio.
+	if len(l.Cuts[0]) > 400/100+1 {
+		t.Fatalf("coarsest level too fine: %d groups", len(l.Cuts[0]))
+	}
+}
+
+func TestLadderSelect(t *testing.T) {
+	rng := stats.NewRNG(31)
+	s, _ := buildTestSynopsis(t, rng, 400)
+	l := s.BuildLadder(8, 100)
+	lvIdle, fine := l.Select(0)
+	lvSat, coarse := l.Select(1)
+	if lvIdle == lvSat {
+		t.Fatal("idle and saturated selected the same level")
+	}
+	if len(fine) <= len(coarse) {
+		t.Fatalf("idle cut (%d groups) not finer than saturated (%d)", len(fine), len(coarse))
+	}
+	// Clamping.
+	if lv, _ := l.Select(-3); lv != lvIdle {
+		t.Fatal("negative load not clamped")
+	}
+	if lv, _ := l.Select(7); lv != lvSat {
+		t.Fatal("overload not clamped")
+	}
+	// Empty ladder.
+	var empty Ladder
+	if lv, g := empty.Select(0.5); lv != 0 || g != nil {
+		t.Fatal("empty ladder select")
+	}
+}

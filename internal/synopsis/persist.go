@@ -1,0 +1,63 @@
+package synopsis
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"accuracytrader/internal/rtree"
+	"accuracytrader/internal/svd"
+)
+
+// image is the gob wire format of a Synopsis. The R-tree structure is
+// saved verbatim so that updating after a load continues from the exact
+// stored tree, as the paper prescribes ("the R-tree and the index file are
+// stored and they can be used as the starting point of synopsis
+// updating").
+type image struct {
+	Cfg    Config
+	Model  svd.Snapshot
+	Tree   rtree.Snapshot
+	Latent [][]float64
+	Alive  []bool
+	Groups []Group
+	NextID int64
+}
+
+// Save writes the synopsis (SVD model, R-tree, index file) to w.
+func (s *Synopsis) Save(w io.Writer) error {
+	img := image{
+		Cfg:    s.cfg,
+		Model:  s.model.Snapshot(),
+		Tree:   s.tree.Snapshot(),
+		Latent: s.latent,
+		Alive:  s.alive,
+		Groups: s.groups,
+		NextID: s.nextID,
+	}
+	if err := gob.NewEncoder(w).Encode(img); err != nil {
+		return fmt.Errorf("synopsis: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a synopsis previously written with Save.
+func Load(r io.Reader) (*Synopsis, error) {
+	var img image
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("synopsis: load: %w", err)
+	}
+	s := &Synopsis{
+		cfg:    img.Cfg,
+		model:  svd.FromSnapshot(img.Model),
+		tree:   rtree.FromSnapshot(img.Tree),
+		latent: img.Latent,
+		alive:  img.Alive,
+		groups: img.Groups,
+		nextID: img.NextID,
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("synopsis: load: corrupt image: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,126 @@
+package synopsis
+
+import (
+	"sync"
+	"time"
+)
+
+// UpdateScheduler implements the paper's low-priority updating strategy
+// (§3.1): input-data changes are queued, and the periodic updater applies
+// them only when the component is underutilized, "ensuring little
+// interruption to the running service". The resource probe is a callback
+// so services can plug in queue depth, CPU or any utilization signal.
+type UpdateScheduler struct {
+	apply    func([]Change) (UpdateStats, error)
+	busy     func() bool
+	interval time.Duration
+
+	mu      sync.Mutex
+	pending []Change
+	applied int
+	skipped int
+	lastErr error
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewUpdateScheduler creates a scheduler that calls apply with the queued
+// changes every interval, skipping rounds where busy() reports pressure.
+// apply is typically Component.ApplyChanges of the owning application.
+func NewUpdateScheduler(apply func([]Change) (UpdateStats, error), busy func() bool, interval time.Duration) *UpdateScheduler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if busy == nil {
+		busy = func() bool { return false }
+	}
+	return &UpdateScheduler{
+		apply:    apply,
+		busy:     busy,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Enqueue queues changes for the next underutilized period.
+func (u *UpdateScheduler) Enqueue(changes ...Change) {
+	u.mu.Lock()
+	u.pending = append(u.pending, changes...)
+	u.mu.Unlock()
+}
+
+// Pending returns the number of queued changes.
+func (u *UpdateScheduler) Pending() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.pending)
+}
+
+// Stats returns how many changes were applied, how many rounds were
+// skipped for load, and the last apply error (if any).
+func (u *UpdateScheduler) Stats() (applied, skippedRounds int, lastErr error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.applied, u.skipped, u.lastErr
+}
+
+// Start launches the periodic updater goroutine.
+func (u *UpdateScheduler) Start() {
+	go func() {
+		defer close(u.done)
+		ticker := time.NewTicker(u.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-u.stop:
+				return
+			case <-ticker.C:
+				u.tick()
+			}
+		}
+	}()
+}
+
+// tick applies pending changes when the system is idle.
+func (u *UpdateScheduler) tick() {
+	if u.busy() {
+		u.mu.Lock()
+		if len(u.pending) > 0 {
+			u.skipped++
+		}
+		u.mu.Unlock()
+		return
+	}
+	u.Flush()
+}
+
+// Flush applies all queued changes immediately, regardless of load.
+func (u *UpdateScheduler) Flush() {
+	u.mu.Lock()
+	batch := u.pending
+	u.pending = nil
+	u.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	_, err := u.apply(batch)
+	u.mu.Lock()
+	if err != nil {
+		u.lastErr = err
+		// Failed batches are dropped (the owning application decides how
+		// to retry); the error is surfaced via Stats.
+	} else {
+		u.applied += len(batch)
+	}
+	u.mu.Unlock()
+}
+
+// Stop halts the updater; queued changes stay pending (call Flush first
+// to drain them). Stop is idempotent.
+func (u *UpdateScheduler) Stop() {
+	u.once.Do(func() { close(u.stop) })
+	<-u.done
+}

@@ -1,0 +1,135 @@
+package synopsis
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSchedulerAppliesWhenIdle(t *testing.T) {
+	var applied atomic.Int64
+	u := NewUpdateScheduler(func(ch []Change) (UpdateStats, error) {
+		applied.Add(int64(len(ch)))
+		return UpdateStats{}, nil
+	}, func() bool { return false }, 2*time.Millisecond)
+	u.Start()
+	defer u.Stop()
+	u.Enqueue(Change{Kind: Add}, Change{Kind: Add})
+	deadline := time.Now().Add(2 * time.Second)
+	for applied.Load() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if applied.Load() != 2 {
+		t.Fatalf("applied = %d", applied.Load())
+	}
+	a, _, err := u.Stats()
+	if a != 2 || err != nil {
+		t.Fatalf("stats = %d,%v", a, err)
+	}
+}
+
+func TestSchedulerSkipsWhenBusy(t *testing.T) {
+	var busy atomic.Bool
+	busy.Store(true)
+	var applied atomic.Int64
+	u := NewUpdateScheduler(func(ch []Change) (UpdateStats, error) {
+		applied.Add(int64(len(ch)))
+		return UpdateStats{}, nil
+	}, busy.Load, 2*time.Millisecond)
+	u.Start()
+	defer u.Stop()
+	u.Enqueue(Change{Kind: Add})
+	time.Sleep(20 * time.Millisecond)
+	if applied.Load() != 0 {
+		t.Fatal("applied while busy")
+	}
+	if u.Pending() != 1 {
+		t.Fatalf("pending = %d", u.Pending())
+	}
+	_, skipped, _ := u.Stats()
+	if skipped == 0 {
+		t.Fatal("no skipped rounds recorded")
+	}
+	// Load drops: the change must go through.
+	busy.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for applied.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if applied.Load() != 1 {
+		t.Fatal("change not applied after load dropped")
+	}
+}
+
+func TestSchedulerFlushForces(t *testing.T) {
+	var applied atomic.Int64
+	u := NewUpdateScheduler(func(ch []Change) (UpdateStats, error) {
+		applied.Add(int64(len(ch)))
+		return UpdateStats{}, nil
+	}, func() bool { return true }, time.Hour)
+	u.Start()
+	defer u.Stop()
+	u.Enqueue(Change{Kind: Add}, Change{Kind: Modify, Point: 1})
+	u.Flush()
+	if applied.Load() != 2 || u.Pending() != 0 {
+		t.Fatalf("flush: applied=%d pending=%d", applied.Load(), u.Pending())
+	}
+}
+
+func TestSchedulerSurfacesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	u := NewUpdateScheduler(func([]Change) (UpdateStats, error) {
+		return UpdateStats{}, boom
+	}, nil, time.Hour)
+	u.Enqueue(Change{Kind: Add})
+	u.Flush()
+	if _, _, err := u.Stats(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchedulerStopIdempotent(t *testing.T) {
+	u := NewUpdateScheduler(func([]Change) (UpdateStats, error) {
+		return UpdateStats{}, nil
+	}, nil, time.Millisecond)
+	u.Start()
+	u.Stop()
+	u.Stop()
+}
+
+func TestSchedulerEndToEndWithSynopsis(t *testing.T) {
+	// Wire the scheduler to a real synopsis: queued adds land in the
+	// synopsis once the probe reports idle.
+	rng := newTestRNG()
+	s, src := buildTestSynopsis(t, rng, 200)
+	var busy atomic.Bool
+	busy.Store(true)
+	u := NewUpdateScheduler(s.Update, busy.Load, 2*time.Millisecond)
+	u.Start()
+	u.Enqueue(Change{Kind: Add, Cells: src.randomCells(rng)})
+	time.Sleep(10 * time.Millisecond)
+	if a, _, _ := u.Stats(); a != 0 {
+		u.Stop()
+		t.Fatal("update applied while busy")
+	}
+	busy.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if a, _, _ := u.Stats(); a == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The synopsis is single-owner: stop the scheduler before touching it.
+	u.Stop()
+	if a, _, err := u.Stats(); a != 1 || err != nil {
+		t.Fatalf("queued add never applied: applied=%d err=%v", a, err)
+	}
+	if s.NumPoints() != 201 {
+		t.Fatalf("NumPoints = %d", s.NumPoints())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package synopsis
+
+import (
+	"bytes"
+	"testing"
+
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/svd"
+)
+
+// clusterSource is a FeatureSource with k well-separated clusters of
+// points, the structure synopses exploit.
+type clusterSource struct {
+	features [][]svd.Cell
+	nFeat    int
+	cluster  []int
+}
+
+func newClusterSource(rng *stats.RNG, nPoints, nFeat, k int) *clusterSource {
+	cs := &clusterSource{nFeat: nFeat}
+	profiles := make([][]float64, k)
+	for p := range profiles {
+		prof := make([]float64, nFeat)
+		for c := range prof {
+			prof[c] = rng.Norm(0, 2)
+		}
+		profiles[p] = prof
+	}
+	for i := 0; i < nPoints; i++ {
+		cl := i % k
+		cs.cluster = append(cs.cluster, cl)
+		var cells []svd.Cell
+		for c := 0; c < nFeat; c++ {
+			if rng.Float64() < 0.5 {
+				cells = append(cells, svd.Cell{Col: int32(c), Val: profiles[cl][c] + rng.Norm(0, 0.1)})
+			}
+		}
+		if len(cells) == 0 {
+			cells = append(cells, svd.Cell{Col: 0, Val: profiles[cl][0]})
+		}
+		cs.features = append(cs.features, cells)
+	}
+	return cs
+}
+
+func (c *clusterSource) NumPoints() int            { return len(c.features) }
+func (c *clusterSource) NumFeatures() int          { return c.nFeat }
+func (c *clusterSource) Features(i int) []svd.Cell { return c.features[i] }
+func (c *clusterSource) randomCells(rng *stats.RNG) []svd.Cell {
+	var cells []svd.Cell
+	for f := 0; f < c.nFeat; f++ {
+		if rng.Float64() < 0.5 {
+			cells = append(cells, svd.Cell{Col: int32(f), Val: rng.Norm(0, 2)})
+		}
+	}
+	if len(cells) == 0 {
+		cells = []svd.Cell{{Col: 0, Val: 1}}
+	}
+	return cells
+}
+
+func buildTestSynopsis(t *testing.T, rng *stats.RNG, n int) (*Synopsis, *clusterSource) {
+	t.Helper()
+	src := newClusterSource(rng, n, 30, 4)
+	s, err := Build(src, Config{
+		SVD:              svd.Config{Dims: 3, Epochs: 12, Seed: 42},
+		CompressionRatio: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, src
+}
+
+func TestBuildBasics(t *testing.T) {
+	rng := stats.NewRNG(1)
+	s, _ := buildTestSynopsis(t, rng, 400)
+	if s.NumPoints() != 400 {
+		t.Fatalf("NumPoints = %d", s.NumPoints())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Compression: group count must respect the ratio target.
+	if s.NumGroups() > 400/20 {
+		t.Fatalf("too many groups: %d", s.NumGroups())
+	}
+	if s.NumGroups() < 2 {
+		t.Fatalf("too few groups: %d", s.NumGroups())
+	}
+	if ms := s.MeanGroupSize(); ms < 20 {
+		t.Fatalf("mean group size %v below compression ratio", ms)
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	src := &clusterSource{nFeat: 5}
+	if _, err := Build(src, Config{}); err == nil {
+		t.Fatal("expected error for empty source")
+	}
+}
+
+func TestGroupsPartitionPoints(t *testing.T) {
+	rng := stats.NewRNG(2)
+	s, _ := buildTestSynopsis(t, rng, 300)
+	seen := map[int]bool{}
+	for _, g := range s.Groups() {
+		for _, m := range g.Members {
+			if seen[m] {
+				t.Fatalf("point %d appears twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 300 {
+		t.Fatalf("groups cover %d of 300 points", len(seen))
+	}
+}
+
+func TestGroupsClusterPure(t *testing.T) {
+	// With well-separated clusters, most points should share a group only
+	// with same-cluster points (the similarity-preservation property of
+	// paper Fig. 2).
+	rng := stats.NewRNG(3)
+	src := newClusterSource(rng, 800, 30, 4)
+	s, err := Build(src, Config{
+		SVD:              svd.Config{Dims: 3, Epochs: 12, Seed: 42},
+		CompressionRatio: 10, // deep enough cut for group count >> cluster count
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumGroups() < 8 {
+		t.Fatalf("cut too coarse for this test: %d groups", s.NumGroups())
+	}
+	mixedPoints := 0
+	for _, g := range s.Groups() {
+		counts := map[int]int{}
+		for _, m := range g.Members {
+			counts[src.cluster[m]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		mixedPoints += len(g.Members) - best
+	}
+	if mixedPoints > 800*15/100 {
+		t.Fatalf("%d of 800 points grouped with a foreign cluster", mixedPoints)
+	}
+}
+
+func TestUpdateAddNewPoints(t *testing.T) {
+	rng := stats.NewRNG(4)
+	s, src := buildTestSynopsis(t, rng, 300)
+	var changes []Change
+	for i := 0; i < 30; i++ {
+		changes = append(changes, Change{Kind: Add, Cells: src.randomCells(rng)})
+	}
+	st, err := s.Update(changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 30 || len(st.NewPointIDs) != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.NumPoints() != 330 {
+		t.Fatalf("NumPoints = %d", s.NumPoints())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// New point IDs continue after the original range.
+	for i, id := range st.NewPointIDs {
+		if id != 300+i {
+			t.Fatalf("new id %d, want %d", id, 300+i)
+		}
+	}
+}
+
+func TestUpdateKeepsUntouchedGroupIDs(t *testing.T) {
+	rng := stats.NewRNG(5)
+	s, src := buildTestSynopsis(t, rng, 500)
+	before := map[int64]bool{}
+	for _, g := range s.Groups() {
+		before[g.ID] = true
+	}
+	st, err := s.Update([]Change{{Kind: Add, Cells: src.randomCells(rng)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GroupsKept == 0 {
+		t.Fatal("single add invalidated every group")
+	}
+	if st.GroupsKept+st.GroupsReaggregated != s.NumGroups() {
+		t.Fatalf("kept %d + reagg %d != groups %d", st.GroupsKept, st.GroupsReaggregated, s.NumGroups())
+	}
+	kept := 0
+	for _, g := range s.Groups() {
+		if before[g.ID] {
+			kept++
+		}
+	}
+	if kept != st.GroupsKept {
+		t.Fatalf("reported kept=%d but %d IDs survived", st.GroupsKept, kept)
+	}
+	// A single added point should invalidate only a small share of groups.
+	if st.GroupsReaggregated > s.NumGroups()/2 {
+		t.Fatalf("one add re-aggregated %d of %d groups", st.GroupsReaggregated, s.NumGroups())
+	}
+}
+
+func TestUpdateModify(t *testing.T) {
+	rng := stats.NewRNG(6)
+	s, src := buildTestSynopsis(t, rng, 300)
+	st, err := s.Update([]Change{
+		{Kind: Modify, Point: 5, Cells: src.randomCells(rng)},
+		{Kind: Modify, Point: 17, Cells: src.randomCells(rng)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Modified != 2 {
+		t.Fatalf("Modified = %d", st.Modified)
+	}
+	if s.NumPoints() != 300 {
+		t.Fatalf("NumPoints changed to %d", s.NumPoints())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	rng := stats.NewRNG(7)
+	s, _ := buildTestSynopsis(t, rng, 300)
+	st, err := s.Update([]Change{{Kind: Delete, Point: 10}, {Kind: Delete, Point: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 2 || s.NumPoints() != 298 {
+		t.Fatalf("delete failed: %+v points=%d", st, s.NumPoints())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the same point twice errors.
+	if _, err := s.Update([]Change{{Kind: Delete, Point: 10}}); err == nil {
+		t.Fatal("double delete should error")
+	}
+}
+
+func TestUpdateInvalidPoint(t *testing.T) {
+	rng := stats.NewRNG(8)
+	s, src := buildTestSynopsis(t, rng, 100)
+	if _, err := s.Update([]Change{{Kind: Modify, Point: 1000, Cells: src.randomCells(rng)}}); err == nil {
+		t.Fatal("modify of absent point should error")
+	}
+	if _, err := s.Update([]Change{{Kind: Kind(99), Point: 0}}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestAddCheaperThanModify(t *testing.T) {
+	// The paper's Fig. 3 observation: adding new points only inserts R-tree
+	// leaves while changing points deletes and re-inserts, so adds must
+	// invalidate no more groups than changes at equal volume.
+	rng := stats.NewRNG(9)
+	sAdd, src := buildTestSynopsis(t, rng, 600)
+	sMod, _ := buildTestSynopsis(t, stats.NewRNG(9), 600)
+	var adds, mods []Change
+	for i := 0; i < 60; i++ {
+		adds = append(adds, Change{Kind: Add, Cells: src.randomCells(rng)})
+		mods = append(mods, Change{Kind: Modify, Point: i * 7 % 600, Cells: src.randomCells(rng)})
+	}
+	stAdd, err := sAdd.Update(adds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stMod, err := sMod.Update(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stAdd.GroupsReaggregated > stMod.GroupsReaggregated+3 {
+		t.Fatalf("adds invalidated %d groups, changes %d", stAdd.GroupsReaggregated, stMod.GroupsReaggregated)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(10)
+	s, src := buildTestSynopsis(t, rng, 300)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPoints() != s.NumPoints() || loaded.NumGroups() != s.NumGroups() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			loaded.NumPoints(), loaded.NumGroups(), s.NumPoints(), s.NumGroups())
+	}
+	// Group identity must survive the round trip exactly.
+	for i, g := range s.Groups() {
+		lg := loaded.Groups()[i]
+		if lg.ID != g.ID || len(lg.Members) != len(g.Members) {
+			t.Fatalf("group %d changed", i)
+		}
+		for j := range g.Members {
+			if lg.Members[j] != g.Members[j] {
+				t.Fatalf("group %d member %d changed", i, j)
+			}
+		}
+	}
+	// The loaded synopsis must keep updating incrementally: a single add
+	// keeps most group IDs.
+	st, err := loaded.Update([]Change{{Kind: Add, Cells: src.randomCells(rng)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GroupsKept == 0 {
+		t.Fatal("loaded synopsis lost group identity on update")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a synopsis"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestUpdateSequenceInvariantsProperty(t *testing.T) {
+	rng := stats.NewRNG(11)
+	s, src := buildTestSynopsis(t, rng, 200)
+	live := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		live[i] = true
+	}
+	next := 200
+	for step := 0; step < 25; step++ {
+		var ch Change
+		switch rng.Intn(3) {
+		case 0:
+			ch = Change{Kind: Add, Cells: src.randomCells(rng)}
+			live[next] = true
+			next++
+		case 1:
+			ch = Change{Kind: Modify, Point: pickLive(rng, live), Cells: src.randomCells(rng)}
+		default:
+			p := pickLive(rng, live)
+			ch = Change{Kind: Delete, Point: p}
+			delete(live, p)
+		}
+		if _, err := s.Update([]Change{ch}); err != nil {
+			t.Fatalf("step %d (%+v): %v", step, ch.Kind, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if s.NumPoints() != len(live) {
+			t.Fatalf("step %d: %d points, want %d", step, s.NumPoints(), len(live))
+		}
+	}
+}
+
+func pickLive(rng *stats.RNG, live map[int]bool) int {
+	keys := make([]int, 0, len(live))
+	for k := range live {
+		keys = append(keys, k)
+	}
+	// Deterministic order before the random pick.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys[rng.Intn(len(keys))]
+}
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(777) }

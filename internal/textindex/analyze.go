@@ -1,0 +1,49 @@
+// Package textindex implements the web search engine substrate of the
+// paper (§3.2): a Lucene-style inverted index with classic TF-IDF
+// similarity scoring, top-k retrieval, incremental document updates, and
+// the AccuracyTrader integration — aggregated web pages merged from
+// synopsis groups and an Algorithm 1 engine that retrieves from the
+// synopsis first and then refines with the original pages of the highest
+// scoring groups.
+package textindex
+
+import "strings"
+
+// stopwords is a small English stopword list, matching the kind of
+// analysis Lucene's StandardAnalyzer performs.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "if": true, "in": true,
+	"into": true, "is": true, "it": true, "no": true, "not": true, "of": true,
+	"on": true, "or": true, "such": true, "that": true, "the": true,
+	"their": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// Tokenize lowercases text, splits it on non-alphanumeric runes and drops
+// stopwords and single-character tokens.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 1 {
+			tok := b.String()
+			if !stopwords[tok] {
+				tokens = append(tokens, tok)
+			}
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,262 @@
+package textindex
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"accuracytrader/internal/synopsis"
+)
+
+// AggregatedPage is one synopsis point for text data: the paper's step-3
+// aggregation merges the member pages' contents, so its term vector is the
+// element-wise sum of the members' and its length their total length.
+type AggregatedPage struct {
+	GroupID int64
+	Terms   []TermFreq // sorted by term
+	Len     int
+	Members []int
+}
+
+// aggregatePage merges the member documents of one group.
+func aggregatePage(ix *Index, groupID int64, members []int) AggregatedPage {
+	freqs := make(map[int32]int32)
+	length := 0
+	for _, d := range members {
+		for _, e := range ix.docTerms[d] {
+			freqs[e.Term] += e.Freq
+		}
+		length += ix.docLen[d]
+	}
+	ap := AggregatedPage{GroupID: groupID, Members: members, Len: length}
+	for t, f := range freqs {
+		ap.Terms = append(ap.Terms, TermFreq{Term: t, Freq: f})
+	}
+	sort.Slice(ap.Terms, func(i, j int) bool { return ap.Terms[i].Term < ap.Terms[j].Term })
+	return ap
+}
+
+// Score computes the aggregated page's similarity to a query using the
+// same classic TF-IDF formula as real pages (idf from the backing index).
+func (ap AggregatedPage) Score(ix *Index, q Query) float64 {
+	sum := 0.0
+	matched := 0
+	for qi, t := range q.Terms {
+		k := sort.Search(len(ap.Terms), func(i int) bool { return ap.Terms[i].Term >= t })
+		if k < len(ap.Terms) && ap.Terms[k].Term == t {
+			sum += math.Sqrt(float64(ap.Terms[k].Freq)) * q.idf2[qi]
+			matched++
+		}
+	}
+	return ix.finalScore(sum, matched, len(q.Terms), ap.Len)
+}
+
+// Component is one parallel service component of the search engine: its
+// index subset plus the synopsis and cached aggregated pages.
+type Component struct {
+	Ix   *Index
+	Syn  *synopsis.Synopsis
+	Aggs []AggregatedPage
+}
+
+// BuildComponent creates the component's synopsis and aggregates every
+// group.
+func BuildComponent(ix *Index, cfg synopsis.Config) (*Component, error) {
+	syn, err := synopsis.Build(FeatureSource{Ix: ix}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Component{Ix: ix, Syn: syn}
+	c.reaggregate(nil)
+	return c, nil
+}
+
+func (c *Component) reaggregate(prev map[int64]AggregatedPage) {
+	c.Aggs = AggregatePages(c.Ix, c.Syn.Groups(), prev)
+}
+
+// AggregatePages performs step 3 (content merging) for all groups in
+// parallel across CPU cores — the in-process substitute for the paper's
+// Spark-based distributed aggregation (§3.1). Groups present in prev (by
+// ID) reuse their cached aggregate.
+func AggregatePages(ix *Index, groups []synopsis.Group, prev map[int64]AggregatedPage) []AggregatedPage {
+	aggs := make([]AggregatedPage, len(groups))
+	var todo []int
+	for i, g := range groups {
+		if ap, ok := prev[g.ID]; ok {
+			aggs[i] = ap
+			continue
+		}
+		todo = append(todo, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, i := range todo {
+			aggs[i] = aggregatePage(ix, groups[i].ID, groups[i].Members)
+		}
+		return aggs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				aggs[i] = aggregatePage(ix, groups[i].ID, groups[i].Members)
+			}
+		}()
+	}
+	for _, i := range todo {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return aggs
+}
+
+// ApplyChanges routes input-data changes through the synopsis updater and
+// re-aggregates only changed groups. The index must already reflect the
+// changes (Add/Update/Delete) before calling.
+func (c *Component) ApplyChanges(changes []synopsis.Change) (synopsis.UpdateStats, error) {
+	prev := make(map[int64]AggregatedPage, len(c.Aggs))
+	for _, ap := range c.Aggs {
+		prev[ap.GroupID] = ap
+	}
+	st, err := c.Syn.Update(changes)
+	if err != nil {
+		return st, err
+	}
+	c.reaggregate(prev)
+	return st, nil
+}
+
+// SynopsisSize returns the number of aggregated pages.
+func (c *Component) SynopsisSize() int { return len(c.Aggs) }
+
+// GroupSize returns the number of member pages of group g (the
+// simulator's unit of improvement work).
+func (c *Component) GroupSize(g int) int { return len(c.Aggs[g].Members) }
+
+// Engine runs Algorithm 1 for one search request on one component. The
+// correlation of an aggregated page is its similarity score to the query
+// (paper §2.3: a higher aggregated score means the member pages have
+// higher scores on average and are likelier to hold actual top-k pages).
+type Engine struct {
+	Comp *Component
+	Q    Query
+
+	aggScores []float64
+	processed []bool
+	scored    []Hit
+}
+
+// NewEngine prepares an engine for a parsed query.
+func NewEngine(c *Component, q Query) *Engine {
+	return &Engine{Comp: c, Q: q}
+}
+
+// ProcessSynopsis scores every aggregated page and returns those scores as
+// the correlation estimates.
+func (e *Engine) ProcessSynopsis() []float64 {
+	m := len(e.Comp.Aggs)
+	e.aggScores = make([]float64, m)
+	e.processed = make([]bool, m)
+	for g, ap := range e.Comp.Aggs {
+		e.aggScores[g] = ap.Score(e.Comp.Ix, e.Q)
+	}
+	return append([]float64(nil), e.aggScores...)
+}
+
+// ProcessSet improves the result by scoring group g's original pages
+// exactly.
+func (e *Engine) ProcessSet(g int) {
+	if e.processed[g] {
+		return
+	}
+	e.processed[g] = true
+	for _, d := range e.Comp.Aggs[g].Members {
+		if s := e.Comp.Ix.ScoreDoc(e.Q, d); s > 0 {
+			e.scored = append(e.scored, Hit{Doc: d, Score: s})
+		}
+	}
+}
+
+// TopK returns the component's current best-k result: exactly scored
+// pages first; if fewer than k, the remainder is filled with member pages
+// of the best unprocessed aggregated pages in descending aggregated score
+// (the synopsis-only initial result of Algorithm 1 line 1).
+func (e *Engine) TopK(k int) []Hit {
+	hits := append([]Hit(nil), e.scored...)
+	SortHits(hits)
+	if len(hits) > k {
+		return hits[:k]
+	}
+	// Fill from unprocessed groups by aggregated rank.
+	order := make([]int, 0, len(e.aggScores))
+	for g := range e.aggScores {
+		if !e.processed[g] && e.aggScores[g] > 0 {
+			order = append(order, g)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if e.aggScores[order[a]] != e.aggScores[order[b]] {
+			return e.aggScores[order[a]] > e.aggScores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for _, g := range order {
+		for _, d := range e.Comp.Aggs[g].Members {
+			if !e.Comp.Ix.Alive(d) {
+				continue
+			}
+			// Filler pages carry the aggregated score as an estimate.
+			hits = append(hits, Hit{Doc: d, Score: e.aggScores[g]})
+			if len(hits) >= k {
+				return hits[:k]
+			}
+		}
+	}
+	return hits
+}
+
+// ExactTopK is the component's exact result over its whole subset.
+func ExactTopK(c *Component, q Query, k int) []Hit {
+	return c.Ix.Search(q, k)
+}
+
+// TopKOverlap returns the fraction of the actual top-k documents present
+// in the retrieved hits — the paper's search accuracy metric.
+func TopKOverlap(actual, retrieved []Hit) float64 {
+	if len(actual) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(retrieved))
+	for _, h := range retrieved {
+		in[h.Doc] = true
+	}
+	n := 0
+	for _, h := range actual {
+		if in[h.Doc] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(actual))
+}
+
+// MergeTopK merges per-component hit lists into a global top-k.
+func MergeTopK(parts [][]Hit, k int) []Hit {
+	var all []Hit
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	SortHits(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,0 +1,257 @@
+package textindex
+
+import (
+	"math"
+	"sort"
+
+	"accuracytrader/internal/svd"
+)
+
+// Posting is one (document, term frequency) pair in a postings list.
+type Posting struct {
+	Doc int32
+	TF  int32
+}
+
+// TermFreq is one (term, frequency) pair of a document's term vector.
+type TermFreq struct {
+	Term int32
+	Freq int32
+}
+
+// Index is an inverted index with Lucene-classic TF-IDF scoring:
+//
+//	score(q,d) = coord(q,d) * sum_t sqrt(tf(t,d)) * idf(t)^2 / sqrt(len(d))
+//
+// with idf(t) = 1 + ln(N/(df(t)+1)). The query norm is omitted as it is
+// constant per query and does not affect ranking. Documents can be added,
+// updated in place and deleted, supporting the synopsis updater's
+// "changed web pages" scenario.
+type Index struct {
+	vocab    map[string]int32
+	terms    []string
+	postings [][]Posting // per term, sorted by doc
+	docTerms [][]TermFreq
+	docLen   []int
+	alive    []bool
+	live     int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{vocab: make(map[string]int32)}
+}
+
+// NumDocs returns the number of live documents.
+func (ix *Index) NumDocs() int { return ix.live }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// DocLen returns the token count of document d.
+func (ix *Index) DocLen(d int) int { return ix.docLen[d] }
+
+// Alive reports whether document d exists and is not deleted.
+func (ix *Index) Alive(d int) bool { return d >= 0 && d < len(ix.alive) && ix.alive[d] }
+
+// TermID returns the id of a term, if known.
+func (ix *Index) TermID(term string) (int32, bool) {
+	id, ok := ix.vocab[term]
+	return id, ok
+}
+
+// Add indexes a document and returns its id.
+func (ix *Index) Add(text string) int {
+	doc := len(ix.docTerms)
+	ix.docTerms = append(ix.docTerms, nil)
+	ix.docLen = append(ix.docLen, 0)
+	ix.alive = append(ix.alive, true)
+	ix.live++
+	ix.setDoc(doc, text)
+	return doc
+}
+
+// Update replaces document d's contents in place (a changed web page).
+func (ix *Index) Update(d int, text string) {
+	if !ix.Alive(d) {
+		panic("textindex: Update of dead document")
+	}
+	ix.removePostings(d)
+	ix.setDoc(d, text)
+}
+
+// Delete removes document d.
+func (ix *Index) Delete(d int) {
+	if !ix.Alive(d) {
+		panic("textindex: Delete of dead document")
+	}
+	ix.removePostings(d)
+	ix.docTerms[d] = nil
+	ix.docLen[d] = 0
+	ix.alive[d] = false
+	ix.live--
+}
+
+func (ix *Index) setDoc(d int, text string) {
+	tokens := Tokenize(text)
+	freqs := make(map[int32]int32)
+	for _, tok := range tokens {
+		id, ok := ix.vocab[tok]
+		if !ok {
+			id = int32(len(ix.terms))
+			ix.vocab[tok] = id
+			ix.terms = append(ix.terms, tok)
+			ix.postings = append(ix.postings, nil)
+		}
+		freqs[id]++
+	}
+	tv := make([]TermFreq, 0, len(freqs))
+	for t, f := range freqs {
+		tv = append(tv, TermFreq{Term: t, Freq: f})
+	}
+	sort.Slice(tv, func(i, j int) bool { return tv[i].Term < tv[j].Term })
+	ix.docTerms[d] = tv
+	ix.docLen[d] = len(tokens)
+	for _, e := range tv {
+		ix.insertPosting(e.Term, Posting{Doc: int32(d), TF: e.Freq})
+	}
+}
+
+func (ix *Index) insertPosting(term int32, p Posting) {
+	ps := ix.postings[term]
+	k := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= p.Doc })
+	ps = append(ps, Posting{})
+	copy(ps[k+1:], ps[k:])
+	ps[k] = p
+	ix.postings[term] = ps
+}
+
+func (ix *Index) removePostings(d int) {
+	for _, e := range ix.docTerms[d] {
+		ps := ix.postings[e.Term]
+		k := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= int32(d) })
+		if k < len(ps) && ps[k].Doc == int32(d) {
+			ix.postings[e.Term] = append(ps[:k], ps[k+1:]...)
+		}
+	}
+}
+
+// IDF returns the inverse document frequency of a term id.
+func (ix *Index) IDF(term int32) float64 {
+	df := len(ix.postings[term])
+	return 1 + math.Log(float64(ix.live)/(float64(df)+1))
+}
+
+// Query is an analyzed query: the known term ids of its tokens.
+type Query struct {
+	Terms []int32
+	idf2  []float64
+}
+
+// ParseQuery analyzes raw query text against the index vocabulary;
+// out-of-vocabulary tokens are dropped, duplicates kept (they boost the
+// term like Lucene does).
+func (ix *Index) ParseQuery(text string) Query {
+	var q Query
+	for _, tok := range Tokenize(text) {
+		if id, ok := ix.vocab[tok]; ok {
+			q.Terms = append(q.Terms, id)
+			idf := ix.IDF(id)
+			q.idf2 = append(q.idf2, idf*idf)
+		}
+	}
+	return q
+}
+
+// Hit is one retrieved document with its similarity score.
+type Hit struct {
+	Doc   int
+	Score float64
+}
+
+// Search scores all live documents against the query and returns the top
+// k hits in descending score order (ties: ascending doc id) — the exact
+// full computation the baselines perform.
+func (ix *Index) Search(q Query, k int) []Hit {
+	scores := make(map[int32]float64)
+	matched := make(map[int32]int)
+	for qi, t := range q.Terms {
+		for _, p := range ix.postings[t] {
+			scores[p.Doc] += math.Sqrt(float64(p.TF)) * q.idf2[qi]
+			matched[p.Doc]++
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		if !ix.alive[doc] {
+			continue
+		}
+		hits = append(hits, Hit{Doc: int(doc), Score: ix.finalScore(s, matched[doc], len(q.Terms), ix.docLen[doc])})
+	}
+	SortHits(hits)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// ScoreDoc scores a single live document against the query (0 when no
+// term matches).
+func (ix *Index) ScoreDoc(q Query, d int) float64 {
+	if !ix.Alive(d) {
+		return 0
+	}
+	tv := ix.docTerms[d]
+	sum := 0.0
+	matched := 0
+	for qi, t := range q.Terms {
+		k := sort.Search(len(tv), func(i int) bool { return tv[i].Term >= t })
+		if k < len(tv) && tv[k].Term == t {
+			sum += math.Sqrt(float64(tv[k].Freq)) * q.idf2[qi]
+			matched++
+		}
+	}
+	return ix.finalScore(sum, matched, len(q.Terms), ix.docLen[d])
+}
+
+// finalScore applies the coord factor and the length norm.
+func (ix *Index) finalScore(sum float64, matched, qLen, docLen int) float64 {
+	if sum == 0 || qLen == 0 || docLen == 0 {
+		return 0
+	}
+	coord := float64(matched) / float64(qLen)
+	return coord * sum / math.Sqrt(float64(docLen))
+}
+
+// SortHits orders hits by descending score, breaking ties by ascending
+// doc id for determinism.
+func SortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+}
+
+// FeatureSource adapts the index to synopsis building: each document is a
+// data point whose sparse features are term occurrence counts (paper
+// §2.2 step 1, text datasets).
+type FeatureSource struct{ Ix *Index }
+
+// NumPoints returns the number of documents ever added (dead ones keep
+// their slot with an empty feature vector).
+func (f FeatureSource) NumPoints() int { return len(f.Ix.docTerms) }
+
+// NumFeatures returns the vocabulary size.
+func (f FeatureSource) NumFeatures() int { return f.Ix.NumTerms() }
+
+// Features returns document i's term counts as SVD cells.
+func (f FeatureSource) Features(i int) []svd.Cell {
+	tv := f.Ix.docTerms[i]
+	cells := make([]svd.Cell, len(tv))
+	for k, e := range tv {
+		cells[k] = svd.Cell{Col: e.Term, Val: float64(e.Freq)}
+	}
+	return cells
+}

@@ -1,0 +1,198 @@
+// Package vmath provides the small dense/sparse vector kernels shared by
+// the SVD, R-tree, collaborative-filtering and text-index substrates.
+package vmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of two equal-length dense vectors.
+// It panics on a length mismatch because that is always a programming
+// error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vmath: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Cosine returns the cosine similarity of a and b, or 0 when either has
+// zero norm.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Dist2 returns the squared Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vmath: Dist2 length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	return math.Sqrt(Dist2(a, b))
+}
+
+// Scale multiplies v in place by k and returns it.
+func Scale(v []float64, k float64) []float64 {
+	for i := range v {
+		v[i] *= k
+	}
+	return v
+}
+
+// AddTo adds src into dst element-wise (dst += src) and returns dst.
+func AddTo(dst, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic("vmath: AddTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}
+
+// SparseVec is a sparse vector stored as parallel index/value slices with
+// strictly increasing indices. The zero value is an empty vector.
+type SparseVec struct {
+	Idx []int32
+	Val []float64
+}
+
+// NewSparseVec builds a sparse vector from an index->value map.
+func NewSparseVec(m map[int32]float64) SparseVec {
+	sv := SparseVec{
+		Idx: make([]int32, 0, len(m)),
+		Val: make([]float64, 0, len(m)),
+	}
+	for i := range m {
+		sv.Idx = append(sv.Idx, i)
+	}
+	sort.Slice(sv.Idx, func(a, b int) bool { return sv.Idx[a] < sv.Idx[b] })
+	for _, i := range sv.Idx {
+		sv.Val = append(sv.Val, m[i])
+	}
+	return sv
+}
+
+// Len returns the number of stored (non-zero) entries.
+func (s SparseVec) Len() int { return len(s.Idx) }
+
+// Get returns the value at index i, or 0 when absent.
+func (s SparseVec) Get(i int32) (float64, bool) {
+	k := sort.Search(len(s.Idx), func(j int) bool { return s.Idx[j] >= i })
+	if k < len(s.Idx) && s.Idx[k] == i {
+		return s.Val[k], true
+	}
+	return 0, false
+}
+
+// DotSparse returns the inner product of two sparse vectors via merge.
+func DotSparse(a, b SparseVec) float64 {
+	s := 0.0
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// NormSparse returns the Euclidean norm of a sparse vector.
+func NormSparse(a SparseVec) float64 {
+	s := 0.0
+	for _, v := range a.Val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSparse returns cosine similarity of two sparse vectors (0 when
+// either norm is zero).
+func CosineSparse(a, b SparseVec) float64 {
+	na, nb := NormSparse(a), NormSparse(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return DotSparse(a, b) / (na * nb)
+}
+
+// Pearson returns the Pearson correlation coefficient of the co-rated
+// pairs (x[i], y[i]). The slices must have equal length; fewer than two
+// pairs, or zero variance on either side, yields 0.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vmath: Pearson length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp rounding noise so callers can rely on [-1,1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}

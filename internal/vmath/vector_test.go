@@ -1,0 +1,168 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accuracytrader/internal/stats"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNormAndDist(t *testing.T) {
+	if !almostEq(Norm([]float64{3, 4}), 5) {
+		t.Fatal("Norm")
+	}
+	if !almostEq(Dist([]float64{0, 0}, []float64{3, 4}), 5) {
+		t.Fatal("Dist")
+	}
+	if !almostEq(Dist2([]float64{1, 1}, []float64{2, 3}), 5) {
+		t.Fatal("Dist2")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if !almostEq(Cosine([]float64{1, 0}, []float64{1, 0}), 1) {
+		t.Fatal("parallel")
+	}
+	if !almostEq(Cosine([]float64{1, 0}, []float64{0, 1}), 0) {
+		t.Fatal("orthogonal")
+	}
+	if !almostEq(Cosine([]float64{1, 0}, []float64{-1, 0}), -1) {
+		t.Fatal("antiparallel")
+	}
+	if Cosine([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Fatal("zero norm should give 0")
+	}
+}
+
+func TestScaleAddToMeanClone(t *testing.T) {
+	v := Scale([]float64{1, 2}, 3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("Scale = %v", v)
+	}
+	AddTo(v, []float64{1, 1})
+	if v[0] != 4 || v[1] != 7 {
+		t.Fatalf("AddTo = %v", v)
+	}
+	if !almostEq(Mean(v), 5.5) {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean empty")
+	}
+	c := Clone(v)
+	c[0] = 99
+	if v[0] == 99 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestSparseVec(t *testing.T) {
+	sv := NewSparseVec(map[int32]float64{5: 2, 1: 3, 9: -1})
+	if sv.Len() != 3 {
+		t.Fatalf("Len = %d", sv.Len())
+	}
+	for i := 1; i < sv.Len(); i++ {
+		if sv.Idx[i-1] >= sv.Idx[i] {
+			t.Fatalf("indices not strictly increasing: %v", sv.Idx)
+		}
+	}
+	if v, ok := sv.Get(5); !ok || v != 2 {
+		t.Fatalf("Get(5) = %v,%v", v, ok)
+	}
+	if _, ok := sv.Get(4); ok {
+		t.Fatal("Get(4) should miss")
+	}
+}
+
+func TestDotSparse(t *testing.T) {
+	a := NewSparseVec(map[int32]float64{1: 2, 3: 4, 7: 1})
+	b := NewSparseVec(map[int32]float64{3: 5, 7: 2, 8: 9})
+	if got := DotSparse(a, b); got != 22 {
+		t.Fatalf("DotSparse = %v", got)
+	}
+}
+
+func TestCosineSparseMatchesDense(t *testing.T) {
+	a := NewSparseVec(map[int32]float64{0: 1, 2: 2})
+	b := NewSparseVec(map[int32]float64{0: 2, 1: 1, 2: 4})
+	dense := Cosine([]float64{1, 0, 2}, []float64{2, 1, 4})
+	if !almostEq(CosineSparse(a, b), dense) {
+		t.Fatalf("sparse %v dense %v", CosineSparse(a, b), dense)
+	}
+	if CosineSparse(SparseVec{}, b) != 0 {
+		t.Fatal("empty sparse cosine should be 0")
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	// Perfect positive and negative correlation.
+	if !almostEq(Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}), 1) {
+		t.Fatal("perfect positive")
+	}
+	if !almostEq(Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}), -1) {
+		t.Fatal("perfect negative")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("zero variance must give 0")
+	}
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("single pair must give 0")
+	}
+}
+
+func TestPearsonRangeProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(seed uint32, n uint8) bool {
+		r := rng.Split(uint64(seed))
+		m := int(n%40) + 2
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := 0; i < m; i++ {
+			xs[i] = r.Norm(0, 100)
+			ys[i] = r.Norm(0, 100)
+		}
+		p := Pearson(xs, ys)
+		return p >= -1 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonSymmetry(t *testing.T) {
+	x := []float64{1, 4, 2, 8, 5, 7}
+	y := []float64{2, 3, 1, 9, 4, 6}
+	if !almostEq(Pearson(x, y), Pearson(y, x)) {
+		t.Fatal("Pearson not symmetric")
+	}
+}
+
+func TestPearsonShiftScaleInvariance(t *testing.T) {
+	x := []float64{1, 4, 2, 8, 5, 7}
+	y := []float64{2, 3, 1, 9, 4, 6}
+	x2 := make([]float64, len(x))
+	for i, v := range x {
+		x2[i] = 3*v + 10
+	}
+	if !almostEq(Pearson(x, y), Pearson(x2, y)) {
+		t.Fatal("Pearson not invariant to positive affine transform")
+	}
+}

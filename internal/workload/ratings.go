@@ -1,0 +1,173 @@
+// Package workload generates the evaluation workloads of the paper:
+// a MovieLens-like clustered rating dataset for the CF recommender, a
+// Sogou-like topical web corpus and query stream for the search engine,
+// and the arrival processes — fixed-rate Poisson for Tables 1-2 and a
+// 24-hour diurnal pattern shaped like the Sogou query log for Figures 5-8.
+//
+// Substitution note (DESIGN.md §3): the real MovieLens/Sogou datasets are
+// replaced by generators that reproduce the structural properties the
+// experiments depend on — clusters of like-minded users / topically
+// similar pages (so synopses aggregate meaningfully) and realistic
+// diurnal load shapes. All accuracy numbers are computed by running the
+// real CF/search implementations on this data.
+package workload
+
+import (
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/stats"
+)
+
+// RatingsConfig shapes the synthetic rating data.
+type RatingsConfig struct {
+	UsersPerSubset int     // paper: ~4000
+	Items          int     // item-space size; paper: ~1000 per subset
+	Clusters       int     // latent taste clusters
+	Density        float64 // fraction of items each user rates
+	Noise          float64 // rating noise sigma
+	Seed           uint64
+}
+
+// DefaultRatingsConfig returns a laptop-scale rating workload with the
+// paper's structure.
+func DefaultRatingsConfig() RatingsConfig {
+	return RatingsConfig{
+		UsersPerSubset: 400,
+		Items:          200,
+		Clusters:       8,
+		Density:        0.25,
+		Noise:          0.35,
+	}
+}
+
+// RatingsData is the generated recommender input: per-subset rating
+// matrices sharing one global taste structure, so active users correlate
+// with users on every component.
+type RatingsData struct {
+	Subsets  []*cf.Matrix
+	Clusters [][]int // cluster of each user, per subset
+	profiles [][]float64
+	cfg      RatingsConfig
+}
+
+// GenerateRatings builds nSubsets rating matrices. Users are drawn from
+// shared cluster profiles: users in the same cluster rate items similarly
+// (the like-minded-neighbour structure user-based CF exploits).
+//
+// Cluster profiles are generated from a low-dimensional latent taste
+// space (items carry 3 latent genre factors; each cluster is a taste
+// vector over those factors), because real rating matrices are
+// approximately low-rank — which is precisely why the paper's step-1 SVD
+// to ~3 dimensions preserves user similarity. Isotropic random profiles
+// would make the 3-dimensional reduction structurally impossible.
+func GenerateRatings(cfg RatingsConfig, nSubsets int) *RatingsData {
+	const genres = 3
+	rng := stats.NewRNG(cfg.Seed)
+	itemFactors := make([][]float64, cfg.Items)
+	for i := range itemFactors {
+		f := make([]float64, genres)
+		for d := range f {
+			f[d] = rng.Norm(0, 1)
+		}
+		itemFactors[i] = f
+	}
+	profiles := make([][]float64, cfg.Clusters)
+	for p := range profiles {
+		taste := make([]float64, genres)
+		for d := range taste {
+			taste[d] = rng.Norm(0, 1)
+		}
+		prof := make([]float64, cfg.Items)
+		for i := range prof {
+			dot := 0.0
+			for d := 0; d < genres; d++ {
+				dot += taste[d] * itemFactors[i][d]
+			}
+			prof[i] = clampScore(3 + dot)
+		}
+		profiles[p] = prof
+	}
+	d := &RatingsData{cfg: cfg, profiles: profiles}
+	for s := 0; s < nSubsets; s++ {
+		srng := rng.Split(uint64(s) + 1)
+		m := cf.NewMatrix(cfg.Items)
+		clusters := make([]int, cfg.UsersPerSubset)
+		for u := 0; u < cfg.UsersPerSubset; u++ {
+			cl := srng.Intn(cfg.Clusters)
+			clusters[u] = cl
+			m.AddUser(d.userRatings(srng, cl, cfg.Density))
+		}
+		d.Subsets = append(d.Subsets, m)
+		d.Clusters = append(d.Clusters, clusters)
+	}
+	return d
+}
+
+// userRatings draws one user's ratings around a cluster profile.
+func (d *RatingsData) userRatings(rng *stats.RNG, cluster int, density float64) []cf.Rating {
+	prof := d.profiles[cluster]
+	var rs []cf.Rating
+	for i := 0; i < d.cfg.Items; i++ {
+		if rng.Float64() < density {
+			rs = append(rs, cf.Rating{Item: int32(i), Score: clampScore(prof[i] + rng.Norm(0, d.cfg.Noise))})
+		}
+	}
+	if len(rs) == 0 {
+		rs = []cf.Rating{{Item: int32(rng.Intn(d.cfg.Items)), Score: clampScore(prof[0])}}
+	}
+	return rs
+}
+
+func clampScore(s float64) float64 {
+	if s < 1 {
+		return 1
+	}
+	if s > 5 {
+		return 5
+	}
+	return s
+}
+
+// CFRequest is one recommendation request with ground truth: the active
+// user's known ratings (80% of their ratings, per paper §4.2) and the
+// held-out target items with their actual scores.
+type CFRequest struct {
+	Known   []cf.Rating
+	Targets []int32
+	Truth   []float64
+}
+
+// SampleCFRequests draws n active users from the shared taste structure
+// and splits each user's ratings into known (weight computation) and
+// target (prediction) parts. targetFrac is the held-out fraction (paper:
+// 20%).
+func (d *RatingsData) SampleCFRequests(seed uint64, n int, targetFrac float64) []CFRequest {
+	rng := stats.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	out := make([]CFRequest, 0, n)
+	for k := 0; k < n; k++ {
+		cl := rng.Intn(d.cfg.Clusters)
+		// Active users rate more densely so weights are well defined.
+		rs := d.userRatings(rng, cl, d.cfg.Density*2)
+		rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+		cut := len(rs) - int(targetFrac*float64(len(rs)))
+		if cut < 2 {
+			cut = 2
+		}
+		if cut >= len(rs) {
+			cut = len(rs) - 1
+		}
+		if cut < 1 {
+			continue
+		}
+		req := CFRequest{}
+		req.Known = append(req.Known, rs[:cut]...)
+		for _, r := range rs[cut:] {
+			req.Targets = append(req.Targets, r.Item)
+			req.Truth = append(req.Truth, r.Score)
+		}
+		if len(req.Targets) == 0 {
+			continue
+		}
+		out = append(out, req)
+	}
+	return out
+}
