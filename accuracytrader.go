@@ -32,6 +32,8 @@
 //	internal/cf        user-based CF recommender application
 //	internal/textindex Lucene-style search engine application
 //	internal/service   live goroutine fan-out runtime (wall clock)
+//	internal/frontend  accuracy-aware frontend: admission, replica
+//	                   routing, load-adaptive synopsis degradation
 //	internal/cluster   discrete-event cluster simulator (virtual clock)
 //	internal/experiments  regeneration of every paper table and figure
 //
@@ -40,10 +42,12 @@
 package accuracytrader
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"accuracytrader/internal/core"
+	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/svd"
 	"accuracytrader/internal/synopsis"
@@ -147,3 +151,80 @@ const (
 func NewCluster(handlers []Handler, policy Policy, opts ClusterOptions) (*Cluster, error) {
 	return service.New(handlers, policy, opts)
 }
+
+// Frontend is the accuracy-aware frontend pipeline — admission →
+// replica routing → load-adaptive synopsis degradation — in front of a
+// live Cluster.
+type Frontend = frontend.Frontend
+
+// FrontendOptions configures a Frontend.
+type FrontendOptions = frontend.Options
+
+// FrontendResult is one answered frontend request.
+type FrontendResult = frontend.Result
+
+// SLO is a per-request accuracy/latency class.
+type SLO = frontend.SLO
+
+// ExactSLO requires the finest processing regardless of load.
+func ExactSLO() SLO { return frontend.ExactSLO() }
+
+// BoundedSLO accepts degradation down to an estimated accuracy floor.
+func BoundedSLO(minAccuracy float64) SLO { return frontend.BoundedSLO(minAccuracy) }
+
+// BestEffortSLO accepts whatever level the current load dictates.
+func BestEffortSLO() SLO { return frontend.BestEffortSLO() }
+
+// AdmissionPolicy decides whether an arriving request enters the
+// fan-out.
+type AdmissionPolicy = frontend.AdmissionPolicy
+
+// NewTokenBucket rate-limits admissions.
+func NewTokenBucket(ratePerSec, burst float64) AdmissionPolicy {
+	return frontend.NewTokenBucket(ratePerSec, burst)
+}
+
+// NewMaxInflight caps concurrent admitted requests.
+func NewMaxInflight(limit int) AdmissionPolicy { return frontend.NewMaxInflight(limit) }
+
+// NewQueueWatermark degrades and sheds on mailbox occupancy.
+func NewQueueWatermark(degradeAt, rejectAt float64) AdmissionPolicy {
+	return frontend.NewQueueWatermark(degradeAt, rejectAt)
+}
+
+// Router places sub-operations on shard replicas.
+type Router = frontend.Router
+
+// NewRoundRobin cycles each subset through its replicas.
+func NewRoundRobin() Router { return frontend.NewRoundRobin() }
+
+// NewLeastLoaded routes to the replica with the shallowest queue.
+func NewLeastLoaded() Router { return frontend.NewLeastLoaded() }
+
+// NewPowerOfTwo routes to the less loaded of two random replicas.
+func NewPowerOfTwo(seed uint64) Router { return frontend.NewPowerOfTwo(seed) }
+
+// DegradationController maps observed load to ladder levels per SLO.
+type DegradationController = frontend.Controller
+
+// DegradationConfig parametrizes the controller.
+type DegradationConfig = frontend.ControllerConfig
+
+// NewDegradationController builds the load→ladder-level controller.
+func NewDegradationController(cfg DegradationConfig) (*DegradationController, error) {
+	return frontend.NewController(cfg)
+}
+
+// NewFrontend wraps a live cluster with the frontend pipeline.
+func NewFrontend(cl *Cluster, opts FrontendOptions) (*Frontend, error) {
+	return frontend.New(cl, opts)
+}
+
+// LevelFrom extracts the frontend-selected ladder level inside a
+// Handler; ok is false when the request did not pass a Frontend.
+func LevelFrom(ctx context.Context) (level int, ok bool) { return frontend.LevelFrom(ctx) }
+
+// SLOFrom extracts the request's effective SLO inside a Handler, so
+// handlers can bypass their synopsis for Exact-class requests; ok is
+// false when the request did not pass a Frontend.
+func SLOFrom(ctx context.Context) (slo SLO, ok bool) { return frontend.SLOFrom(ctx) }

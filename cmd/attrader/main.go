@@ -11,6 +11,7 @@
 //	attrader -exp fig7                 # 24-hour panels (+fig8)
 //	attrader -exp creation             # synopsis creation overheads
 //	attrader -exp headline             # paper §4.3 headline ratios
+//	attrader -exp overload             # frontend overload sweep (extension)
 //	attrader -exp all                  # everything above
 //
 // Scale flags shrink or grow the reproduction; defaults regenerate all
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "list", "experiment to run (list|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|creation|headline|all)")
+		exp      = flag.String("exp", "list", "experiment to run (list|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|creation|headline|overload|all)")
 		quick    = flag.Bool("quick", false, "use the reduced test-size scale")
 		comps    = flag.Int("components", 0, "override simulated component count")
 		shards   = flag.Int("shards", 0, "override real data shard count")
@@ -69,7 +70,7 @@ func main() {
 func run(exp string, sc experiments.Scale, repeats, requests int) error {
 	switch exp {
 	case "list":
-		fmt.Println("experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 creation headline all")
+		fmt.Println("experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 creation headline overload all")
 		return nil
 	case "table1", "table2":
 		return runTables(sc)
@@ -86,6 +87,8 @@ func run(exp string, sc experiments.Scale, repeats, requests int) error {
 		return runCreation(sc)
 	case "headline":
 		return runHeadline(sc)
+	case "overload":
+		return runOverload(sc)
 	case "all":
 		if err := runCreation(sc); err != nil {
 			return err
@@ -103,6 +106,9 @@ func run(exp string, sc experiments.Scale, repeats, requests int) error {
 			return err
 		}
 		if err := runHeadline(sc); err != nil {
+			return err
+		}
+		if err := runOverload(sc); err != nil {
 			return err
 		}
 		return nil
@@ -210,6 +216,17 @@ func runCreation(sc experiments.Scale) error {
 			return err
 		}
 		fmt.Println(rep.Render())
+		return nil
+	})
+}
+
+func runOverload(sc experiments.Scale) error {
+	return timed("Overload sweep (accuracy-aware frontend extension)", func() error {
+		sw, err := experiments.RunOverload(sc, []float64{0.5, 1, 1.5, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Println(sw.Render())
 		return nil
 	})
 }

@@ -1,0 +1,3 @@
+module accuracytrader
+
+go 1.22

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"accuracytrader/internal/des"
+	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/stats"
 )
 
@@ -108,6 +109,11 @@ type Config struct {
 	// half its deadline queueing, the component answers from the coarsest
 	// ladder level that still fits, instead of the fixed synopsis.
 	AdaptiveSynopsis bool
+	// Frontend, when non-nil, puts the simulated accuracy-aware
+	// frontend in front of the components: admission, replica routing,
+	// and per-request ladder-level degradation (see FrontendConfig).
+	// A request's frontend-selected level overrides AdaptiveSynopsis.
+	Frontend *FrontendConfig
 }
 
 func (c Config) validate() error {
@@ -146,16 +152,37 @@ type SubOp struct {
 // Result holds the outcome of a run.
 type Result struct {
 	Arrivals []float64
-	// Ops[r][c] is the sub-operation of request r on component c.
+	// Ops[r][c] is the sub-operation of request r on data subset c.
+	// Without a frontend, subset c always executes on component c.
 	Ops [][]SubOp
+
+	// The remaining fields are populated only when Config.Frontend is
+	// set (len equals len(Arrivals)).
+
+	// Rejected marks requests shed by admission; their Ops rows are
+	// zero-valued and must be excluded from latency populations.
+	Rejected []bool
+	// Class is each request's (possibly downgraded) SLO class.
+	Class []frontend.SLO
+	// Level is the ladder level the frontend selected for the request
+	// (coarse 0 … fine Levels-1), or -1 for rejected requests and runs
+	// without a degradation controller.
+	Level []int
 }
 
 // ComponentLatencies returns every sub-operation latency in one slice —
 // the population over which the paper's 99.9th-percentile component
-// latency is computed.
+// latency is computed. Requests shed by the frontend have no
+// sub-operations and are excluded.
 func (r *Result) ComponentLatencies() []float64 {
+	if len(r.Ops) == 0 {
+		return nil
+	}
 	out := make([]float64, 0, len(r.Ops)*len(r.Ops[0]))
-	for _, ops := range r.Ops {
+	for i, ops := range r.Ops {
+		if r.rejected(i) {
+			continue
+		}
 		for _, op := range ops {
 			out = append(out, op.LatencyMs)
 		}
@@ -163,12 +190,17 @@ func (r *Result) ComponentLatencies() []float64 {
 	return out
 }
 
+// rejected reports whether request i was shed by the frontend.
+func (r *Result) rejected(i int) bool {
+	return r.Rejected != nil && r.Rejected[i]
+}
+
 // TailLatency returns the p-th percentile component latency of requests
-// arriving in [from, to) ms.
+// arriving in [from, to) ms (rejected requests excluded).
 func (r *Result) TailLatency(p, from, to float64) float64 {
 	var lat []float64
 	for i, a := range r.Arrivals {
-		if a < from || a >= to {
+		if a < from || a >= to || r.rejected(i) {
 			continue
 		}
 		for _, op := range r.Ops[i] {
@@ -182,10 +214,15 @@ func (r *Result) TailLatency(p, from, to float64) float64 {
 // composition semantics: with waitAll the composer answers when the last
 // component does (Basic, Reissue, AccuracyTrader); otherwise it answers
 // at the deadline or earlier if every component finished before it
-// (Partial execution).
+// (Partial execution). Requests shed by the frontend were never
+// answered and report NaN.
 func (r *Result) ServiceLatencies(waitAll bool, deadlineMs float64) []float64 {
 	out := make([]float64, len(r.Ops))
 	for i, ops := range r.Ops {
+		if r.rejected(i) {
+			out[i] = math.NaN()
+			continue
+		}
 		max := 0.0
 		for _, op := range ops {
 			if op.LatencyMs > max {
@@ -202,8 +239,12 @@ func (r *Result) ServiceLatencies(waitAll bool, deadlineMs float64) []float64 {
 
 // CompletedFraction returns, for request r, the fraction of components
 // whose sub-operation finished within the deadline — what Partial
-// execution composes from.
+// execution composes from. A request shed by the frontend completed
+// nothing and returns 0.
 func (res *Result) CompletedFraction(r int, deadlineMs float64) float64 {
+	if res.rejected(r) {
+		return 0
+	}
 	n := 0
 	for _, op := range res.Ops[r] {
 		if op.LatencyMs <= deadlineMs {
@@ -217,9 +258,11 @@ func (res *Result) CompletedFraction(r int, deadlineMs float64) float64 {
 type subop struct {
 	req      int
 	comp     int // component executing this replica
-	subset   int // data subset being processed (differs from comp for hedged replicas)
+	subset   int // data subset being processed (differs from comp for routed/hedged replicas)
 	arrival  float64
 	finished *bool // shared between primary and replica
+	level    int   // frontend-selected ladder level, -1 when unset
+	exact    bool  // frontend Exact SLO: full scan regardless of technique
 }
 
 // component is a FIFO single-server queue.
@@ -259,6 +302,16 @@ func Run(cfg Config) (*Result, error) {
 		res.Ops[r] = make([]SubOp, n)
 	}
 	hedge := newHedgeEstimator(cfg.HedgeFloorMs)
+	var fe *frontendSim
+	if cfg.Frontend != nil {
+		res.Rejected = make([]bool, len(cfg.Arrivals))
+		res.Class = make([]frontend.SLO, len(cfg.Arrivals))
+		res.Level = make([]int, len(cfg.Arrivals))
+		var err error
+		if fe, err = newFrontendSim(cfg, comps, hedge); err != nil {
+			return nil, err
+		}
+	}
 
 	// serviceTime computes how long the sub-operation occupies the server
 	// when it starts executing at time start, and its set count.
@@ -266,10 +319,25 @@ func Run(cfg Config) (*Result, error) {
 		w := cfg.work(op.subset)
 		speed := slowdown(op.comp, start)
 		unit := cfg.UnitCostMs * speed
+		if op.exact {
+			// Frontend Exact SLO: the component scans its whole subset
+			// no matter the technique — exactness is a guarantee paid
+			// for in latency.
+			return w.FullUnits * unit, 0, false
+		}
 		switch cfg.Technique {
 		case AccuracyTrader:
 			synUnits := w.SynopsisUnits
-			if cfg.AdaptiveSynopsis && len(w.SynopsisLadder) > 0 {
+			switch {
+			case op.level >= 0 && len(w.SynopsisLadder) > 0:
+				// The frontend picked a ladder level at admission time
+				// (coarse 0 … fine len-1, as in synopsis.Ladder cuts).
+				idx := op.level
+				if idx >= len(w.SynopsisLadder) {
+					idx = len(w.SynopsisLadder) - 1
+				}
+				synUnits = w.SynopsisLadder[idx]
+			case cfg.AdaptiveSynopsis && len(w.SynopsisLadder) > 0:
 				synUnits = adaptiveSynopsisUnits(w, start-op.arrival, cfg.DeadlineMs, unit)
 			}
 			synTime := synUnits * unit
@@ -301,6 +369,9 @@ func Run(cfg Config) (*Result, error) {
 		so.SetsProcessed = sets
 		so.SynopsisOnly = synOnly
 		hedge.record(lat)
+		if fe != nil {
+			fe.finished(op.req)
+		}
 	}
 	start = func(c int) {
 		comp := &comps[c]
@@ -331,8 +402,21 @@ func Run(cfg Config) (*Result, error) {
 	for r, at := range cfg.Arrivals {
 		r, at := r, at
 		sim.At(at, func() {
+			level, exact := -1, false
+			if fe != nil {
+				if !fe.admit(sim.Now(), r, n, res) {
+					return // shed before touching any queue
+				}
+				level = res.Level[r]
+				exact = res.Class[r].Kind == frontend.Exact
+			}
 			for c := 0; c < n; c++ {
-				op := subop{req: r, comp: c, subset: c, arrival: at, finished: new(bool)}
+				comp := c
+				if fe != nil {
+					comp = fe.route(c)
+				}
+				op := subop{req: r, comp: comp, subset: c, arrival: at,
+					finished: new(bool), level: level, exact: exact}
 				enqueue(op)
 				if cfg.Technique == Reissue {
 					scheduleHedge(sim, cfg, hedge, res, op, enqueue)

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+
+	"accuracytrader/internal/frontend"
+)
+
+// FrontendConfig models the accuracy-aware frontend (internal/frontend)
+// inside the simulator: the same admission, routing, and degradation
+// policy values that drive the live runtime are evaluated here against
+// the virtual clock, at fan-out widths and arrival rates the live
+// runtime can't reach. Requests pass admission → replica routing →
+// per-component FIFO queues; under load the degradation controller
+// selects coarser ladder levels per request instead of letting queues
+// grow without bound.
+type FrontendConfig struct {
+	// Replicas is the replica factor of the component map (default 2):
+	// subset s may be served by components s … s+R-1 (mod n).
+	Replicas int
+	// Admission policies; the most severe verdict wins. Empty admits
+	// everything.
+	Admission []frontend.AdmissionPolicy
+	// Router places each sub-operation on one of the subset's replicas
+	// (default least-loaded).
+	Router frontend.Router
+	// Controller maps observed load to a ladder level per request.
+	// Nil disables degradation (components use their fixed synopsis).
+	Controller *frontend.Controller
+	// QueueCap is the per-component queue bound used to normalise
+	// queue-depth fractions for admission and the controller
+	// (default 64).
+	QueueCap int
+	// ClassOf assigns request r its SLO class (default: BestEffort for
+	// every request).
+	ClassOf func(req int) frontend.SLO
+}
+
+func (f *FrontendConfig) withDefaults() {
+	if f.Replicas <= 0 {
+		f.Replicas = 2
+	}
+	if f.Router == nil {
+		f.Router = frontend.NewLeastLoaded()
+	}
+	if f.QueueCap <= 0 {
+		f.QueueCap = 64
+	}
+	if f.ClassOf == nil {
+		f.ClassOf = func(int) frontend.SLO { return frontend.BestEffortSLO() }
+	}
+}
+
+// frontendSim is the simulated frontend's runtime state.
+type frontendSim struct {
+	cfg        FrontendConfig
+	rmap       frontend.ReplicaMap
+	comps      []component
+	hedge      *hedgeEstimator
+	deadlineMs float64
+	inflight   int
+	remaining  []int // outstanding sub-operations per admitted request
+}
+
+func newFrontendSim(cfg Config, comps []component, hedge *hedgeEstimator) (*frontendSim, error) {
+	fc := *cfg.Frontend
+	fc.withDefaults()
+	if fc.Controller != nil && cfg.Technique != AccuracyTrader {
+		// Levels would be recorded on the Result but never served —
+		// exact techniques always do full scans.
+		return nil, fmt.Errorf("cluster: frontend degradation requires Technique AccuracyTrader, got %v", cfg.Technique)
+	}
+	if fc.Controller != nil {
+		for i := range cfg.Work {
+			if len(cfg.Work[i].SynopsisLadder) == 0 {
+				return nil, fmt.Errorf("cluster: frontend degradation needs a SynopsisLadder in every work model")
+			}
+			if got := len(cfg.Work[i].SynopsisLadder); got != fc.Controller.Levels() {
+				return nil, fmt.Errorf("cluster: controller has %d levels but work model %d has a %d-level ladder",
+					fc.Controller.Levels(), i, got)
+			}
+		}
+	}
+	return &frontendSim{
+		cfg:        fc,
+		rmap:       frontend.NewReplicaMap(cfg.Components, fc.Replicas),
+		comps:      comps,
+		hedge:      hedge,
+		deadlineMs: cfg.DeadlineMs,
+		remaining:  make([]int, len(cfg.Arrivals)),
+	}, nil
+}
+
+// depth is the routing/admission load probe: queued plus in-service
+// sub-operations on one component.
+func (fe *frontendSim) depth(c int) int {
+	d := len(fe.comps[c].queue)
+	if fe.comps[c].busy {
+		d++
+	}
+	return d
+}
+
+// snapshot summarises current pressure for the policies.
+func (fe *frontendSim) snapshot() frontend.Load {
+	sum, max := 0.0, 0.0
+	for c := range fe.comps {
+		frac := float64(fe.depth(c)) / float64(fe.cfg.QueueCap)
+		sum += frac
+		if frac > max {
+			max = frac
+		}
+	}
+	lat := 0.0
+	if fe.deadlineMs > 0 {
+		lat = fe.hedge.p95() / fe.deadlineMs
+	}
+	return frontend.Load{
+		Inflight:     fe.inflight,
+		QueueFrac:    sum / float64(len(fe.comps)),
+		MaxQueueFrac: max,
+		LatencyFrac:  lat,
+	}
+}
+
+// admit runs one arrival through admission and level selection,
+// recording the outcome on the result. It returns false for shed
+// requests.
+func (fe *frontendSim) admit(nowMs float64, req, n int, res *Result) bool {
+	slo := fe.cfg.ClassOf(req)
+	res.Class[req] = slo
+	load := fe.snapshot()
+	if fe.cfg.Controller != nil {
+		fe.cfg.Controller.Observe(load)
+	}
+	switch frontend.Chain(nowMs, load, fe.cfg.Admission) {
+	case frontend.Reject:
+		res.Rejected[req] = true
+		res.Level[req] = -1
+		return false
+	case frontend.Degrade:
+		if slo.Kind == frontend.Bounded {
+			slo = frontend.BestEffortSLO()
+			res.Class[req] = slo
+		}
+	}
+	level := -1
+	if fe.cfg.Controller != nil {
+		level = fe.cfg.Controller.LevelFor(slo)
+	}
+	res.Level[req] = level
+	fe.inflight++
+	fe.remaining[req] = n
+	return true
+}
+
+// route picks the component serving one subset, falling back to home
+// placement for out-of-range router picks (as the live runtime does).
+func (fe *frontendSim) route(subset int) int {
+	if c := fe.cfg.Router.Pick(subset, fe.rmap.Replicas(subset), fe.depth); c >= 0 && c < len(fe.comps) {
+		return c
+	}
+	return subset
+}
+
+// finished records one completed sub-operation and releases the
+// request's in-flight slot when its last sub-operation lands.
+func (fe *frontendSim) finished(req int) {
+	fe.remaining[req]--
+	if fe.remaining[req] == 0 {
+		fe.inflight--
+	}
+}

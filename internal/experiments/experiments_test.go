@@ -311,3 +311,58 @@ func TestWindowArrivalsFollowPattern(t *testing.T) {
 		t.Fatalf("hour 24 not declining: %v then %v", first, second)
 	}
 }
+
+func TestOverloadSweepFrontendWins(t *testing.T) {
+	sw, err := RunOverload(QuickScale(), []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	for _, p := range sw.Points {
+		if len(p.Rows) != 3 {
+			t.Fatalf("rows = %d", len(p.Rows))
+		}
+	}
+	// Below saturation everyone keeps up and the exact techniques
+	// deliver full accuracy.
+	calm := sw.Points[0]
+	basic, partial, fe := calm.Rows[0], calm.Rows[1], calm.Rows[2]
+	if basic.GoodputPerSec < 0.8*calm.RatePerSec {
+		t.Fatalf("calm basic goodput %v at rate %v", basic.GoodputPerSec, calm.RatePerSec)
+	}
+	if basic.ClassAccuracy[0] != 1 || partial.ClassAccuracy[2] != 1 {
+		t.Fatal("calm exact techniques not fully accurate")
+	}
+	// At 2x saturation the frontend sustains far higher goodput at a
+	// far lower component p99.9 than both exact techniques, while
+	// still answering Exact-class requests exactly and Bounded-class
+	// requests above their floor.
+	hot := sw.Points[1]
+	basic, partial, fe = hot.Rows[0], hot.Rows[1], hot.Rows[2]
+	if fe.GoodputPerSec < 2*basic.GoodputPerSec || fe.GoodputPerSec < 2*partial.GoodputPerSec {
+		t.Fatalf("overloaded frontend goodput %v vs basic %v / partial %v",
+			fe.GoodputPerSec, basic.GoodputPerSec, partial.GoodputPerSec)
+	}
+	if fe.GoodputPerSec < 0.5*hot.RatePerSec {
+		t.Fatalf("overloaded frontend goodput %v collapsed at rate %v", fe.GoodputPerSec, hot.RatePerSec)
+	}
+	if fe.P999Ms >= basic.P999Ms/2 {
+		t.Fatalf("frontend p99.9 %v not well below basic %v", fe.P999Ms, basic.P999Ms)
+	}
+	if fe.ClassAccuracy[0] != 1 {
+		t.Fatalf("exact class accuracy %v under overload", fe.ClassAccuracy[0])
+	}
+	if fe.ClassAccuracy[1] < 0.9 {
+		t.Fatalf("bounded class accuracy %v below its floor", fe.ClassAccuracy[1])
+	}
+	// Best-effort requests pay the degradation; bounded may not go
+	// below them.
+	if fe.ClassAccuracy[2] > fe.ClassAccuracy[1] {
+		t.Fatalf("best-effort %v above bounded %v", fe.ClassAccuracy[2], fe.ClassAccuracy[1])
+	}
+	if len(sw.Render()) < 200 {
+		t.Fatal("render empty")
+	}
+}

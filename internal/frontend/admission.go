@@ -1,0 +1,224 @@
+// Package frontend is the accuracy-aware frontend of the fan-out
+// runtime: the pipeline stage between arriving requests and component
+// mailboxes that closes the paper's accuracy/load feedback loop.
+//
+// A request passes three cooperating pieces:
+//
+//   - Admission (this file): pluggable policies that reject or
+//     downgrade requests before they consume any component capacity,
+//     so overload surfaces at the door instead of as mailbox overflow
+//     deep in the fan-out.
+//   - Router: shard-replica routing policies over an R-replica
+//     component map, so a hot subset can be served by any of its
+//     replicas instead of only its home component.
+//   - DegradationController: an EWMA load estimator that maps observed
+//     load to a synopsis.Ladder level per request, honoring per-request
+//     SLO classes — saturation coarsens synopses instead of growing
+//     queues until requests time out.
+//
+// Every policy is clock-agnostic (time is a float64 millisecond
+// offset) and reads load through the Load snapshot, so the same policy
+// values drive both the live goroutine runtime (internal/service via
+// Frontend) and the discrete-event simulator (internal/cluster), which
+// evaluates them at scales the live runtime can't reach.
+package frontend
+
+import "sync"
+
+// Load is a point-in-time snapshot of cluster pressure, the input to
+// admission decisions and the degradation controller.
+type Load struct {
+	// Inflight is the number of admitted requests not yet answered.
+	Inflight int
+	// QueueFrac is the mean component mailbox occupancy in [0,1].
+	QueueFrac float64
+	// MaxQueueFrac is the hottest component's mailbox occupancy in
+	// [0,1] — the signal that matters for tail latency.
+	MaxQueueFrac float64
+	// LatencyFrac is the estimated tail sub-operation latency divided
+	// by the service deadline; values above 1 mean the tail already
+	// blows the deadline.
+	LatencyFrac float64
+}
+
+// Decision is an admission policy's verdict on one request.
+type Decision int
+
+// Admission verdicts, in increasing severity. When several policies
+// are chained, the most severe verdict wins.
+const (
+	// Admit lets the request through unchanged.
+	Admit Decision = iota
+	// Degrade admits the request but downgrades a Bounded SLO class to
+	// BestEffort (Exact requests keep their guarantee — for them
+	// rejection is the only shedding mechanism — and BestEffort has
+	// nothing left to give up).
+	Degrade
+	// Reject sheds the request before it reaches any mailbox.
+	Reject
+)
+
+// String returns the verdict name.
+func (d Decision) String() string {
+	switch d {
+	case Admit:
+		return "admit"
+	case Degrade:
+		return "degrade"
+	default:
+		return "reject"
+	}
+}
+
+// AdmissionPolicy decides whether one arriving request enters the
+// fan-out. nowMs is a monotonic millisecond clock (wall time in the
+// live runtime, virtual time in the simulator). Implementations must
+// be safe for concurrent use.
+type AdmissionPolicy interface {
+	Admit(nowMs float64, l Load) Decision
+}
+
+// TokenBucket is a rate-limiting admission policy: requests consume
+// one token each, tokens refill continuously at a fixed rate up to a
+// burst capacity, and an empty bucket rejects.
+type TokenBucket struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	tokens  float64
+	lastMs  float64
+	started bool
+}
+
+// NewTokenBucket returns a bucket admitting ratePerSec requests/second
+// with bursts up to burst. The bucket starts full.
+func NewTokenBucket(ratePerSec, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: ratePerSec, burst: burst, tokens: burst}
+}
+
+// Admit consumes a token if one is available.
+func (b *TokenBucket) Admit(nowMs float64, _ Load) Decision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.started {
+		b.started = true
+		b.lastMs = nowMs
+	}
+	if nowMs > b.lastMs {
+		b.tokens += (nowMs - b.lastMs) / 1000 * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.lastMs = nowMs
+	}
+	if b.tokens < 1 {
+		return Reject
+	}
+	b.tokens--
+	return Admit
+}
+
+// Refund returns the token consumed by an Admit whose request was
+// rejected elsewhere in the chain.
+func (b *TokenBucket) Refund() {
+	b.mu.Lock()
+	if b.tokens++; b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// MaxInflight rejects once the number of in-flight requests reaches a
+// limit — the classic concurrency cap.
+type MaxInflight struct {
+	limit int
+}
+
+// NewMaxInflight returns a policy admitting at most limit concurrent
+// requests.
+func NewMaxInflight(limit int) *MaxInflight {
+	if limit < 1 {
+		limit = 1
+	}
+	return &MaxInflight{limit: limit}
+}
+
+// Admit rejects when the in-flight count has reached the limit.
+func (m *MaxInflight) Admit(_ float64, l Load) Decision {
+	if l.Inflight >= m.limit {
+		return Reject
+	}
+	return Admit
+}
+
+// QueueWatermark acts on the hottest component's mailbox occupancy:
+// above the degrade watermark requests are downgraded to BestEffort,
+// above the reject watermark they are shed. This is the policy that
+// turns "mailboxes filling up" into graceful degradation instead of
+// ErrQueueFull deep in the fan-out.
+type QueueWatermark struct {
+	degradeAt float64
+	rejectAt  float64
+}
+
+// NewQueueWatermark returns a watermark policy. Watermarks are
+// occupancy fractions in [0,1]; degradeAt should be below rejectAt
+// (values are clamped into order).
+func NewQueueWatermark(degradeAt, rejectAt float64) *QueueWatermark {
+	if rejectAt <= 0 {
+		rejectAt = 1
+	}
+	if degradeAt > rejectAt {
+		degradeAt = rejectAt
+	}
+	return &QueueWatermark{degradeAt: degradeAt, rejectAt: rejectAt}
+}
+
+// Admit compares the hottest mailbox against the watermarks.
+func (q *QueueWatermark) Admit(_ float64, l Load) Decision {
+	switch {
+	case l.MaxQueueFrac >= q.rejectAt:
+		return Reject
+	case l.MaxQueueFrac >= q.degradeAt:
+		return Degrade
+	default:
+		return Admit
+	}
+}
+
+// Refunder is implemented by consuming policies (the token bucket)
+// whose Admit verdict charges state that should be returned when the
+// chain's final verdict rejects the request anyway.
+type Refunder interface {
+	Refund()
+}
+
+// Chain evaluates every policy and returns the most severe verdict, so
+// a rate limit, a concurrency cap, and a queue watermark compose. When
+// the final verdict is Reject, policies that admitted are refunded —
+// a request shed by the concurrency cap must not also drain the token
+// bucket.
+func Chain(nowMs float64, l Load, policies []AdmissionPolicy) Decision {
+	verdict := Admit
+	var charged []AdmissionPolicy
+	for _, p := range policies {
+		d := p.Admit(nowMs, l)
+		if d > verdict {
+			verdict = d
+		}
+		if d == Admit {
+			if _, ok := p.(Refunder); ok {
+				charged = append(charged, p)
+			}
+		}
+	}
+	if verdict == Reject {
+		for _, p := range charged {
+			p.(Refunder).Refund()
+		}
+	}
+	return verdict
+}

@@ -1,0 +1,112 @@
+package frontend
+
+import (
+	"math"
+	"testing"
+)
+
+func mustController(t *testing.T, cfg ControllerConfig) *Controller {
+	t.Helper()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(ControllerConfig{Levels: 0}); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+	if _, err := NewController(ControllerConfig{Levels: 3, LevelAccuracy: []float64{1}}); err == nil {
+		t.Fatal("mismatched accuracy slice accepted")
+	}
+	// Default accuracy ramp ends at 1 (finest level is exact-ish).
+	c := mustController(t, ControllerConfig{Levels: 4})
+	if a := c.LevelAccuracy(3); a != 1 {
+		t.Fatalf("finest default accuracy = %v", a)
+	}
+	if a, b := c.LevelAccuracy(0), c.LevelAccuracy(3); a >= b {
+		t.Fatalf("accuracy ramp not increasing: %v >= %v", a, b)
+	}
+	// Out-of-range level lookups clamp.
+	if c.LevelAccuracy(-1) != c.LevelAccuracy(0) || c.LevelAccuracy(99) != c.LevelAccuracy(3) {
+		t.Fatal("LevelAccuracy does not clamp")
+	}
+}
+
+func TestControllerEWMAConvergence(t *testing.T) {
+	c := mustController(t, ControllerConfig{Levels: 4, Alpha: 0.5, InflightSaturation: 10})
+	if c.Load() != 0 {
+		t.Fatalf("idle load = %v", c.Load())
+	}
+	// Sustained saturation converges toward 1.
+	for i := 0; i < 50; i++ {
+		c.Observe(Load{MaxQueueFrac: 1})
+	}
+	if l := c.Load(); math.Abs(l-1) > 1e-6 {
+		t.Fatalf("saturated load = %v", l)
+	}
+	// A single calm sample only halves the estimate (alpha 0.5) — the
+	// EWMA smooths out transients.
+	c.Observe(Load{})
+	if l := c.Load(); math.Abs(l-0.5) > 1e-6 {
+		t.Fatalf("after one calm sample load = %v", l)
+	}
+	// Sustained calm decays back toward 0.
+	for i := 0; i < 60; i++ {
+		c.Observe(Load{})
+	}
+	if l := c.Load(); l > 1e-6 {
+		t.Fatalf("calm load = %v", l)
+	}
+}
+
+func TestControllerRawLoadTakesBottleneck(t *testing.T) {
+	c := mustController(t, ControllerConfig{Levels: 2, Alpha: 1, InflightSaturation: 10})
+	// Inflight is the bottleneck here.
+	c.Observe(Load{Inflight: 5, MaxQueueFrac: 0.1, LatencyFrac: 0.2})
+	if l := c.Load(); math.Abs(l-0.5) > 1e-6 {
+		t.Fatalf("load = %v, want 0.5 (inflight 5/10)", l)
+	}
+	// Latency above the deadline clamps to 1.
+	c.Observe(Load{LatencyFrac: 3})
+	if l := c.Load(); math.Abs(l-1) > 1e-6 {
+		t.Fatalf("load = %v, want clamped 1", l)
+	}
+}
+
+func TestLevelForMapsLoadAndSLO(t *testing.T) {
+	c := mustController(t, ControllerConfig{
+		Levels:        4,
+		LevelAccuracy: []float64{0.6, 0.8, 0.95, 1},
+		Alpha:         1,
+	})
+	// Idle: everyone gets the finest level.
+	for _, slo := range []SLO{ExactSLO(), BoundedSLO(0.9), BestEffortSLO()} {
+		if lv := c.LevelFor(slo); lv != 3 {
+			t.Fatalf("idle %v level = %d", slo, lv)
+		}
+	}
+	// Saturated: best effort drops to the coarsest, bounded only to its
+	// accuracy floor (0.95 ≥ 0.9 → level 2), exact stays finest.
+	c.Observe(Load{MaxQueueFrac: 1})
+	if lv := c.LevelFor(BestEffortSLO()); lv != 0 {
+		t.Fatalf("saturated best-effort level = %d", lv)
+	}
+	if lv := c.LevelFor(BoundedSLO(0.9)); lv != 2 {
+		t.Fatalf("saturated bounded level = %d", lv)
+	}
+	if lv := c.LevelFor(ExactSLO()); lv != 3 {
+		t.Fatalf("saturated exact level = %d", lv)
+	}
+	// An unsatisfiable accuracy floor falls back to the finest level.
+	if lv := c.LevelFor(BoundedSLO(1.5)); lv != 3 {
+		t.Fatalf("impossible bound level = %d", lv)
+	}
+	// Mid load picks an intermediate level for best effort.
+	c.Observe(Load{MaxQueueFrac: 0.5})
+	if lv := c.LevelFor(BestEffortSLO()); lv <= 0 || lv >= 3 {
+		t.Fatalf("mid-load level = %d", lv)
+	}
+}

@@ -1,0 +1,217 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"accuracytrader/internal/service"
+)
+
+// ErrRejected is returned by Frontend.Call for requests shed by an
+// admission policy.
+var ErrRejected = errors.New("frontend: admission rejected request")
+
+// Options configures a Frontend.
+type Options struct {
+	// Admission policies, evaluated together; the most severe verdict
+	// wins (see Chain). Empty admits everything.
+	Admission []AdmissionPolicy
+	// Router places sub-operations on replicas (default least-loaded).
+	Router Router
+	// Replicas is the replica factor of the component map (default 2).
+	Replicas int
+	// Controller maps load to ladder levels. Nil disables degradation:
+	// no level is attached to requests (LevelFrom reports ok=false, so
+	// handlers use their finest synopsis) and Result.Level is -1,
+	// matching the simulator's nil-controller behaviour.
+	Controller *Controller
+}
+
+// Stats counts frontend outcomes.
+type Stats struct {
+	Admitted int64
+	Degraded int64 // admitted with a downgraded SLO
+	Rejected int64
+}
+
+// Result is one answered request.
+type Result struct {
+	// Sub holds the per-subset replies, in subset order.
+	Sub []service.SubResult
+	// SLO is the effective class after any admission downgrade.
+	SLO SLO
+	// Level is the ladder level the request was served from (coarse 0
+	// … fine Levels-1), or -1 when no degradation controller is set.
+	Level int
+	// EstimatedAccuracy is the controller's accuracy estimate for
+	// Level.
+	EstimatedAccuracy float64
+	// Degraded reports that admission downgraded the request's class.
+	Degraded bool
+}
+
+// Frontend is the admission → routing → degradation pipeline in front
+// of a live service.Cluster. New injects its router into the cluster;
+// Call performs admission and level selection, then fans out.
+type Frontend struct {
+	cl    *service.Cluster
+	opts  Options
+	rmap  ReplicaMap
+	start time.Time
+
+	admitted atomic.Int64
+	degraded atomic.Int64
+	rejected atomic.Int64
+	// inflightNow reserves a request's in-flight slot at admission
+	// time: the cluster's own counter only rises once Call reaches it,
+	// which would let a concurrent burst race past MaxInflight.
+	inflightNow atomic.Int64
+}
+
+// New wraps a cluster. The cluster's router is replaced with the
+// frontend's replica-routing policy (service falls back to home
+// placement for anything the router leaves out of range).
+func New(cl *service.Cluster, opts Options) (*Frontend, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Router == nil {
+		opts.Router = NewLeastLoaded()
+	}
+	f := &Frontend{
+		cl:    cl,
+		opts:  opts,
+		rmap:  NewReplicaMap(cl.Components(), opts.Replicas),
+		start: time.Now(),
+	}
+	cl.SetRouter(func(subset, n int, queueDepth func(int) int) int {
+		return f.opts.Router.Pick(subset, f.rmap.Replicas(subset), queueDepth)
+	})
+	return f, nil
+}
+
+// Snapshot reads the cluster's live load signals.
+func (f *Frontend) Snapshot() Load {
+	n := f.cl.Components()
+	cap := f.cl.QueueCap()
+	sum, max := 0.0, 0.0
+	for c := 0; c < n; c++ {
+		frac := float64(f.cl.QueueDepth(c)) / float64(cap)
+		sum += frac
+		if frac > max {
+			max = frac
+		}
+	}
+	lat := 0.0
+	if d := f.cl.Deadline(); d > 0 {
+		lat = float64(f.cl.EstimatedP95()) / float64(d)
+	}
+	return Load{
+		Inflight:     f.cl.Inflight(),
+		QueueFrac:    sum / float64(n),
+		MaxQueueFrac: max,
+		LatencyFrac:  lat,
+	}
+}
+
+// Call runs one request through the pipeline: observe load, admit (or
+// reject/downgrade), select the ladder level for the request's SLO,
+// and fan out through the cluster with the level attached to the
+// context (handlers read it via LevelFrom).
+func (f *Frontend) Call(ctx context.Context, payload interface{}, slo SLO) (*Result, error) {
+	// Reserve before deciding: concurrent callers serialize through
+	// the counter, so each sees every earlier reservation and a burst
+	// admits at most MaxInflight requests (the slot is released when
+	// this function returns — immediately for rejected requests).
+	reserved := f.inflightNow.Add(1)
+	defer f.inflightNow.Add(-1)
+	load := f.Snapshot()
+	load.Inflight = int(reserved - 1)
+	if f.opts.Controller != nil {
+		f.opts.Controller.Observe(load)
+	}
+	nowMs := float64(time.Since(f.start)) / float64(time.Millisecond)
+	degraded := false
+	switch Chain(nowMs, load, f.opts.Admission) {
+	case Reject:
+		f.rejected.Add(1)
+		return nil, ErrRejected
+	case Degrade:
+		// Only Bounded requests actually lose their class: Exact keeps
+		// its guarantee, BestEffort has nothing left to give up.
+		if slo.Kind == Bounded {
+			slo = BestEffortSLO()
+			degraded = true
+			f.degraded.Add(1)
+		}
+	}
+	f.admitted.Add(1)
+	level, estAcc := -1, 1.0
+	callCtx := WithSLO(ctx, slo)
+	if f.opts.Controller != nil {
+		level = f.opts.Controller.LevelFor(slo)
+		estAcc = f.opts.Controller.LevelAccuracy(level)
+		callCtx = WithLevel(callCtx, level)
+	}
+	sub, err := f.cl.Call(callCtx, payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Sub:               sub,
+		SLO:               slo,
+		Level:             level,
+		EstimatedAccuracy: estAcc,
+		Degraded:          degraded,
+	}, nil
+}
+
+// Stats returns the admission counters.
+func (f *Frontend) Stats() Stats {
+	return Stats{
+		Admitted: f.admitted.Load(),
+		Degraded: f.degraded.Load(),
+		Rejected: f.rejected.Load(),
+	}
+}
+
+// Controller exposes the degradation controller (for reporting); nil
+// when the frontend runs without degradation.
+func (f *Frontend) Controller() *Controller { return f.opts.Controller }
+
+// levelKey is the context key carrying the selected ladder level to
+// handlers.
+type levelKey struct{}
+
+// WithLevel attaches a ladder level to the context.
+func WithLevel(ctx context.Context, level int) context.Context {
+	return context.WithValue(ctx, levelKey{}, level)
+}
+
+// LevelFrom extracts the ladder level a handler should serve from.
+// ok is false when the request did not pass through a Frontend; such
+// handlers should use their finest synopsis.
+func LevelFrom(ctx context.Context) (level int, ok bool) {
+	level, ok = ctx.Value(levelKey{}).(int)
+	return level, ok
+}
+
+// sloKey is the context key carrying the request's effective SLO.
+type sloKey struct{}
+
+// WithSLO attaches the effective SLO class to the context.
+func WithSLO(ctx context.Context, slo SLO) context.Context {
+	return context.WithValue(ctx, sloKey{}, slo)
+}
+
+// SLOFrom extracts the request's effective SLO inside a handler —
+// in particular, handlers that can process exactly should bypass
+// their synopsis entirely for Exact-class requests, matching the
+// simulator's semantics (exactness is a guarantee paid in latency).
+// ok is false when the request did not pass through a Frontend.
+func SLOFrom(ctx context.Context) (slo SLO, ok bool) {
+	slo, ok = ctx.Value(sloKey{}).(SLO)
+	return slo, ok
+}

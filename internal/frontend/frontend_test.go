@@ -1,0 +1,337 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accuracytrader/internal/service"
+)
+
+// levelRecorder builds handlers that record the ladder level each
+// sub-operation saw.
+func levelRecorder(levels *atomic.Int64, noLevel *atomic.Int64) service.Handler {
+	return func(ctx context.Context, _ interface{}) (interface{}, error) {
+		if lv, ok := LevelFrom(ctx); ok {
+			levels.Store(int64(lv))
+		} else {
+			noLevel.Add(1)
+		}
+		return nil, nil
+	}
+}
+
+func TestFrontendCallSelectsLevel(t *testing.T) {
+	var seen, missing atomic.Int64
+	cl, err := service.New([]service.Handler{
+		levelRecorder(&seen, &missing),
+		levelRecorder(&seen, &missing),
+	}, service.WaitAll, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctrl, err := NewController(ControllerConfig{Levels: 3, LevelAccuracy: []float64{0.5, 0.9, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cl, Options{Controller: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Call(context.Background(), nil, BestEffortSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle cluster: finest level, accuracy estimate 1, level visible to
+	// handlers via the context.
+	if res.Level != 2 || res.EstimatedAccuracy != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The effective SLO rides along for handlers that honor exactness.
+	if slo, ok := SLOFrom(WithSLO(context.Background(), ExactSLO())); !ok || slo.Kind != Exact {
+		t.Fatalf("SLOFrom = %v, %v", slo, ok)
+	}
+	if _, ok := SLOFrom(context.Background()); ok {
+		t.Fatal("SLOFrom on a bare context")
+	}
+	if seen.Load() != 2 || missing.Load() != 0 {
+		t.Fatalf("handler saw level %d (missing %d)", seen.Load(), missing.Load())
+	}
+	if len(res.Sub) != 2 {
+		t.Fatalf("sub results = %d", len(res.Sub))
+	}
+	if st := f.Stats(); st.Admitted != 1 || st.Rejected != 0 || st.Degraded != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFrontendRejects(t *testing.T) {
+	cl, err := service.New([]service.Handler{
+		func(context.Context, interface{}) (interface{}, error) { return nil, nil },
+	}, service.WaitAll, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	f, err := New(cl, Options{
+		// A drained zero-rate bucket rejects everything after the first
+		// request.
+		Admission: []AdmissionPolicy{NewTokenBucket(0, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Call(context.Background(), nil, BestEffortSLO()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Call(context.Background(), nil, BestEffortSLO()); !errors.Is(err, ErrRejected) {
+		t.Fatalf("expected ErrRejected, got %v", err)
+	}
+	if st := f.Stats(); st.Admitted != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// alwaysDegrade forces the Degrade verdict.
+type alwaysDegrade struct{}
+
+func (alwaysDegrade) Admit(float64, Load) Decision { return Degrade }
+
+func TestFrontendDegradeDemotesClassButNotExact(t *testing.T) {
+	var lastKind atomic.Int64
+	cl, err := service.New([]service.Handler{
+		func(ctx context.Context, _ interface{}) (interface{}, error) {
+			if slo, ok := SLOFrom(ctx); ok {
+				lastKind.Store(int64(slo.Kind))
+			}
+			return nil, nil
+		},
+	}, service.WaitAll, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctrl, err := NewController(ControllerConfig{Levels: 2, LevelAccuracy: []float64{0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cl, Options{
+		Admission:  []AdmissionPolicy{alwaysDegrade{}},
+		Controller: ctrl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Call(context.Background(), nil, BoundedSLO(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.SLO.Kind != BestEffort {
+		t.Fatalf("bounded request not demoted: %+v", res)
+	}
+	// Exact keeps its guarantee under Degrade.
+	res, err = f.Call(context.Background(), nil, ExactSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.SLO.Kind != Exact || res.Level != 1 {
+		t.Fatalf("exact request demoted: %+v", res)
+	}
+	// The handler saw the effective class, so it can bypass its
+	// synopsis for Exact requests.
+	if SLOKind(lastKind.Load()) != Exact {
+		t.Fatalf("handler saw class %v", SLOKind(lastKind.Load()))
+	}
+	// BestEffort has no class to lose: a Degrade verdict must not
+	// count it as downgraded.
+	res, err = f.Call(context.Background(), nil, BestEffortSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("best-effort request marked degraded: %+v", res)
+	}
+	if st := f.Stats(); st.Degraded != 1 || st.Admitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFrontendNilControllerLeavesLevelUnset(t *testing.T) {
+	// Without a degradation controller no level is attached: handlers
+	// see LevelFrom ok=false (and fall back to their finest synopsis),
+	// matching the simulator's nil-controller Level of -1.
+	var seen, missing atomic.Int64
+	cl, err := service.New([]service.Handler{levelRecorder(&seen, &missing)},
+		service.WaitAll, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	f, err := New(cl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Call(context.Background(), nil, BestEffortSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != -1 || res.EstimatedAccuracy != 1 {
+		t.Fatalf("nil-controller result = %+v", res)
+	}
+	if missing.Load() != 1 {
+		t.Fatalf("handler saw a level anyway (missing=%d)", missing.Load())
+	}
+	if f.Controller() != nil {
+		t.Fatal("Controller() not nil")
+	}
+}
+
+func TestFrontendBurstRespectsMaxInflight(t *testing.T) {
+	// 100 concurrent calls against a 4-request cap: admission reserves
+	// the in-flight slot before deciding, so even a perfectly
+	// simultaneous burst admits exactly 4 (the cluster's own inflight
+	// counter lags behind and must not be what the cap reads).
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, _ interface{}) (interface{}, error) {
+		<-release
+		return nil, nil
+	}
+	cl, err := service.New([]service.Handler{blocking}, service.WaitAll,
+		service.Options{QueueLen: 256, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cl, Options{
+		Admission: []AdmissionPolicy{NewMaxInflight(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Call(context.Background(), nil, BestEffortSLO())
+		}()
+	}
+	// Admitted calls block in the handler until released; wait for
+	// every decision to land, then let them drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := f.Stats()
+		if st.Admitted+st.Rejected == 100 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	st := f.Stats()
+	if st.Admitted != 4 || st.Rejected != 96 {
+		t.Fatalf("burst admitted %d / rejected %d, want 4 / 96", st.Admitted, st.Rejected)
+	}
+	cl.Close()
+}
+
+func TestFrontendRoutesAroundHotComponent(t *testing.T) {
+	// Component 0's worker is wedged on a slow job; with a 2-replica
+	// map and least-loaded routing, subset 0's sub-operations go to
+	// component 1 once component 0's mailbox backs up, so calls stay
+	// fast.
+	block := make(chan struct{})
+	var wedged atomic.Bool
+	h0 := func(ctx context.Context, _ interface{}) (interface{}, error) {
+		if wedged.CompareAndSwap(false, true) {
+			<-block
+		}
+		return "zero", nil
+	}
+	h1 := func(ctx context.Context, _ interface{}) (interface{}, error) { return "one", nil }
+	cl, err := service.New([]service.Handler{h0, h1}, service.WaitAll,
+		service.Options{Deadline: 5 * time.Second, QueueLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the wedged handler before Close waits for in-flight calls.
+	defer cl.Close()
+	defer close(block)
+	f, err := New(cl, Options{Replicas: 2, Router: NewLeastLoaded()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First call wedges component 0's worker (its subset-0 job blocks),
+	// so run it in the background and give the worker time to pick the
+	// job up.
+	go f.Call(context.Background(), nil, BestEffortSLO())
+	deadline := time.Now().Add(2 * time.Second)
+	for !wedged.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Subsequent calls must route subset 0 to component 1 (depth 0)
+	// and return promptly despite the wedged worker.
+	start := time.Now()
+	res, err := f.Call(context.Background(), nil, BestEffortSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("call stuck behind wedged component: %v", elapsed)
+	}
+	if res.Sub[0].Value != "zero" || res.Sub[1].Value != "one" {
+		t.Fatalf("routed results: %+v", res.Sub)
+	}
+}
+
+func TestSnapshotReflectsQueues(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, _ interface{}) (interface{}, error) {
+		<-release
+		return nil, nil
+	}
+	cl, err := service.New([]service.Handler{blocking, blocking}, service.WaitAll,
+		service.Options{QueueLen: 4, Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cl, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := f.Snapshot(); l.MaxQueueFrac != 0 || l.Inflight != 0 {
+		t.Fatalf("idle snapshot = %+v", l)
+	}
+	// Three calls: each wedges both workers' current job and then queues.
+	done := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			f.Call(context.Background(), nil, BestEffortSLO())
+			done <- struct{}{}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		l := f.Snapshot()
+		if l.Inflight == 3 && l.MaxQueueFrac >= 0.5 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l := f.Snapshot()
+	if l.Inflight != 3 {
+		t.Fatalf("inflight = %d", l.Inflight)
+	}
+	// Workers hold one job each; two more wait per mailbox → 2/4.
+	if l.MaxQueueFrac < 0.5 || l.QueueFrac <= 0 {
+		t.Fatalf("queue snapshot = %+v", l)
+	}
+	close(release)
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	cl.Close()
+}

@@ -87,6 +87,12 @@ type SubResult struct {
 	Hedged  bool // Hedged: a replica was issued for this sub-operation
 }
 
+// RouteFunc picks the component that executes a subset's sub-operation.
+// It receives the subset, the component count, and a live queue-depth
+// probe, and must return a component in [0, n). Handlers are safe for
+// concurrent use (see Handler), so any component can serve any subset.
+type RouteFunc func(subset, n int, queueDepth func(comp int) int) int
+
 // ErrQueueFull is reported for a sub-operation whose component mailbox
 // was full at enqueue time.
 var ErrQueueFull = errors.New("service: component queue full")
@@ -98,6 +104,7 @@ type job struct {
 	handler  Handler
 	payload  interface{}
 	subset   int
+	target   int          // component the primary was enqueued on (routing-aware)
 	hedged   *atomic.Bool // set once a replica has been issued for the sub-op
 	enqueued time.Time
 	done     *atomic.Bool
@@ -107,6 +114,7 @@ type job struct {
 
 type component struct {
 	mailbox chan job
+	busy    atomic.Bool // worker is executing a job right now
 }
 
 // quit signals workers to stop; mailboxes are never closed, so a hedge
@@ -121,16 +129,18 @@ type Cluster struct {
 
 	// Streaming quantile estimators keep the runtime's memory constant no
 	// matter how long the cluster serves (P², see internal/stats).
-	mu      sync.Mutex
-	p95est  *stats.P2Quantile
-	p999est *stats.P2Quantile
-	subOps  int
-	hedges  int64
-	closed  bool
-	quit    chan struct{}
-	wg      sync.WaitGroup // worker goroutines
-	calls   sync.WaitGroup // in-flight Calls, drained by Close
-	p95ms   atomic.Uint64  // cached estimate, in microseconds
+	mu       sync.Mutex
+	p95est   *stats.P2Quantile
+	p999est  *stats.P2Quantile
+	subOps   int
+	hedges   int64
+	closed   bool
+	route    RouteFunc
+	quit     chan struct{}
+	wg       sync.WaitGroup // worker goroutines
+	calls    sync.WaitGroup // in-flight Calls, drained by Close
+	inflight atomic.Int64   // in-flight Calls, for load probes
+	p95ms    atomic.Uint64  // cached estimate, in microseconds
 }
 
 // New starts a cluster with one worker per handler. handlers[i] owns data
@@ -170,7 +180,9 @@ func (cl *Cluster) worker(c *component) {
 			if j.done.Load() {
 				continue // the other replica already answered
 			}
+			c.busy.Store(true)
 			v, err := j.handler(j.ctx, j.payload)
+			c.busy.Store(false)
 			lat := time.Since(j.enqueued)
 			if j.done.CompareAndSwap(false, true) {
 				cl.recordLatency(lat)
@@ -203,6 +215,44 @@ func (cl *Cluster) hedgeDelay() time.Duration {
 	return time.Duration(cl.p95ms.Load()) * time.Microsecond
 }
 
+// SetRouter injects a routing policy used by subsequent Calls to place
+// each sub-operation on a component. A nil route restores the default
+// (subset i on component i). Safe to call while the cluster serves.
+func (cl *Cluster) SetRouter(route RouteFunc) {
+	cl.mu.Lock()
+	cl.route = route
+	cl.mu.Unlock()
+}
+
+// Components returns the fan-out width.
+func (cl *Cluster) Components() int { return len(cl.comps) }
+
+// QueueDepth returns the number of jobs outstanding on one component:
+// those waiting in its mailbox plus the one its worker is executing.
+// This is the load signal admission and routing policies act on; the
+// value is a point-in-time sample.
+func (cl *Cluster) QueueDepth(comp int) int {
+	c := cl.comps[comp]
+	d := len(c.mailbox)
+	if c.busy.Load() {
+		d++
+	}
+	return d
+}
+
+// QueueCap returns each mailbox's bound (Options.QueueLen).
+func (cl *Cluster) QueueCap() int { return cl.opts.QueueLen }
+
+// Inflight returns the number of Calls currently executing.
+func (cl *Cluster) Inflight() int { return int(cl.inflight.Load()) }
+
+// EstimatedP95 returns the streaming 95th-percentile sub-operation
+// latency estimate (the hedge trigger delay).
+func (cl *Cluster) EstimatedP95() time.Duration { return cl.hedgeDelay() }
+
+// Deadline returns the configured call deadline (Options.Deadline).
+func (cl *Cluster) Deadline() time.Duration { return cl.opts.Deadline }
+
 // Stats reports cluster-level counters.
 type Stats struct {
 	SubOps int
@@ -233,8 +283,11 @@ func (cl *Cluster) Call(ctx context.Context, payload interface{}) ([]SubResult, 
 		return nil, ErrClosed
 	}
 	cl.calls.Add(1)
+	route := cl.route
 	cl.mu.Unlock()
 	defer cl.calls.Done()
+	cl.inflight.Add(1)
+	defer cl.inflight.Add(-1)
 	n := len(cl.comps)
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -257,7 +310,14 @@ func (cl *Cluster) Call(ctx context.Context, payload interface{}) ([]SubResult, 
 			reply:    reply,
 			ctx:      ctx,
 		}
-		if !cl.enqueue(i, j) {
+		target := i
+		if route != nil {
+			if t := route(i, n, cl.QueueDepth); t >= 0 && t < n {
+				target = t
+			}
+		}
+		j.target = target
+		if !cl.enqueue(target, j) {
 			dones[i].Store(true)
 			reply <- SubResult{Subset: i, Err: ErrQueueFull}
 			continue
@@ -328,8 +388,11 @@ func (cl *Cluster) armHedge(j job) *time.Timer {
 		if j.done.Load() {
 			return
 		}
+		// A replica on the component the primary actually sits on (the
+		// router may have placed it away from its home) would queue
+		// behind the very sub-operation it is meant to hedge — skip.
 		rc := cl.opts.ReplicaOf(j.subset, len(cl.comps))
-		if rc == j.subset {
+		if rc == j.target {
 			return
 		}
 		// Mark before enqueueing so the replica's own reply (which may win

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -344,6 +345,186 @@ func TestPartialGatherAllFast(t *testing.T) {
 			t.Fatalf("fast sub-op skipped: %+v", r)
 		}
 	}
+}
+
+func TestCloseRacesHedgeEnqueue(t *testing.T) {
+	// A hedge timer's AfterFunc can fire concurrently with Close: Call
+	// returns once the primary replies, timer.Stop does not wait for a
+	// running callback, and Close may then drain calls and stop workers
+	// while the callback still enqueues onto a mailbox. Mailboxes are
+	// never closed, so the late enqueue must be harmless. Run many
+	// iterations so -race gets real interleavings to check.
+	for iter := 0; iter < 30; iter++ {
+		cl, err := New([]Handler{
+			sleepHandler(100*time.Microsecond, 0),
+			sleepHandler(100*time.Microsecond, 1),
+		}, Hedged, Options{
+			// A sub-microsecond floor makes nearly every call arm a hedge
+			// that fires while the primary is still running.
+			HedgeFloor: time.Nanosecond,
+			Deadline:   time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					if _, err := cl.Call(context.Background(), nil); err != nil && !errors.Is(err, ErrClosed) {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		cl.Close() // races the callers and their in-flight hedge timers
+		wg.Wait()
+	}
+}
+
+func TestPartialGatherExpiredDeadline(t *testing.T) {
+	// With a deadline so short it has already passed by the time the
+	// gather loop starts, the deadline timer is created with a negative
+	// duration. It must fire immediately (not hang), skipping every
+	// outstanding sub-operation.
+	cl, err := New([]Handler{
+		sleepHandler(50*time.Millisecond, 0),
+		sleepHandler(50*time.Millisecond, 1),
+	}, PartialGather, Options{Deadline: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired deadline blocked Call for %v", elapsed)
+	}
+	for i, r := range res {
+		if !r.Skipped {
+			t.Fatalf("sub %d not skipped with expired deadline: %+v", i, r)
+		}
+	}
+}
+
+func TestSetRouterRedirectsSubsets(t *testing.T) {
+	// A router that sends every subset to component 1 leaves component
+	// 0's worker idle: a blocker parked on component 0 must not delay
+	// subset 0's sub-operation.
+	cl, err := New([]Handler{
+		sleepHandler(time.Millisecond, "zero"),
+		sleepHandler(time.Millisecond, "one"),
+	}, WaitAll, Options{Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRouter(func(subset, n int, depth func(int) int) int { return 1 })
+	blockReply := make(chan SubResult, 1)
+	cl.comps[0].mailbox <- job{
+		handler: sleepHandler(300*time.Millisecond, "blocked"), subset: 0,
+		done: &atomic.Bool{}, reply: blockReply, enqueued: time.Now(), ctx: context.Background(),
+	}
+	start := time.Now()
+	res, err := cl.Call(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("router did not avoid blocked component: %v", elapsed)
+	}
+	if res[0].Value != "zero" || res[1].Value != "one" {
+		t.Fatalf("routed results wrong: %+v", res)
+	}
+	// An out-of-range route falls back to the subset's own component.
+	cl.SetRouter(func(subset, n int, depth func(int) int) int { return -7 })
+	if _, err := cl.Call(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	<-blockReply
+}
+
+func TestHedgeSkipsPrimaryPlacement(t *testing.T) {
+	// The router places subset 0's primary on component 1 — exactly
+	// where the default ReplicaOf would put the hedge replica. The
+	// hedge must be skipped rather than queue behind its own primary.
+	cl, err := New([]Handler{
+		sleepHandler(20*time.Millisecond, 0),
+		sleepHandler(20*time.Millisecond, 1),
+	}, Hedged, Options{HedgeFloor: 2 * time.Millisecond, Deadline: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRouter(func(subset, n int, depth func(int) int) int { return 1 })
+	if _, err := cl.Call(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Subset 1's hedge would also target component (1+1)%2 = 0 — but
+	// its primary sits on 1, so that hedge is legitimate; subset 0's
+	// (replica target 1 == placement 1) is not. At most one hedge, and
+	// never one queued behind its primary on component 1.
+	if h := cl.Stats().Hedges; h > 1 {
+		t.Fatalf("hedges = %d, collision hedge fired", h)
+	}
+}
+
+func TestQueueDepthAndInflightProbes(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, _ interface{}) (interface{}, error) {
+		<-release
+		return nil, nil
+	}
+	cl, err := New([]Handler{blocking}, WaitAll, Options{QueueLen: 8, Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Components() != 1 || cl.QueueCap() != 8 {
+		t.Fatalf("Components=%d QueueCap=%d", cl.Components(), cl.QueueCap())
+	}
+	// Park jobs behind the blocked worker; depth counts the waiting ones.
+	reply := make(chan SubResult, 4)
+	for i := 0; i < 4; i++ {
+		cl.comps[0].mailbox <- job{
+			handler: blocking, subset: 0, done: &atomic.Bool{}, reply: reply,
+			enqueued: time.Now(), ctx: context.Background(),
+		}
+	}
+	// The worker holds one job (busy) and three wait in the mailbox;
+	// depth counts both.
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.QueueDepth(0) != 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := cl.QueueDepth(0); d != 4 {
+		t.Fatalf("QueueDepth = %d, want 4 (3 queued + 1 in service)", d)
+	}
+	if cl.Inflight() != 0 {
+		t.Fatalf("Inflight = %d with no Calls", cl.Inflight())
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cl.Call(context.Background(), nil)
+	}()
+	for cl.Inflight() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if cl.Inflight() != 1 {
+		t.Fatalf("Inflight = %d with one Call running", cl.Inflight())
+	}
+	close(release)
+	<-done
+	for i := 0; i < 4; i++ {
+		<-reply
+	}
+	cl.Close()
 }
 
 func TestHedgeDelayAdaptsToObservedLatency(t *testing.T) {

@@ -17,18 +17,26 @@ type Ladder struct {
 	Cuts   [][]Group
 }
 
-// BuildLadder computes one cut per compression ratio. Ratios are sorted
-// descending (coarsest first); non-positive ratios are rejected by
-// clamping to 1.
+// BuildLadder computes one cut per compression ratio. Non-positive
+// ratios are clamped to 1 first, then the ratios are deduplicated and
+// sorted descending (coarsest first), so inputs like (1, 0) yield a
+// single finest-level cut instead of two identical ones.
 func (s *Synopsis) BuildLadder(ratios ...int) Ladder {
-	sorted := append([]int(nil), ratios...)
+	seen := make(map[int]bool, len(ratios))
+	sorted := make([]int, 0, len(ratios))
+	for _, r := range ratios {
+		if r < 1 {
+			r = 1
+		}
+		if !seen[r] {
+			seen[r] = true
+			sorted = append(sorted, r)
+		}
+	}
 	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
 	l := Ladder{Ratios: sorted}
 	var id int64
 	for _, ratio := range sorted {
-		if ratio < 1 {
-			ratio = 1
-		}
 		maxAgg := s.tree.Len() / ratio
 		if maxAgg < 1 {
 			maxAgg = 1

@@ -44,6 +44,61 @@ func TestBuildLadderShapes(t *testing.T) {
 	}
 }
 
+func TestBuildLadderClampsAndDedupes(t *testing.T) {
+	rng := stats.NewRNG(32)
+	s, _ := buildTestSynopsis(t, rng, 400)
+	// A non-positive ratio clamps to 1 and collapses with an explicit 1:
+	// one finest-level cut, not two identical ones.
+	l := s.BuildLadder(1, 0)
+	if l.Levels() != 1 {
+		t.Fatalf("levels = %d, want 1 (clamped duplicate not removed)", l.Levels())
+	}
+	if l.Ratios[0] != 1 {
+		t.Fatalf("ratios = %v", l.Ratios)
+	}
+	// Clamping happens before the descending sort: -5 must not land in
+	// the finest slot.
+	l = s.BuildLadder(-5, 40)
+	if l.Levels() != 2 || l.Ratios[0] != 40 || l.Ratios[1] != 1 {
+		t.Fatalf("ratios = %v, want [40 1]", l.Ratios)
+	}
+	if len(l.Cuts[0]) >= len(l.Cuts[1]) {
+		t.Fatalf("coarse level (%d groups) not coarser than fine (%d)", len(l.Cuts[0]), len(l.Cuts[1]))
+	}
+	// Repeated ratios dedupe.
+	if l := s.BuildLadder(8, 8, 8); l.Levels() != 1 {
+		t.Fatalf("duplicate ratios produced %d levels", l.Levels())
+	}
+}
+
+func TestLadderSelectBoundaries(t *testing.T) {
+	rng := stats.NewRNG(33)
+	s, _ := buildTestSynopsis(t, rng, 400)
+	l := s.BuildLadder(4, 20, 100)
+	// Load exactly 0 selects the finest level (last cut), exactly 1 the
+	// coarsest (first cut).
+	if lv, g := l.Select(0); lv != l.Levels()-1 || len(g) != len(l.Cuts[l.Levels()-1]) {
+		t.Fatalf("Select(0) = level %d", lv)
+	}
+	if lv, g := l.Select(1); lv != 0 || len(g) != len(l.Cuts[0]) {
+		t.Fatalf("Select(1) = level %d", lv)
+	}
+	// Out-of-range loads clamp to the boundary levels.
+	if lv, _ := l.Select(-0.01); lv != l.Levels()-1 {
+		t.Fatalf("Select(-0.01) = level %d", lv)
+	}
+	if lv, _ := l.Select(1.01); lv != 0 {
+		t.Fatalf("Select(1.01) = level %d", lv)
+	}
+	// Empty ladder returns level 0 and no groups at every load.
+	var empty Ladder
+	for _, load := range []float64{-1, 0, 0.5, 1, 2} {
+		if lv, g := empty.Select(load); lv != 0 || g != nil {
+			t.Fatalf("empty.Select(%v) = (%d, %v)", load, lv, g)
+		}
+	}
+}
+
 func TestLadderSelect(t *testing.T) {
 	rng := stats.NewRNG(31)
 	s, _ := buildTestSynopsis(t, rng, 400)
