@@ -474,6 +474,25 @@ func BenchmarkEngineProcessSynopsis(b *testing.B) {
 	comp := cfSvc.Comps[0]
 	spec := cfSvc.Data.SampleCFRequests(10, 1, 0.2)[0]
 	req := cf.NewRequest(spec.Known, spec.Targets)
+	// Steady-state pooled-engine path: Reset reuses the accumulators and
+	// the target lookup, as the live runtime and the replays do.
+	e := cf.NewEngine(comp, req)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(comp, req)
+		e.ProcessSynopsis()
+	}
+}
+
+// BenchmarkEngineProcessSynopsisCold measures the unpooled path
+// (construct an engine per request) — the shape the pre-optimization
+// BenchmarkEngineProcessSynopsis had, kept so cold-start regressions
+// stay visible next to the steady-state number above.
+func BenchmarkEngineProcessSynopsisCold(b *testing.B) {
+	cfSvc, _ := services(b)
+	comp := cfSvc.Comps[0]
+	spec := cfSvc.Data.SampleCFRequests(10, 1, 0.2)[0]
+	req := cf.NewRequest(spec.Known, spec.Targets)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := cf.NewEngine(comp, req)

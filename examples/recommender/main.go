@@ -59,9 +59,13 @@ func main() {
 			return cf.ExactResult(comp, payload.(cf.Request)), nil
 		}
 		atHandlers[s] = func(ctx context.Context, payload interface{}) (interface{}, error) {
-			e := cf.NewEngine(comp, payload.(cf.Request))
+			// Engines come from the package pool; TakeResult detaches the
+			// accumulators so they survive the engine's release.
+			e := cf.GetEngine(comp, payload.(cf.Request))
 			at.RunWithDeadline(e, deadline, 0)
-			return e.Result(), nil
+			res := e.TakeResult()
+			e.Release()
+			return res, nil
 		}
 	}
 

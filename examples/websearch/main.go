@@ -76,9 +76,13 @@ func main() {
 		synScan := scan / 20
 		atHandlers[s] = func(ctx context.Context, payload interface{}) (interface{}, error) {
 			scanFor(synScan)
-			e := textindex.NewEngine(comp, comp.Ix.ParseQuery(payload.(string)))
+			// Engines come from the package pool: the handler allocates no
+			// per-request scoring state at steady state.
+			e := textindex.GetEngine(comp, comp.Ix.ParseQuery(payload.(string)))
 			at.RunWithDeadline(e, deadline-synScan, 0)
-			return e.TopK(topK), nil
+			hits := e.TopK(topK)
+			e.Release()
+			return hits, nil
 		}
 	}
 

@@ -2,6 +2,7 @@ package cf
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 
 	"accuracytrader/internal/synopsis"
@@ -45,12 +46,11 @@ func aggregate(m *Matrix, groupID int64, members []int) AggregatedUser {
 	return ag
 }
 
+// sortRatings orders ratings by item. Items are unique within a user or
+// aggregate, so the comparator is a total order and the (unstable) sort
+// is deterministic.
 func sortRatings(rs []Rating) {
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].Item < rs[j-1].Item; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
-	}
+	slices.SortFunc(rs, func(a, b Rating) int { return int(a.Item) - int(b.Item) })
 }
 
 // Component is one parallel service component of the CF recommender: its

@@ -1,6 +1,9 @@
 package cf
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Request is one recommendation request: an active user's known ratings
 // and the target items whose ratings should be predicted. All targets
@@ -44,6 +47,19 @@ func NewResult(n int) Result {
 	return Result{Num: make([]float64, n), Den: make([]float64, n)}
 }
 
+// Reset re-zeroes the result for n targets, reusing the buffers when
+// capacity allows, and returns the (possibly re-anchored) result.
+func (r Result) Reset(n int) Result {
+	if cap(r.Num) < n {
+		return NewResult(n)
+	}
+	r.Num = r.Num[:n]
+	r.Den = r.Den[:n]
+	clear(r.Num)
+	clear(r.Den)
+	return r
+}
+
 // Merge adds other into r.
 func (r Result) Merge(other Result) {
 	for i := range r.Num {
@@ -54,40 +70,102 @@ func (r Result) Merge(other Result) {
 
 // Predictions converts merged partial results into final predicted
 // ratings: activeMean + num/den, falling back to the active mean when no
-// neighbour rated the target.
+// neighbour rated the target. The slice is freshly allocated; hot paths
+// should use PredictionsInto.
 func (r Result) Predictions(activeMean float64) []float64 {
-	out := make([]float64, len(r.Num))
-	for i := range out {
+	return r.PredictionsInto(nil, activeMean)
+}
+
+// PredictionsInto writes the predictions into dst (reused when capacity
+// allows, truncated first) and returns it.
+func (r Result) PredictionsInto(dst []float64, activeMean float64) []float64 {
+	dst = dst[:0]
+	for i := range r.Num {
 		if r.Den[i] > 0 {
-			out[i] = activeMean + r.Num[i]/r.Den[i]
+			dst = append(dst, activeMean+r.Num[i]/r.Den[i])
 		} else {
-			out[i] = activeMean
+			dst = append(dst, activeMean)
 		}
 	}
-	return out
+	return dst
+}
+
+// targetLookup maps item ids to request target slots in O(1): pos[item]
+// holds the first slot predicting that item, next[slot] chains duplicate
+// targets of the same item. Entries are validated by an epoch stamp, so
+// re-building for a new request costs O(targets), not O(items).
+type targetLookup struct {
+	pos   []int32
+	stamp []uint32
+	next  []int32
+	epoch uint32
+}
+
+// build prepares the lookup for a target list over an nItems item space.
+func (tl *targetLookup) build(nItems int, targets []int32) {
+	if len(tl.pos) < nItems {
+		tl.pos = make([]int32, nItems)
+		tl.stamp = make([]uint32, nItems)
+		tl.epoch = 0
+	}
+	tl.epoch++
+	if tl.epoch == 0 { // stamp wraparound: invalidate everything explicitly
+		clear(tl.stamp)
+		tl.epoch = 1
+	}
+	if cap(tl.next) < len(targets) {
+		tl.next = make([]int32, len(targets))
+	} else {
+		tl.next = tl.next[:len(targets)]
+	}
+	for t := len(targets) - 1; t >= 0; t-- {
+		item := targets[t]
+		if item < 0 || int(item) >= nItems {
+			// An out-of-range target can never be rated by a neighbour: the
+			// slot keeps a zero denominator and predicts the active mean,
+			// exactly as the binary-search kernel it replaced behaved.
+			tl.next[t] = -1
+			continue
+		}
+		if tl.stamp[item] == tl.epoch {
+			tl.next[t] = tl.pos[item]
+		} else {
+			tl.next[t] = -1
+		}
+		tl.pos[item] = int32(t)
+		tl.stamp[item] = tl.epoch
+	}
 }
 
 // contribute accumulates one neighbour (weight w, neighbour ratings rs,
-// neighbour mean) into the result for every target it rated.
-func contribute(res Result, targets []int32, w float64, rs []Rating, mean float64, sign float64) {
+// neighbour mean) into the result for every target it rated. Instead of a
+// binary search per (neighbour × target), it streams the neighbour's
+// ratings once and resolves targets through the O(1) lookup. Each
+// (neighbour, target) pair adds exactly the value the reference kernel
+// adds, in the same per-slot order, so accumulators stay bit-identical.
+func (tl *targetLookup) contribute(res Result, w float64, rs []Rating, mean float64, sign float64) {
 	if w == 0 {
 		return
 	}
 	aw := math.Abs(w)
-	for t, item := range targets {
-		// Binary search in the sorted ratings.
-		lo, hi := 0, len(rs)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if rs[mid].Item < item {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
+	prev := int32(-1)
+	for _, r := range rs {
+		// rs is sorted; skip non-first duplicate items so each (neighbour,
+		// target) pair contributes once, from the first occurrence — the
+		// semantics of the binary-search kernel this replaces (SetUser
+		// accepts duplicate items without deduplicating).
+		if r.Item == prev {
+			continue
 		}
-		if lo < len(rs) && rs[lo].Item == item {
-			res.Num[t] += sign * w * (rs[lo].Score - mean)
-			res.Den[t] += sign * aw
+		prev = r.Item
+		if tl.stamp[r.Item] != tl.epoch {
+			continue
+		}
+		dev := sign * w * (r.Score - mean)
+		dden := sign * aw
+		for t := tl.pos[r.Item]; t >= 0; t = tl.next[t] {
+			res.Num[t] += dev
+			res.Den[t] += dden
 		}
 	}
 }
@@ -102,28 +180,66 @@ type Engine struct {
 
 	res        Result
 	aggWeights []float64
+	corr       []float64
+	lookup     targetLookup
 }
 
 // NewEngine prepares an engine for a request.
 func NewEngine(c *Component, req Request) *Engine {
-	return &Engine{Comp: c, Req: req, res: NewResult(len(req.Targets))}
+	e := &Engine{}
+	e.Reset(c, req)
+	return e
+}
+
+// Reset re-targets the engine at a component and request, reusing all
+// internal buffers (result accumulators, weight vectors and the target
+// lookup). It makes engines poolable across requests.
+func (e *Engine) Reset(c *Component, req Request) {
+	e.Comp, e.Req = c, req
+	e.res = e.res.Reset(len(req.Targets))
+	e.lookup.build(c.M.NumItems(), req.Targets)
+}
+
+// enginePool recycles Engines across requests (see GetEngine).
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
+// GetEngine returns a pooled engine reset for the request. Release it
+// with Engine.Release when the request is finished.
+func GetEngine(c *Component, req Request) *Engine {
+	e := enginePool.Get().(*Engine)
+	e.Reset(c, req)
+	return e
+}
+
+// Release returns the engine to the pool. The engine, its Result and any
+// slice obtained from ProcessSynopsis must not be used afterwards.
+func (e *Engine) Release() {
+	e.Comp = nil
+	e.Req = Request{}
+	enginePool.Put(e)
 }
 
 // ProcessSynopsis computes the aggregated-user weights, accumulates their
 // contributions as the initial result, and returns the correlation
 // estimates (|weight|, per paper §4.2's evaluation of weights as
-// correlations).
+// correlations). The returned slice is owned by the engine and valid
+// until the next Reset or Release.
 func (e *Engine) ProcessSynopsis() []float64 {
 	m := len(e.Comp.Aggs)
-	e.aggWeights = make([]float64, m)
-	corr := make([]float64, m)
+	if cap(e.aggWeights) < m {
+		e.aggWeights = make([]float64, m)
+		e.corr = make([]float64, m)
+	} else {
+		e.aggWeights = e.aggWeights[:m]
+		e.corr = e.corr[:m]
+	}
 	for g, ag := range e.Comp.Aggs {
 		w := Weight(e.Req.Ratings, ag.Ratings)
 		e.aggWeights[g] = w
-		corr[g] = math.Abs(w)
-		contribute(e.res, e.Req.Targets, w, ag.Ratings, ag.Mean, +1)
+		e.corr[g] = math.Abs(w)
+		e.lookup.contribute(e.res, w, ag.Ratings, ag.Mean, +1)
 	}
-	return corr
+	return e.corr
 }
 
 // ProcessSet improves the result with group g's original users: the
@@ -131,27 +247,50 @@ func (e *Engine) ProcessSynopsis() []float64 {
 // with its exact weight (Algorithm 1 line 7).
 func (e *Engine) ProcessSet(g int) {
 	ag := e.Comp.Aggs[g]
-	contribute(e.res, e.Req.Targets, e.aggWeights[g], ag.Ratings, ag.Mean, -1)
+	e.lookup.contribute(e.res, e.aggWeights[g], ag.Ratings, ag.Mean, -1)
 	for _, u := range ag.Members {
 		rs := e.Comp.M.Ratings(u)
 		w := Weight(e.Req.Ratings, rs)
-		contribute(e.res, e.Req.Targets, w, rs, e.Comp.M.Mean(u), +1)
+		e.lookup.contribute(e.res, w, rs, e.Comp.M.Mean(u), +1)
 	}
 }
 
-// Result returns the current partial result.
+// Result returns the current partial result. It aliases the engine's
+// accumulators: for a pooled engine, copy it or use TakeResult before
+// Release.
 func (e *Engine) Result() Result { return e.res }
+
+// TakeResult returns the current partial result and detaches it from the
+// engine, so it stays valid after Release (the engine's next Reset
+// allocates fresh accumulators).
+func (e *Engine) TakeResult() Result {
+	r := e.res
+	e.res = Result{}
+	return r
+}
+
+// exactLookupPool recycles target lookups for ExactResultInto callers.
+var exactLookupPool = sync.Pool{New: func() any { return new(targetLookup) }}
 
 // ExactResult computes the component's exact partial result: every
 // original user contributes — the paper's "full computation over the
 // entire input data" baseline.
 func ExactResult(c *Component, req Request) Result {
-	res := NewResult(len(req.Targets))
+	return ExactResultInto(Result{}, c, req)
+}
+
+// ExactResultInto is ExactResult accumulating into res's reused buffers
+// (re-zeroed first); it returns the (possibly re-anchored) result.
+func ExactResultInto(res Result, c *Component, req Request) Result {
+	res = res.Reset(len(req.Targets))
+	tl := exactLookupPool.Get().(*targetLookup)
+	tl.build(c.M.NumItems(), req.Targets)
 	for u := 0; u < c.M.NumUsers(); u++ {
 		rs := c.M.Ratings(u)
 		w := Weight(req.Ratings, rs)
-		contribute(res, req.Targets, w, rs, c.M.Mean(u), +1)
+		tl.contribute(res, w, rs, c.M.Mean(u), +1)
 	}
+	exactLookupPool.Put(tl)
 	return res
 }
 

@@ -7,10 +7,11 @@
 package cf
 
 import (
-	"sort"
+	"math"
+	"slices"
 
+	"accuracytrader/internal/csr"
 	"accuracytrader/internal/svd"
-	"accuracytrader/internal/vmath"
 )
 
 // Rating is one (item, score) pair of a user.
@@ -21,9 +22,10 @@ type Rating struct {
 
 // Matrix is the user-item rating matrix of one service component's data
 // subset. User ratings are kept sorted by item for merge-join weight
-// computation.
+// computation, in one flat CSR backing array (internal/csr) so exact
+// scans and Algorithm 1's set processing stream contiguous memory.
 type Matrix struct {
-	users  [][]Rating
+	users  csr.Store[Rating]
 	means  []float64
 	nItems int
 }
@@ -38,8 +40,7 @@ func NewMatrix(nItems int) *Matrix {
 
 // AddUser appends a user with the given ratings and returns the user id.
 func (m *Matrix) AddUser(rs []Rating) int {
-	id := len(m.users)
-	m.users = append(m.users, nil)
+	id := m.users.AddRow(nil)
 	m.means = append(m.means, 0)
 	m.SetUser(id, rs)
 	return id
@@ -47,11 +48,11 @@ func (m *Matrix) AddUser(rs []Rating) int {
 
 // SetUser replaces user u's ratings (an input-data change).
 func (m *Matrix) SetUser(u int, rs []Rating) {
-	if u < 0 || u >= len(m.users) {
+	if u < 0 || u >= m.users.NumRows() {
 		panic("cf: SetUser out of range")
 	}
 	cp := append([]Rating(nil), rs...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i].Item < cp[j].Item })
+	slices.SortFunc(cp, func(a, b Rating) int { return int(a.Item) - int(b.Item) })
 	sum := 0.0
 	for _, r := range cp {
 		if r.Item < 0 || int(r.Item) >= m.nItems {
@@ -59,7 +60,7 @@ func (m *Matrix) SetUser(u int, rs []Rating) {
 		}
 		sum += r.Score
 	}
-	m.users[u] = cp
+	m.users.SetRow(u, cp)
 	if len(cp) > 0 {
 		m.means[u] = sum / float64(len(cp))
 	} else {
@@ -68,32 +69,35 @@ func (m *Matrix) SetUser(u int, rs []Rating) {
 }
 
 // NumUsers returns the number of users.
-func (m *Matrix) NumUsers() int { return len(m.users) }
+func (m *Matrix) NumUsers() int { return m.users.NumRows() }
 
 // NumItems returns the item-space size.
 func (m *Matrix) NumItems() int { return m.nItems }
 
 // NumRatings returns the total number of ratings stored.
-func (m *Matrix) NumRatings() int {
-	n := 0
-	for _, u := range m.users {
-		n += len(u)
-	}
-	return n
-}
+func (m *Matrix) NumRatings() int { return m.users.TotalLen() }
 
-// Ratings returns user u's ratings sorted by item (shared slice).
-func (m *Matrix) Ratings(u int) []Rating { return m.users[u] }
+// Ratings returns user u's ratings sorted by item. The slice aliases the
+// flat backing array and is valid until the next matrix mutation.
+func (m *Matrix) Ratings(u int) []Rating { return m.users.Row(u) }
 
 // Mean returns user u's mean rating (0 when the user has no ratings).
 func (m *Matrix) Mean(u int) float64 { return m.means[u] }
 
 // Rating returns user u's score for an item, if rated.
 func (m *Matrix) Rating(u int, item int32) (float64, bool) {
-	rs := m.users[u]
-	k := sort.Search(len(rs), func(i int) bool { return rs[i].Item >= item })
-	if k < len(rs) && rs[k].Item == item {
-		return rs[k].Score, true
+	rs := m.users.Row(u)
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].Item < item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(rs) && rs[lo].Item == item {
+		return rs[lo].Score, true
 	}
 	return 0, false
 }
@@ -101,23 +105,66 @@ func (m *Matrix) Rating(u int, item int32) (float64, bool) {
 // Weight returns the Pearson correlation coefficient between two users'
 // rating vectors over their co-rated items — the paper's similarity weight.
 // Users with fewer than two co-rated items get weight 0.
+//
+// The co-rated pairs are found by a merge-join over the sorted rating
+// vectors, run twice (means, then moments) so nothing is materialized:
+// zero allocations, and the accumulation order is exactly that of the
+// reference implementation (collect pairs, then vmath.Pearson), keeping
+// the result bit-identical to it.
 func Weight(a, b []Rating) float64 {
-	var xs, ys []float64
+	n := 0
+	sx, sy := 0.0, 0.0
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		switch {
-		case a[i].Item < b[j].Item:
+		ai, bj := a[i].Item, b[j].Item
+		if ai < bj {
 			i++
-		case a[i].Item > b[j].Item:
-			j++
-		default:
-			xs = append(xs, a[i].Score)
-			ys = append(ys, b[j].Score)
-			i++
-			j++
+			continue
 		}
+		if ai > bj {
+			j++
+			continue
+		}
+		sx += a[i].Score
+		sy += b[j].Score
+		n++
+		i++
+		j++
 	}
-	return vmath.Pearson(xs, ys)
+	if n < 2 {
+		return 0
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxy, sxx, syy float64
+	i, j = 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i].Item, b[j].Item
+		if ai < bj {
+			i++
+			continue
+		}
+		if ai > bj {
+			j++
+			continue
+		}
+		dx, dy := a[i].Score-mx, b[j].Score-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+		i++
+		j++
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp rounding noise so callers can rely on [-1,1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
 }
 
 // FeatureSource adapts the matrix to synopsis building: each user is a

@@ -1,0 +1,316 @@
+package cf
+
+// Reference (naive) implementations of the optimized CF kernels, retained
+// as test-only helpers: the property tests assert the optimized merge-join
+// Weight and the lookup-table contribute are result-identical to the
+// simple semantics on randomized inputs.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/vmath"
+)
+
+// naiveWeight is the pre-optimization Weight: materialize the co-rated
+// pairs, then vmath.Pearson.
+func naiveWeight(a, b []Rating) float64 {
+	var xs, ys []float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Item < b[j].Item:
+			i++
+		case a[i].Item > b[j].Item:
+			j++
+		default:
+			xs = append(xs, a[i].Score)
+			ys = append(ys, b[j].Score)
+			i++
+			j++
+		}
+	}
+	return vmath.Pearson(xs, ys)
+}
+
+// naiveContribute is the pre-optimization contribute: a binary search per
+// (neighbour × target).
+func naiveContribute(res Result, targets []int32, w float64, rs []Rating, mean float64, sign float64) {
+	if w == 0 {
+		return
+	}
+	aw := math.Abs(w)
+	for t, item := range targets {
+		lo, hi := 0, len(rs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if rs[mid].Item < item {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(rs) && rs[lo].Item == item {
+			res.Num[t] += sign * w * (rs[lo].Score - mean)
+			res.Den[t] += sign * aw
+		}
+	}
+}
+
+// naiveExactResult composes naiveWeight + naiveContribute over all users.
+func naiveExactResult(c *Component, req Request) Result {
+	res := NewResult(len(req.Targets))
+	for u := 0; u < c.M.NumUsers(); u++ {
+		rs := c.M.Ratings(u)
+		w := naiveWeight(req.Ratings, rs)
+		naiveContribute(res, req.Targets, w, rs, c.M.Mean(u), +1)
+	}
+	return res
+}
+
+// randomRatings emits a sorted, item-unique rating vector.
+func randomRatings(rng *stats.RNG, nItems int) []Rating {
+	var rs []Rating
+	for i := 0; i < nItems; i++ {
+		if rng.Float64() < 0.3 {
+			rs = append(rs, Rating{Item: int32(i), Score: 1 + 4*rng.Float64()})
+		}
+	}
+	return rs
+}
+
+// TestWeightMatchesNaiveReference checks the zero-alloc merge-join Weight
+// is bit-identical to the materializing reference on randomized vectors.
+func TestWeightMatchesNaiveReference(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := stats.NewRNG(seed)
+		for trial := 0; trial < 300; trial++ {
+			a := randomRatings(rng, 5+rng.Intn(60))
+			b := randomRatings(rng, 5+rng.Intn(60))
+			got, want := Weight(a, b), naiveWeight(a, b)
+			if got != want {
+				t.Fatalf("seed %d trial %d: Weight %v, naive %v", seed, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestContributeMatchesNaiveReference checks the target-lookup contribute
+// accumulates bit-identically to the binary-search reference, including
+// duplicate target items.
+func TestContributeMatchesNaiveReference(t *testing.T) {
+	rng := stats.NewRNG(2)
+	const nItems = 40
+	var tl targetLookup
+	for trial := 0; trial < 300; trial++ {
+		nT := 1 + rng.Intn(8)
+		targets := make([]int32, nT)
+		for i := range targets {
+			targets[i] = int32(rng.Intn(nItems))
+		}
+		// Every other trial: force duplicate targets.
+		if trial%2 == 0 && nT > 1 {
+			targets[nT-1] = targets[0]
+		}
+		tl.build(nItems, targets)
+		got := NewResult(nT)
+		want := NewResult(nT)
+		for n := 0; n < 5; n++ {
+			rs := randomRatings(rng, nItems)
+			w := rng.Norm(0, 0.5)
+			mean := 1 + 4*rng.Float64()
+			sign := 1.0
+			if rng.Float64() < 0.3 {
+				sign = -1
+			}
+			tl.contribute(got, w, rs, mean, sign)
+			naiveContribute(want, targets, w, rs, mean, sign)
+		}
+		for i := range want.Num {
+			if got.Num[i] != want.Num[i] || got.Den[i] != want.Den[i] {
+				t.Fatalf("trial %d target %d: got (%v,%v) want (%v,%v)",
+					trial, i, got.Num[i], got.Den[i], want.Num[i], want.Den[i])
+			}
+		}
+	}
+}
+
+// TestContributeDuplicateNeighbourItems checks rating vectors holding
+// duplicate items (accepted by SetUser) contribute once per (neighbour,
+// target) from the first occurrence, matching the binary-search kernel.
+func TestContributeDuplicateNeighbourItems(t *testing.T) {
+	targets := []int32{3, 8}
+	rs := []Rating{{Item: 3, Score: 4}, {Item: 3, Score: 1}, {Item: 8, Score: 2}}
+	var tl targetLookup
+	tl.build(10, targets)
+	got := NewResult(2)
+	want := NewResult(2)
+	tl.contribute(got, 0.7, rs, 2.5, +1)
+	naiveContribute(want, targets, 0.7, rs, 2.5, +1)
+	for i := range want.Num {
+		if got.Num[i] != want.Num[i] || got.Den[i] != want.Den[i] {
+			t.Fatalf("target %d: got (%v,%v) want (%v,%v)", i, got.Num[i], got.Den[i], want.Num[i], want.Den[i])
+		}
+	}
+}
+
+// TestEngineMatchesNaivePipeline runs the full Algorithm 1 pipeline on
+// randomized components and checks predictions against the naive kernels
+// within 1e-12 at every processing depth.
+func TestEngineMatchesNaivePipeline(t *testing.T) {
+	for seed := uint64(10); seed <= 12; seed++ {
+		rng := stats.NewRNG(seed)
+		m, _ := testMatrix(rng, 150, 30, 4, 0.4)
+		c, err := BuildComponent(m, synCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			known := randomRatings(rng, 30)
+			nT := 1 + rng.Intn(5)
+			targets := make([]int32, nT)
+			for i := range targets {
+				targets[i] = int32(rng.Intn(30))
+			}
+			req := NewRequest(known, targets)
+
+			e := GetEngine(c, req)
+			naiveRes := NewResult(nT)
+			corr := e.ProcessSynopsis()
+			for g, ag := range c.Aggs {
+				w := naiveWeight(req.Ratings, ag.Ratings)
+				if math.Abs(corr[g]-math.Abs(w)) > 1e-15 {
+					t.Fatalf("seed %d trial %d: corr[%d] %v vs naive %v", seed, trial, g, corr[g], math.Abs(w))
+				}
+				naiveContribute(naiveRes, req.Targets, w, ag.Ratings, ag.Mean, +1)
+			}
+			checkResultsClose(t, e.Result(), naiveRes, 1e-12, fmt.Sprintf("seed %d trial %d synopsis", seed, trial))
+			for g := range c.Aggs {
+				e.ProcessSet(g)
+				ag := c.Aggs[g]
+				naiveContribute(naiveRes, req.Targets, e.aggWeights[g], ag.Ratings, ag.Mean, -1)
+				for _, u := range ag.Members {
+					rs := c.M.Ratings(u)
+					naiveContribute(naiveRes, req.Targets, naiveWeight(req.Ratings, rs), rs, c.M.Mean(u), +1)
+				}
+			}
+			checkResultsClose(t, e.Result(), naiveRes, 1e-12, fmt.Sprintf("seed %d trial %d full", seed, trial))
+
+			am := req.ActiveMean()
+			got := e.Result().Predictions(am)
+			want := naiveRes.Predictions(am)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Fatalf("seed %d trial %d: prediction %d = %v, naive %v", seed, trial, i, got[i], want[i])
+				}
+			}
+			e.Release()
+		}
+	}
+}
+
+func checkResultsClose(t *testing.T, got, want Result, tol float64, ctx string) {
+	t.Helper()
+	for i := range want.Num {
+		if math.Abs(got.Num[i]-want.Num[i]) > tol || math.Abs(got.Den[i]-want.Den[i]) > tol {
+			t.Fatalf("%s: target %d got (%v,%v) want (%v,%v)",
+				ctx, i, got.Num[i], got.Den[i], want.Num[i], want.Den[i])
+		}
+	}
+}
+
+// TestExactResultMatchesNaive checks the streaming CSR ExactResult (and
+// its buffer-reusing variant) against the naive composition.
+func TestExactResultMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(21)
+	m, _ := testMatrix(rng, 200, 35, 4, 0.4)
+	c, err := BuildComponent(m, synCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused Result
+	for trial := 0; trial < 20; trial++ {
+		known := randomRatings(rng, 35)
+		targets := []int32{int32(rng.Intn(35)), int32(rng.Intn(35)), int32(rng.Intn(35))}
+		req := NewRequest(known, targets)
+		want := naiveExactResult(c, req)
+		got := ExactResult(c, req)
+		checkResultsClose(t, got, want, 0, fmt.Sprintf("trial %d fresh", trial))
+		reused = ExactResultInto(reused, c, req)
+		checkResultsClose(t, reused, want, 0, fmt.Sprintf("trial %d reused", trial))
+	}
+}
+
+// TestEngineResetReuseMatchesFresh checks a pooled/reset CF engine
+// produces results identical to a fresh engine across varying requests.
+func TestEngineResetReuseMatchesFresh(t *testing.T) {
+	rng := stats.NewRNG(31)
+	m, _ := testMatrix(rng, 150, 30, 4, 0.5)
+	c, err := BuildComponent(m, synCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := GetEngine(c, NewRequest(nil, nil))
+	defer reused.Release()
+	for trial := 0; trial < 15; trial++ {
+		req := NewRequest(randomRatings(rng, 30), []int32{int32(rng.Intn(30)), int32(rng.Intn(30))})
+		fresh := NewEngine(c, req)
+		reused.Reset(c, req)
+		fresh.ProcessSynopsis()
+		reused.ProcessSynopsis()
+		for g := 0; g < len(c.Aggs); g += 2 {
+			fresh.ProcessSet(g)
+			reused.ProcessSet(g)
+		}
+		checkResultsClose(t, reused.Result(), fresh.Result(), 0, fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// TestOutOfRangeTargetsPredictActiveMean is the regression test for the
+// target-lookup guard: a target item outside the component's item space
+// must not panic (the replaced binary-search kernel degraded gracefully)
+// and must fall back to the active mean.
+func TestOutOfRangeTargetsPredictActiveMean(t *testing.T) {
+	rng := stats.NewRNG(61)
+	m, _ := testMatrix(rng, 100, 20, 4, 0.5)
+	c, err := BuildComponent(m, synCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRequest(m.Ratings(0)[:3], []int32{5, int32(m.NumItems()), -1, 7})
+	e := NewEngine(c, req)
+	e.ProcessSynopsis()
+	for g := range c.Aggs {
+		e.ProcessSet(g)
+	}
+	am := req.ActiveMean()
+	preds := e.Result().Predictions(am)
+	if preds[1] != am || preds[2] != am {
+		t.Fatalf("out-of-range targets predicted (%v, %v), want active mean %v", preds[1], preds[2], am)
+	}
+	if math.IsNaN(preds[0]) || math.IsNaN(preds[3]) {
+		t.Fatal("in-range targets broken by out-of-range neighbours")
+	}
+}
+
+// TestPredictionsIntoMatchesPredictions checks the buffer-reusing
+// prediction path.
+func TestPredictionsIntoMatchesPredictions(t *testing.T) {
+	r := Result{Num: []float64{1, 0, -2}, Den: []float64{2, 0, 4}}
+	want := r.Predictions(3)
+	buf := make([]float64, 0, 8)
+	got := r.PredictionsInto(buf, 3)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pred %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if cap(got) != cap(buf) {
+		t.Fatalf("buffer not reused")
+	}
+}

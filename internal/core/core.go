@@ -26,7 +26,9 @@ type Engine interface {
 	// request (Algorithm 1 line 1) and returns, for every aggregated data
 	// point, its estimated correlation to the request's result accuracy.
 	// The returned result is improved in place by subsequent ProcessSet
-	// calls.
+	// calls. Implementations may return an internal buffer: the slice is
+	// only valid until the engine is reset or released, and Run does not
+	// retain it.
 	ProcessSynopsis() (correlations []float64)
 	// ProcessSet improves the current result with the original data points
 	// of the set belonging to aggregated point ag (Algorithm 1 line 7).

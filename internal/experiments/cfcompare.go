@@ -103,40 +103,51 @@ func replayCFAccuracy(svc *CFService, resBasic, resAT *cluster.Result, seed uint
 	}
 	reqs := svc.Data.SampleCFRequests(seed, samples, 0.2)
 	var plSum, alSum stats.Summary
+	// All result accumulators and prediction buffers are reused across the
+	// sampled requests, and the per-shard Algorithm 1 runs draw engines
+	// from the package pool — the replay loop allocates nothing per sample
+	// at steady state.
+	var exact, partial, at, shard cf.Result
+	var preds, trivial []float64
 	for i, spec := range reqs {
 		ridx := i * n / len(reqs)
 		req := cf.NewRequest(spec.Known, spec.Targets)
 		activeMean := req.ActiveMean()
 
-		exact := cf.NewResult(len(req.Targets))
-		partial := cf.NewResult(len(req.Targets))
-		at := cf.NewResult(len(req.Targets))
+		exact = exact.Reset(len(req.Targets))
+		partial = partial.Reset(len(req.Targets))
+		at = at.Reset(len(req.Targets))
 		for s := 0; s < sc.Shards; s++ {
 			comp := svc.Comps[s]
-			ex := cf.ExactResult(comp, req)
-			exact.Merge(ex)
+			shard = cf.ExactResultInto(shard, comp, req)
+			exact.Merge(shard)
 			if resBasic.Ops[ridx][s].LatencyMs <= sc.DeadlineMs {
-				partial.Merge(ex)
+				partial.Merge(shard)
 			}
-			at.Merge(atShardResult(comp, req, resAT.Ops[ridx][s].SetsProcessed))
+			mergeATShard(at, comp, req, resAT.Ops[ridx][s].SetsProcessed)
 		}
-		trivial := make([]float64, len(spec.Truth))
-		for t := range trivial {
-			trivial[t] = activeMean
+		trivial = trivial[:0]
+		for range spec.Truth {
+			trivial = append(trivial, activeMean)
 		}
 		baseRMSE := cf.RMSE(trivial, spec.Truth)
-		exSkill := metrics.Skill(cf.RMSE(exact.Predictions(activeMean), spec.Truth), baseRMSE)
-		plSum.Add(metrics.LossPct(exSkill, metrics.Skill(cf.RMSE(partial.Predictions(activeMean), spec.Truth), baseRMSE)))
-		alSum.Add(metrics.LossPct(exSkill, metrics.Skill(cf.RMSE(at.Predictions(activeMean), spec.Truth), baseRMSE)))
+		preds = exact.PredictionsInto(preds, activeMean)
+		exSkill := metrics.Skill(cf.RMSE(preds, spec.Truth), baseRMSE)
+		preds = partial.PredictionsInto(preds, activeMean)
+		plSum.Add(metrics.LossPct(exSkill, metrics.Skill(cf.RMSE(preds, spec.Truth), baseRMSE)))
+		preds = at.PredictionsInto(preds, activeMean)
+		alSum.Add(metrics.LossPct(exSkill, metrics.Skill(cf.RMSE(preds, spec.Truth), baseRMSE)))
 	}
 	return plSum.Mean(), alSum.Mean()
 }
 
-// atShardResult runs Algorithm 1 on one shard with a fixed set budget.
-func atShardResult(comp *cf.Component, req cf.Request, k int) cf.Result {
-	e := cf.NewEngine(comp, req)
+// mergeATShard runs Algorithm 1 on one shard with a fixed set budget via
+// a pooled engine and merges its partial result into at.
+func mergeATShard(at cf.Result, comp *cf.Component, req cf.Request, k int) {
+	e := cf.GetEngine(comp, req)
 	core.Run(e, core.BudgetContinue(k), 0)
-	return e.Result()
+	at.Merge(e.Result())
+	e.Release()
 }
 
 // RenderTable1 renders the Table 1 analogue.

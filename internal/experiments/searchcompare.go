@@ -109,9 +109,13 @@ func (w *SearchWindow) replayAccuracy(svc *SearchService, seed uint64) {
 		samples = n
 	}
 	queries := svc.Data.SampleQueries(seed^0x77, samples)
+	// The per-shard hit-list collections are reused across samples; the
+	// Algorithm 1 runs inside atShardTopK draw engines from the package
+	// pool instead of allocating one per (sample × shard).
+	var exact, partial, at [][]textindex.Hit
 	for i, qs := range queries {
 		ridx := i * n / len(queries)
-		var exact, partial, at [][]textindex.Hit
+		exact, partial, at = exact[:0], partial[:0], at[:0]
 		for s := 0; s < sc.Shards; s++ {
 			comp := svc.Comps[s]
 			q := comp.Ix.ParseQuery(qs)
@@ -140,12 +144,14 @@ func globalHits(hits []textindex.Hit, shard int) []textindex.Hit {
 	return out
 }
 
-// atShardTopK runs Algorithm 1 on one shard with a fixed set budget and
-// returns its current top-10.
+// atShardTopK runs Algorithm 1 on one shard with a fixed set budget via
+// a pooled engine and returns its current top-10.
 func atShardTopK(comp *textindex.Component, q textindex.Query, k int) []textindex.Hit {
-	e := textindex.NewEngine(comp, q)
+	e := textindex.GetEngine(comp, q)
 	core.Run(e, core.BudgetContinue(k), 0)
-	return e.TopK(10)
+	hits := e.TopK(10)
+	e.Release()
+	return hits
 }
 
 // MinuteTail returns the per-minute-bin p-th percentile component latency

@@ -3,10 +3,12 @@ package textindex
 import (
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
 	"accuracytrader/internal/synopsis"
+	"accuracytrader/internal/topk"
 )
 
 // AggregatedPage is one synopsis point for text data: the paper's step-3
@@ -24,7 +26,7 @@ func aggregatePage(ix *Index, groupID int64, members []int) AggregatedPage {
 	freqs := make(map[int32]int32)
 	length := 0
 	for _, d := range members {
-		for _, e := range ix.docTerms[d] {
+		for _, e := range ix.termVec(d) {
 			freqs[e.Term] += e.Freq
 		}
 		length += ix.docLen[d]
@@ -33,7 +35,7 @@ func aggregatePage(ix *Index, groupID int64, members []int) AggregatedPage {
 	for t, f := range freqs {
 		ap.Terms = append(ap.Terms, TermFreq{Term: t, Freq: f})
 	}
-	sort.Slice(ap.Terms, func(i, j int) bool { return ap.Terms[i].Term < ap.Terms[j].Term })
+	slices.SortFunc(ap.Terms, func(a, b TermFreq) int { return int(a.Term) - int(b.Term) })
 	return ap
 }
 
@@ -153,23 +155,67 @@ type Engine struct {
 	aggScores []float64
 	processed []bool
 	scored    []Hit
+	sel       topk.Selector
+	order     []int
 }
 
 // NewEngine prepares an engine for a parsed query.
 func NewEngine(c *Component, q Query) *Engine {
-	return &Engine{Comp: c, Q: q}
+	e := &Engine{}
+	e.Reset(c, q)
+	return e
+}
+
+// Reset re-targets the engine at a component and query, reusing all
+// internal buffers. It makes engines poolable: the live runtime and the
+// experiment replays process a request stream with a handful of engines
+// instead of allocating one per request.
+func (e *Engine) Reset(c *Component, q Query) {
+	e.Comp, e.Q = c, q
+	e.aggScores = e.aggScores[:0]
+	e.processed = e.processed[:0]
+	e.scored = e.scored[:0]
+}
+
+// enginePool recycles Engines across requests (see GetEngine).
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
+// GetEngine returns a pooled engine reset for the query. Release it with
+// Engine.Release when the request is finished.
+func GetEngine(c *Component, q Query) *Engine {
+	e := enginePool.Get().(*Engine)
+	e.Reset(c, q)
+	return e
+}
+
+// Release returns the engine to the pool. The engine (and any slice
+// obtained from its ProcessSynopsis) must not be used afterwards.
+func (e *Engine) Release() {
+	e.Comp = nil
+	e.Q = Query{}
+	enginePool.Put(e)
 }
 
 // ProcessSynopsis scores every aggregated page and returns those scores as
-// the correlation estimates.
+// the correlation estimates. The returned slice is owned by the engine
+// and valid until the next Reset or Release.
 func (e *Engine) ProcessSynopsis() []float64 {
 	m := len(e.Comp.Aggs)
-	e.aggScores = make([]float64, m)
-	e.processed = make([]bool, m)
+	if cap(e.aggScores) < m {
+		e.aggScores = make([]float64, m)
+	} else {
+		e.aggScores = e.aggScores[:m]
+	}
+	if cap(e.processed) < m {
+		e.processed = make([]bool, m)
+	} else {
+		e.processed = e.processed[:m]
+		clear(e.processed)
+	}
 	for g, ap := range e.Comp.Aggs {
 		e.aggScores[g] = ap.Score(e.Comp.Ix, e.Q)
 	}
-	return append([]float64(nil), e.aggScores...)
+	return e.aggScores
 }
 
 // ProcessSet improves the result by scoring group g's original pages
@@ -191,18 +237,28 @@ func (e *Engine) ProcessSet(g int) {
 // of the best unprocessed aggregated pages in descending aggregated score
 // (the synopsis-only initial result of Algorithm 1 line 1).
 func (e *Engine) TopK(k int) []Hit {
-	hits := append([]Hit(nil), e.scored...)
-	SortHits(hits)
-	if len(hits) > k {
-		return hits[:k]
+	// Bounded top-k selection over the exactly scored pages: no full sort,
+	// no per-call copy of the scored list.
+	e.sel.Reset(k)
+	for _, h := range e.scored {
+		e.sel.Offer(h.Doc, h.Score)
+	}
+	selected := e.sel.Sorted()
+	hits := make([]Hit, 0, k)
+	for _, it := range selected {
+		hits = append(hits, Hit{Doc: it.ID, Score: it.Score})
+	}
+	if len(e.scored) >= k {
+		return hits
 	}
 	// Fill from unprocessed groups by aggregated rank.
-	order := make([]int, 0, len(e.aggScores))
+	e.order = e.order[:0]
 	for g := range e.aggScores {
 		if !e.processed[g] && e.aggScores[g] > 0 {
-			order = append(order, g)
+			e.order = append(e.order, g)
 		}
 	}
+	order := e.order
 	sort.Slice(order, func(a, b int) bool {
 		if e.aggScores[order[a]] != e.aggScores[order[b]] {
 			return e.aggScores[order[a]] > e.aggScores[order[b]]
@@ -248,15 +304,24 @@ func TopKOverlap(actual, retrieved []Hit) float64 {
 	return float64(n) / float64(len(actual))
 }
 
-// MergeTopK merges per-component hit lists into a global top-k.
+// MergeTopK merges per-component hit lists into a global top-k via
+// bounded selection (no concatenated copy, no full sort).
 func MergeTopK(parts [][]Hit, k int) []Hit {
-	var all []Hit
+	var sel topk.Selector
+	sel.Reset(k)
+	n := 0
 	for _, p := range parts {
-		all = append(all, p...)
+		n += len(p)
+		for _, h := range p {
+			sel.Offer(h.Doc, h.Score)
+		}
 	}
-	SortHits(all)
-	if len(all) > k {
-		all = all[:k]
+	if n < k {
+		k = n
 	}
-	return all
+	out := make([]Hit, 0, k)
+	for _, it := range sel.Sorted() {
+		out = append(out, Hit{Doc: it.ID, Score: it.Score})
+	}
+	return out
 }

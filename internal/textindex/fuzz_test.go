@@ -48,7 +48,7 @@ func FuzzIndexOps(f *testing.F) {
 			case 1:
 				if live > 0 {
 					// Update the first live doc.
-					for d := 0; d < len(ix.docTerms); d++ {
+					for d := 0; d < ix.NumSlots(); d++ {
 						if ix.Alive(d) {
 							ix.Update(d, text)
 							break
@@ -57,7 +57,7 @@ func FuzzIndexOps(f *testing.F) {
 				}
 			case 2:
 				if live > 0 {
-					for d := 0; d < len(ix.docTerms); d++ {
+					for d := 0; d < ix.NumSlots(); d++ {
 						if ix.Alive(d) {
 							ix.Delete(d)
 							live--

@@ -2,9 +2,13 @@ package textindex
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
+	"accuracytrader/internal/csr"
 	"accuracytrader/internal/svd"
+	"accuracytrader/internal/topk"
 )
 
 // Posting is one (document, term frequency) pair in a postings list.
@@ -27,14 +31,36 @@ type TermFreq struct {
 // constant per query and does not affect ranking. Documents can be added,
 // updated in place and deleted, supporting the synopsis updater's
 // "changed web pages" scenario.
+//
+// Postings and per-document term vectors live in flat CSR backing arrays
+// (internal/csr): one allocation for all terms instead of one slice per
+// term, and scoring streams each postings list from contiguous memory.
 type Index struct {
 	vocab    map[string]int32
 	terms    []string
-	postings [][]Posting // per term, sorted by doc
-	docTerms [][]TermFreq
+	postings csr.Store[Posting]  // row per term, sorted by doc
+	docTerms csr.Store[TermFreq] // row per doc, sorted by term
 	docLen   []int
 	alive    []bool
 	live     int
+
+	// scratch pools per-query scoring state (dense score/coord arrays and
+	// the top-k selector) so concurrent Searches on a warm index allocate
+	// nothing. Holds *searchScratch.
+	scratch sync.Pool
+}
+
+// searchScratch is the reusable per-query scoring state: dense per-doc
+// accumulators plus the list of touched docs (so clearing costs O(touched),
+// not O(docs)).
+type searchScratch struct {
+	score []float64
+	// coord is uint32, not uint16: a pathological query repeating one term
+	// >65535 times must not wrap the count (it feeds both the coord factor
+	// and the first-touch dedup of touched).
+	coord   []uint32
+	touched []int32
+	sel     topk.Selector
 }
 
 // NewIndex returns an empty index.
@@ -48,6 +74,10 @@ func (ix *Index) NumDocs() int { return ix.live }
 // NumTerms returns the vocabulary size.
 func (ix *Index) NumTerms() int { return len(ix.terms) }
 
+// NumSlots returns the number of document slots ever allocated, including
+// deleted documents (doc ids are never reused).
+func (ix *Index) NumSlots() int { return len(ix.docLen) }
+
 // DocLen returns the token count of document d.
 func (ix *Index) DocLen(d int) int { return ix.docLen[d] }
 
@@ -60,10 +90,13 @@ func (ix *Index) TermID(term string) (int32, bool) {
 	return id, ok
 }
 
+// termVec returns document d's term vector (aliases the backing array;
+// valid until the next index mutation).
+func (ix *Index) termVec(d int) []TermFreq { return ix.docTerms.Row(d) }
+
 // Add indexes a document and returns its id.
 func (ix *Index) Add(text string) int {
-	doc := len(ix.docTerms)
-	ix.docTerms = append(ix.docTerms, nil)
+	doc := ix.docTerms.AddRow(nil)
 	ix.docLen = append(ix.docLen, 0)
 	ix.alive = append(ix.alive, true)
 	ix.live++
@@ -86,7 +119,7 @@ func (ix *Index) Delete(d int) {
 		panic("textindex: Delete of dead document")
 	}
 	ix.removePostings(d)
-	ix.docTerms[d] = nil
+	ix.docTerms.SetRow(d, nil)
 	ix.docLen[d] = 0
 	ix.alive[d] = false
 	ix.live--
@@ -101,7 +134,7 @@ func (ix *Index) setDoc(d int, text string) {
 			id = int32(len(ix.terms))
 			ix.vocab[tok] = id
 			ix.terms = append(ix.terms, tok)
-			ix.postings = append(ix.postings, nil)
+			ix.postings.AddRow(nil)
 		}
 		freqs[id]++
 	}
@@ -109,8 +142,8 @@ func (ix *Index) setDoc(d int, text string) {
 	for t, f := range freqs {
 		tv = append(tv, TermFreq{Term: t, Freq: f})
 	}
-	sort.Slice(tv, func(i, j int) bool { return tv[i].Term < tv[j].Term })
-	ix.docTerms[d] = tv
+	slices.SortFunc(tv, func(a, b TermFreq) int { return int(a.Term) - int(b.Term) })
+	ix.docTerms.SetRow(d, tv)
 	ix.docLen[d] = len(tokens)
 	for _, e := range tv {
 		ix.insertPosting(e.Term, Posting{Doc: int32(d), TF: e.Freq})
@@ -118,28 +151,32 @@ func (ix *Index) setDoc(d int, text string) {
 }
 
 func (ix *Index) insertPosting(term int32, p Posting) {
-	ps := ix.postings[term]
+	ps := ix.postings.Row(int(term))
 	k := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= p.Doc })
-	ps = append(ps, Posting{})
-	copy(ps[k+1:], ps[k:])
-	ps[k] = p
-	ix.postings[term] = ps
+	ix.postings.InsertAt(int(term), k, p)
 }
 
 func (ix *Index) removePostings(d int) {
-	for _, e := range ix.docTerms[d] {
-		ps := ix.postings[e.Term]
+	for _, e := range ix.docTerms.Row(d) {
+		ps := ix.postings.Row(int(e.Term))
 		k := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= int32(d) })
 		if k < len(ps) && ps[k].Doc == int32(d) {
-			ix.postings[e.Term] = append(ps[:k], ps[k+1:]...)
+			ix.postings.RemoveAt(int(e.Term), k)
 		}
 	}
 }
 
-// IDF returns the inverse document frequency of a term id.
+// IDF returns the inverse document frequency of a term id, floored at 0:
+// deleted-doc churn can push the raw value below zero (df+1 exceeding N),
+// and a negative idf² would flip the ranking contribution of the rarest
+// terms.
 func (ix *Index) IDF(term int32) float64 {
-	df := len(ix.postings[term])
-	return 1 + math.Log(float64(ix.live)/(float64(df)+1))
+	df := ix.postings.Len(int(term))
+	idf := 1 + math.Log(float64(ix.live)/(float64(df)+1))
+	if idf < 0 {
+		return 0
+	}
+	return idf
 }
 
 // Query is an analyzed query: the known term ids of its tokens.
@@ -169,30 +206,70 @@ type Hit struct {
 	Score float64
 }
 
+// getScratch returns per-query scoring state sized for the index.
+func (ix *Index) getScratch() *searchScratch {
+	sc, _ := ix.scratch.Get().(*searchScratch)
+	if sc == nil {
+		sc = &searchScratch{}
+	}
+	if n := len(ix.docLen); len(sc.score) < n {
+		sc.score = make([]float64, n)
+		sc.coord = make([]uint32, n)
+	}
+	return sc
+}
+
 // Search scores all live documents against the query and returns the top
 // k hits in descending score order (ties: ascending doc id) — the exact
-// full computation the baselines perform.
+// full computation the baselines perform. The result slice is freshly
+// allocated; use SearchInto to reuse a caller buffer.
 func (ix *Index) Search(q Query, k int) []Hit {
-	scores := make(map[int32]float64)
-	matched := make(map[int32]int)
+	return ix.SearchInto(nil, q, k)
+}
+
+// SearchInto is Search writing the hits into dst (reused when capacity
+// allows, truncated first).
+func (ix *Index) SearchInto(dst []Hit, q Query, k int) []Hit {
+	dst = dst[:0]
+	if k <= 0 || len(q.Terms) == 0 {
+		return dst
+	}
+	sc := ix.getScratch()
+	// Accumulate term contributions into the dense arrays. Accumulation
+	// order matches the per-doc order of the reference kernel (query terms
+	// outer, postings inner), so scores are bit-identical to it.
 	for qi, t := range q.Terms {
-		for _, p := range ix.postings[t] {
-			scores[p.Doc] += math.Sqrt(float64(p.TF)) * q.idf2[qi]
-			matched[p.Doc]++
+		w := q.idf2[qi]
+		for _, p := range ix.postings.Row(int(t)) {
+			if sc.coord[p.Doc] == 0 {
+				sc.touched = append(sc.touched, p.Doc)
+			}
+			sc.score[p.Doc] += math.Sqrt(float64(p.TF)) * w
+			sc.coord[p.Doc]++
 		}
 	}
-	hits := make([]Hit, 0, len(scores))
-	for doc, s := range scores {
-		if !ix.alive[doc] {
+	// Select top-k over touched docs, clearing the accumulators as we go.
+	sel := &sc.sel
+	sel.Reset(k)
+	qLen := len(q.Terms)
+	for _, d := range sc.touched {
+		sum, matched := sc.score[d], int(sc.coord[d])
+		sc.score[d], sc.coord[d] = 0, 0
+		if !ix.alive[d] {
 			continue
 		}
-		hits = append(hits, Hit{Doc: int(doc), Score: ix.finalScore(s, matched[doc], len(q.Terms), ix.docLen[doc])})
+		sel.Offer(int(d), ix.finalScore(sum, matched, qLen, ix.docLen[d]))
 	}
-	SortHits(hits)
-	if len(hits) > k {
-		hits = hits[:k]
+	sc.touched = sc.touched[:0]
+	selected := sel.Sorted()
+	if cap(dst) < len(selected) {
+		dst = make([]Hit, 0, len(selected))
 	}
-	return hits
+	for _, it := range selected {
+		dst = append(dst, Hit{Doc: it.ID, Score: it.Score})
+	}
+	ix.scratch.Put(sc)
+	return dst
 }
 
 // ScoreDoc scores a single live document against the query (0 when no
@@ -201,7 +278,7 @@ func (ix *Index) ScoreDoc(q Query, d int) float64 {
 	if !ix.Alive(d) {
 		return 0
 	}
-	tv := ix.docTerms[d]
+	tv := ix.docTerms.Row(d)
 	sum := 0.0
 	matched := 0
 	for qi, t := range q.Terms {
@@ -226,11 +303,15 @@ func (ix *Index) finalScore(sum float64, matched, qLen, docLen int) float64 {
 // SortHits orders hits by descending score, breaking ties by ascending
 // doc id for determinism.
 func SortHits(hits []Hit) {
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	slices.SortFunc(hits, func(a, b Hit) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return a.Doc - b.Doc
 		}
-		return hits[i].Doc < hits[j].Doc
 	})
 }
 
@@ -241,14 +322,14 @@ type FeatureSource struct{ Ix *Index }
 
 // NumPoints returns the number of documents ever added (dead ones keep
 // their slot with an empty feature vector).
-func (f FeatureSource) NumPoints() int { return len(f.Ix.docTerms) }
+func (f FeatureSource) NumPoints() int { return f.Ix.NumSlots() }
 
 // NumFeatures returns the vocabulary size.
 func (f FeatureSource) NumFeatures() int { return f.Ix.NumTerms() }
 
 // Features returns document i's term counts as SVD cells.
 func (f FeatureSource) Features(i int) []svd.Cell {
-	tv := f.Ix.docTerms[i]
+	tv := f.Ix.termVec(i)
 	cells := make([]svd.Cell, len(tv))
 	for k, e := range tv {
 		cells[k] = svd.Cell{Col: e.Term, Val: float64(e.Freq)}

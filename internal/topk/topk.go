@@ -1,0 +1,121 @@
+// Package topk provides a bounded top-k selector: a size-k min-heap that
+// keeps the k best (score descending, id ascending on ties) of a streamed
+// candidate set in O(n log k) time and O(k) space. It replaces the
+// sort-everything-take-k pattern in the online scoring kernels, where n
+// (matching documents) routinely dwarfs k (requested hits).
+//
+// The ordering is the total order used throughout the search engine
+// (textindex.SortHits): higher score first, ties broken toward the lower
+// id. Because the order is total over distinct ids, the selected set and
+// its emitted order are independent of offer order — the selector is
+// result-identical to a full sort followed by truncation.
+package topk
+
+// Item is one selected candidate.
+type Item struct {
+	ID    int
+	Score float64
+}
+
+// worse reports whether a ranks strictly below b in the result order
+// (lower score, or equal score and higher id).
+func worse(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// Selector selects the top k of an offered stream. The zero value is
+// unusable; call Reset first. A Selector is not safe for concurrent use,
+// but is designed for reuse: Reset reclaims the internal buffer, so a
+// pooled Selector offers at steady state with zero allocations.
+type Selector struct {
+	k    int
+	heap []Item // min-heap: root is the worst item kept
+}
+
+// Reset empties the selector and sets its bound. k <= 0 selects nothing.
+func (s *Selector) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	s.k = k
+	s.heap = s.heap[:0]
+}
+
+// Len returns the number of items currently kept.
+func (s *Selector) Len() int { return len(s.heap) }
+
+// Offer considers one candidate. It is kept iff it ranks above the
+// current k-th best (or the selector holds fewer than k items).
+func (s *Selector) Offer(id int, score float64) {
+	it := Item{ID: id, Score: score}
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, it)
+		s.up(len(s.heap) - 1)
+		return
+	}
+	if s.k == 0 || !worse(s.heap[0], it) {
+		return
+	}
+	s.heap[0] = it
+	s.down(0)
+}
+
+// Threshold returns the current k-th best item and true when the selector
+// is full; callers can use it to skip candidates that cannot qualify.
+func (s *Selector) Threshold() (Item, bool) {
+	if len(s.heap) < s.k || s.k == 0 {
+		return Item{}, false
+	}
+	return s.heap[0], true
+}
+
+// Sorted sorts the kept items best-first in place and returns the
+// internal slice. The heap invariant is destroyed: the selector must be
+// Reset before the next use, and the slice is only valid until then.
+func (s *Selector) Sorted() []Item {
+	// Standard heapsort finish: repeatedly swap the root (worst of the
+	// remainder) to the end, so the slice ends up best-first.
+	h := s.heap
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		s.heap = h[:n]
+		s.down(0)
+	}
+	s.heap = h
+	return h
+}
+
+func (s *Selector) up(i int) {
+	h := s.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *Selector) down(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && worse(h[r], h[l]) {
+			m = r
+		}
+		if !worse(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

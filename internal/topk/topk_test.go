@@ -1,0 +1,159 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+
+	"accuracytrader/internal/stats"
+)
+
+// reference is the naive selector: sort everything, truncate to k.
+func reference(items []Item, k int) []Item {
+	cp := append([]Item(nil), items...)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Score != cp[j].Score {
+			return cp[i].Score > cp[j].Score
+		}
+		return cp[i].ID < cp[j].ID
+	})
+	if k < 0 {
+		k = 0
+	}
+	if len(cp) > k {
+		cp = cp[:k]
+	}
+	return cp
+}
+
+func runSelector(items []Item, k int) []Item {
+	var s Selector
+	s.Reset(k)
+	for _, it := range items {
+		s.Offer(it.ID, it.Score)
+	}
+	return s.Sorted()
+}
+
+func assertEqual(t *testing.T, got, want []Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d (got %v want %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectorMatchesSortTruncate(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		k := rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			// Coarse scores force plenty of ties to exercise id tie-breaks.
+			items[i] = Item{ID: i, Score: float64(rng.Intn(8))}
+		}
+		assertEqual(t, runSelector(items, k), reference(items, k))
+	}
+}
+
+func TestSelectorOrderIndependence(t *testing.T) {
+	rng := stats.NewRNG(2)
+	items := make([]Item, 40)
+	for i := range items {
+		items[i] = Item{ID: i, Score: float64(rng.Intn(5))}
+	}
+	want := runSelector(items, 10)
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Item(nil), items...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		assertEqual(t, runSelector(shuffled, 10), want)
+	}
+}
+
+func TestSelectorEdgeCases(t *testing.T) {
+	if got := runSelector(nil, 5); len(got) != 0 {
+		t.Fatalf("empty stream: %v", got)
+	}
+	if got := runSelector([]Item{{1, 2}, {2, 3}}, 0); len(got) != 0 {
+		t.Fatalf("k=0: %v", got)
+	}
+	// Negative k selects nothing (and must not panic in Offer/Threshold).
+	var s Selector
+	s.Reset(-3)
+	s.Offer(1, 2)
+	if _, ok := s.Threshold(); ok {
+		t.Fatal("threshold with negative k")
+	}
+	if got := s.Sorted(); len(got) != 0 {
+		t.Fatalf("k<0: %v", got)
+	}
+	got := runSelector([]Item{{3, 1}, {1, 1}, {2, 1}}, 2)
+	assertEqual(t, got, []Item{{1, 1}, {2, 1}})
+}
+
+func TestSelectorThreshold(t *testing.T) {
+	var s Selector
+	s.Reset(2)
+	if _, ok := s.Threshold(); ok {
+		t.Fatal("threshold before full")
+	}
+	s.Offer(1, 5)
+	s.Offer(2, 3)
+	th, ok := s.Threshold()
+	if !ok || th != (Item{2, 3}) {
+		t.Fatalf("threshold = %v, %v", th, ok)
+	}
+	s.Offer(3, 4) // evicts (2,3)
+	th, _ = s.Threshold()
+	if th != (Item{3, 4}) {
+		t.Fatalf("threshold after evict = %v", th)
+	}
+}
+
+func TestSelectorReuseIsClean(t *testing.T) {
+	var s Selector
+	s.Reset(3)
+	for i := 0; i < 10; i++ {
+		s.Offer(i, float64(i))
+	}
+	_ = s.Sorted()
+	s.Reset(2)
+	s.Offer(7, 1)
+	got := s.Sorted()
+	assertEqual(t, got, []Item{{7, 1}})
+}
+
+// FuzzSelector cross-checks the heap against sort+truncate on arbitrary
+// byte-encoded streams (the seed corpus entries required by the bench
+// harness hardening task).
+func FuzzSelector(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{9, 9, 9, 9}, uint8(2))
+	f.Add([]byte{255, 0, 128, 7, 7, 7, 200, 1}, uint8(5))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(10))
+	f.Fuzz(func(t *testing.T, scores []byte, kb uint8) {
+		k := int(kb % 16)
+		items := make([]Item, len(scores))
+		for i, b := range scores {
+			items[i] = Item{ID: i, Score: float64(b % 16)}
+		}
+		got := runSelector(items, k)
+		want := reference(items, k)
+		if len(got) != len(want) {
+			t.Fatalf("len %d want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("item %d: got %+v want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
