@@ -31,13 +31,15 @@
 //	internal/rtree     R-tree with bulk load, level cuts, updates
 //	internal/cf        user-based CF recommender application
 //	internal/textindex Lucene-style search engine application
+//	internal/agg       approximate aggregation analytics application
 //	internal/service   live goroutine fan-out runtime (wall clock)
 //	internal/frontend  accuracy-aware frontend: admission, replica
 //	                   routing, load-adaptive synopsis degradation
 //	internal/cluster   discrete-event cluster simulator (virtual clock)
 //	internal/experiments  regeneration of every paper table and figure
 //
-// See examples/ for runnable end-to-end programs and EXPERIMENTS.md for
+// See ARCHITECTURE.md for the dataflow and package-dependency map,
+// examples/ for runnable end-to-end programs and EXPERIMENTS.md for
 // the paper-vs-measured record.
 package accuracytrader
 
@@ -46,6 +48,7 @@ import (
 	"io"
 	"time"
 
+	"accuracytrader/internal/agg"
 	"accuracytrader/internal/core"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/service"
@@ -223,6 +226,72 @@ func NewFrontend(cl *Cluster, opts FrontendOptions) (*Frontend, error) {
 // LevelFrom extracts the frontend-selected ladder level inside a
 // Handler; ok is false when the request did not pass a Frontend.
 func LevelFrom(ctx context.Context) (level int, ok bool) { return frontend.LevelFrom(ctx) }
+
+// The approximate aggregation application (internal/agg): BlinkDB-style
+// bounded-error SUM/COUNT/AVG-per-group queries over stratified samples
+// — the third workload, whose synopsis is a multi-resolution ladder of
+// per-stratum samples and whose accuracy metric is 1 − mean relative
+// error against the exact answer.
+
+// FactTable is a columnar fact-table shard: (group key, value) rows.
+type FactTable = agg.Table
+
+// NewFactTable returns an empty fact table over numKeys group keys.
+func NewFactTable(numKeys int) *FactTable { return agg.NewTable(numKeys) }
+
+// AggConfig controls the stratified-sample synopsis ladder.
+type AggConfig = agg.Config
+
+// AggComponent is one parallel service component of the aggregation
+// application: a fact-table shard plus its synopsis ladder.
+type AggComponent = agg.Component
+
+// BuildAggComponent builds a shard's stratified-sample synopsis ladder
+// (the aggregation application's offline module).
+func BuildAggComponent(t *FactTable, cfg AggConfig) (*AggComponent, error) {
+	return agg.BuildComponent(t, cfg)
+}
+
+// AggQuery is one aggregation request: Op(value) GROUP BY key over the
+// rows whose value lies in [Lo, Hi).
+type AggQuery = agg.Query
+
+// AggOp selects an AggQuery's aggregate.
+type AggOp = agg.Op
+
+// The supported aggregates.
+const (
+	AggSum   = agg.Sum
+	AggCount = agg.Count
+	AggAvg   = agg.Avg
+)
+
+// AggResult is a component's partial aggregation answer: per-key
+// estimates with CLT variances; partial results merge by addition.
+type AggResult = agg.Result
+
+// GetAggEngine returns a pooled aggregation engine (an Engine for
+// Algorithm 1) reset for the query at a ladder level; release it with
+// its Release method when the request is finished.
+func GetAggEngine(c *AggComponent, q AggQuery, level int) *agg.Engine {
+	return agg.GetEngine(c, q, level)
+}
+
+// ExactAggResult is the component's exact answer — the full-computation
+// baseline the accuracy metric compares against.
+func ExactAggResult(c *AggComponent, q AggQuery) AggResult { return agg.ExactResult(c, q) }
+
+// AggAccuracy is the aggregation accuracy metric: 1 − mean relative
+// error of the approximate per-key estimates against the exact ones.
+func AggAccuracy(approx, exact []float64) float64 { return agg.Accuracy(approx, exact) }
+
+// MeasureAggLevelAccuracy calibrates one ladder level against exact
+// answers over a query sample — the measured per-level accuracy that
+// feeds DegradationConfig.LevelAccuracy, connecting Bounded SLO floors
+// to this workload's real error.
+func MeasureAggLevelAccuracy(comps []*AggComponent, queries []AggQuery, level int) float64 {
+	return agg.MeasureLevelAccuracy(comps, queries, level)
+}
 
 // SLOFrom extracts the request's effective SLO inside a Handler, so
 // handlers can bypass their synopsis for Exact-class requests; ok is

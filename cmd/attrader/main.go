@@ -1,18 +1,16 @@
 // Command attrader regenerates the tables and figures of the
-// AccuracyTrader paper (ICPP 2016) from the Go reproduction.
+// AccuracyTrader paper (ICPP 2016) from the Go reproduction, plus the
+// repository's extension experiments.
 //
 // Usage:
 //
 //	attrader -exp list                 # show available experiments
-//	attrader -exp table1               # Tables 1+2 (CF workloads)
-//	attrader -exp fig3                 # synopsis updating overheads
-//	attrader -exp fig4                 # synopsis effectiveness sections
-//	attrader -exp fig5                 # hours 9/10/24 latency panels (+fig6)
-//	attrader -exp fig7                 # 24-hour panels (+fig8)
-//	attrader -exp creation             # synopsis creation overheads
-//	attrader -exp headline             # paper §4.3 headline ratios
-//	attrader -exp overload             # frontend overload sweep (extension)
-//	attrader -exp all                  # everything above
+//	attrader -exp <name>               # run one experiment
+//	attrader -exp all                  # everything in catalogue order
+//
+// The experiment catalogue is generated from a single registry
+// (internal/experiments.Registry), which `-exp list` prints and
+// EXPERIMENTS.md documents; a test asserts the three cannot drift.
 //
 // Scale flags shrink or grow the reproduction; defaults regenerate all
 // shapes in a few minutes on a laptop.
@@ -22,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"accuracytrader/internal/experiments"
@@ -29,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "list", "experiment to run (list|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|creation|headline|overload|all)")
+		exp      = flag.String("exp", "list", "experiment to run (list|all|"+strings.Join(experiments.Names(), "|")+")")
 		quick    = flag.Bool("quick", false, "use the reduced test-size scale")
 		comps    = flag.Int("components", 0, "override simulated component count")
 		shards   = flag.Int("shards", 0, "override real data shard count")
@@ -67,53 +66,71 @@ func main() {
 	}
 }
 
+// runner executes one registered experiment at a scale.
+type runner func(sc experiments.Scale, repeats, requests int) error
+
+// runners maps every registered experiment name to its implementation.
+// TestRunnersCoverRegistry asserts the map and the registry agree, so a
+// new experiment cannot be registered without being runnable (or vice
+// versa). Aliases that share one run (table1/table2, fig5/fig6,
+// fig7/fig8) map to the same function and are deduplicated by `all`.
+var runners = map[string]runner{
+	"creation":   func(sc experiments.Scale, _, _ int) error { return runCreation(sc) },
+	"fig3":       func(sc experiments.Scale, repeats, _ int) error { return runFig3(sc, repeats) },
+	"fig4":       func(sc experiments.Scale, _, requests int) error { return runFig4(sc, requests) },
+	"table1":     func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
+	"table2":     func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
+	"fig5":       func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
+	"fig6":       func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
+	"fig7":       func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
+	"fig8":       func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
+	"headline":   func(sc experiments.Scale, _, _ int) error { return runHeadline(sc) },
+	"overload":   func(sc experiments.Scale, _, _ int) error { return runOverload(sc) },
+	"aggcompare": func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
+}
+
+// aliasOf collapses experiment aliases onto the run they share, so
+// `-exp all` executes each run once.
+func aliasOf(name string) string {
+	switch name {
+	case "table2":
+		return "table1"
+	case "fig6":
+		return "fig5"
+	case "fig8":
+		return "fig7"
+	default:
+		return name
+	}
+}
+
 func run(exp string, sc experiments.Scale, repeats, requests int) error {
 	switch exp {
 	case "list":
-		fmt.Println("experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 creation headline overload all")
+		fmt.Println("experiments (run one with -exp <name>, or -exp all):")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-12s %-10s %s\n", e.Name, e.Artifact, e.About)
+		}
 		return nil
-	case "table1", "table2":
-		return runTables(sc)
-	case "fig3":
-		return runFig3(sc, repeats)
-	case "fig4":
-		return runFig4(sc, requests)
-	case "fig5", "fig6":
-		return runHours(sc)
-	case "fig7", "fig8":
-		_, err := runDay(sc, true)
-		return err
-	case "creation":
-		return runCreation(sc)
-	case "headline":
-		return runHeadline(sc)
-	case "overload":
-		return runOverload(sc)
 	case "all":
-		if err := runCreation(sc); err != nil {
-			return err
-		}
-		if err := runFig3(sc, repeats); err != nil {
-			return err
-		}
-		if err := runFig4(sc, requests); err != nil {
-			return err
-		}
-		if err := runTables(sc); err != nil {
-			return err
-		}
-		if err := runHours(sc); err != nil {
-			return err
-		}
-		if err := runHeadline(sc); err != nil {
-			return err
-		}
-		if err := runOverload(sc); err != nil {
-			return err
+		done := map[string]bool{}
+		for _, name := range experiments.Names() {
+			key := aliasOf(name)
+			if done[key] {
+				continue
+			}
+			done[key] = true
+			if err := runners[name](sc, repeats, requests); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+		r, ok := runners[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (see -exp list)", exp)
+		}
+		return r(sc, repeats, requests)
 	}
 }
 
@@ -227,6 +244,17 @@ func runOverload(sc experiments.Scale) error {
 			return err
 		}
 		fmt.Println(sw.Render())
+		return nil
+	})
+}
+
+func runAggCompare(sc experiments.Scale) error {
+	return timed("Aggregation workload (ladder accuracy/latency + frontend overload)", func() error {
+		res, err := experiments.RunAggCompare(sc, []float64{0.5, 1, 1.5, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
 		return nil
 	})
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"accuracytrader/internal/experiments"
+)
+
+// TestRunnersCoverRegistry asserts the dispatch map and the experiment
+// registry agree exactly — the other half of the anti-drift check
+// (registry_test.go covers EXPERIMENTS.md).
+func TestRunnersCoverRegistry(t *testing.T) {
+	names := experiments.Names()
+	for _, name := range names {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("registered experiment %q has no runner", name)
+		}
+	}
+	reg := map[string]bool{}
+	for _, name := range names {
+		reg[name] = true
+	}
+	for name := range runners {
+		if !reg[name] {
+			t.Errorf("runner %q is not in the experiment registry", name)
+		}
+	}
+}
+
+// TestAliasesResolveToRunners guards the `all` dedup path.
+func TestAliasesResolveToRunners(t *testing.T) {
+	for _, name := range experiments.Names() {
+		if _, ok := runners[aliasOf(name)]; !ok {
+			t.Errorf("alias target %q of %q has no runner", aliasOf(name), name)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Quickstart":                        "quickstart",
+		"The accuracy-aware frontend":       "the-accuracy-aware-frontend",
+		"`overload` — frontend sweep (ext)": "overload--frontend-sweep-ext",
+		"Package map":                       "package-map",
+		"EXPERIMENTS — paper vs. repro":     "experiments--paper-vs-repro",
+		"fact_table layout":                 "fact_table-layout",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckTargetExternalSkipped(t *testing.T) {
+	if msg := checkTarget("README.md", "https://example.com/x#y"); msg != "" {
+		t.Fatalf("external link flagged: %s", msg)
+	}
+}
+
+// TestFenceStepMarkerMatching checks a fence is only closed by its own
+// marker: a ``` line inside a ~~~ block is content, not a toggle.
+func TestFenceStepMarkerMatching(t *testing.T) {
+	fence, delim := fenceStep("", "~~~markdown")
+	if fence != "~~~" || !delim {
+		t.Fatalf("open: fence=%q delim=%v", fence, delim)
+	}
+	if fence, delim = fenceStep(fence, "```go"); fence != "~~~" || delim {
+		t.Fatalf("inner marker toggled fence: fence=%q delim=%v", fence, delim)
+	}
+	if fence, delim = fenceStep(fence, "some [link](missing.md) text"); fence != "~~~" || delim {
+		t.Fatalf("content changed fence state: fence=%q delim=%v", fence, delim)
+	}
+	if fence, delim = fenceStep(fence, "~~~"); fence != "" || !delim {
+		t.Fatalf("matching closer did not close: fence=%q delim=%v", fence, delim)
+	}
+}

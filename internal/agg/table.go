@@ -1,0 +1,42 @@
+package agg
+
+import "fmt"
+
+// Table is one component's shard of the fact table, stored columnar:
+// row i is the pair (key[i], value[i]). Keys are dense in [0, NumKeys)
+// — the GROUP-BY domain — so per-key results live in flat arrays.
+type Table struct {
+	keys    []int32
+	vals    []float64
+	numKeys int
+}
+
+// NewTable returns an empty fact table over a key domain of numKeys
+// group keys.
+func NewTable(numKeys int) *Table {
+	if numKeys <= 0 {
+		panic("agg: table needs a positive key domain")
+	}
+	return &Table{numKeys: numKeys}
+}
+
+// Append adds one row. It panics on a key outside [0, NumKeys).
+func (t *Table) Append(key int32, val float64) {
+	if key < 0 || int(key) >= t.numKeys {
+		panic(fmt.Sprintf("agg: key %d outside domain [0,%d)", key, t.numKeys))
+	}
+	t.keys = append(t.keys, key)
+	t.vals = append(t.vals, val)
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.keys) }
+
+// NumKeys returns the size of the group-key domain.
+func (t *Table) NumKeys() int { return t.numKeys }
+
+// Key returns row i's group key.
+func (t *Table) Key(i int) int32 { return t.keys[i] }
+
+// Value returns row i's measure value.
+func (t *Table) Value(i int) float64 { return t.vals[i] }

@@ -1,9 +1,3 @@
-// Package cf implements the user-based collaborative-filtering recommender
-// service of the paper (§3.2): a user-item rating matrix, Pearson
-// similarity weights, weighted-average rating prediction, and the
-// AccuracyTrader integration — aggregated users built from synopsis groups
-// and an Algorithm 1 engine that first predicts from aggregated users and
-// then refines with the original users of the most correlated groups.
 package cf
 
 import (

@@ -1,26 +1,3 @@
-// Package cluster simulates the paper's deployment (§4.3): one frontend
-// partitioning each request across n parallel service components (one per
-// VM), each component a FIFO single-server queue whose processing speed is
-// modulated by co-located MapReduce interference, and a composer gathering
-// sub-operation results. Component latency = queueing delay + processing
-// time, the exact mechanism the paper identifies as the source of tail
-// latency.
-//
-// Three processing behaviours are simulated:
-//
-//   - Exact (Basic and Partial execution share it): every sub-operation
-//     scans the component's whole subset. Partial execution differs only
-//     at composition time — results arriving after the deadline are
-//     skipped — so one run serves both techniques.
-//   - Reissue: exact processing plus hedging — when a sub-operation has
-//     been outstanding longer than the (dynamically estimated) 95th
-//     percentile of sub-operation latency, a replica is enqueued on
-//     another component and the quicker of the two is used.
-//   - AccuracyTrader: the component first processes its synopsis, then
-//     improves with ranked member sets while the elapsed service time
-//     stays below the deadline (Algorithm 1 under the simulator's cost
-//     model). Service demand therefore adapts to queueing delay, which is
-//     what keeps the system out of overload.
 package cluster
 
 import (

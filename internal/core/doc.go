@@ -1,0 +1,14 @@
+// Package core implements the online accuracy-aware approximate processing
+// module of AccuracyTrader — Algorithm 1 of the paper. A component first
+// processes its synopsis, obtaining a fast initial result plus a
+// correlation estimate for every aggregated data point; it then improves
+// the result by processing the aggregated points' original member sets in
+// descending correlation order, until a deadline or a set cap (imax) stops
+// it.
+//
+// The algorithm is generic over the application: collaborative filtering
+// and web search plug in through the Engine interface. Time is abstracted
+// behind Continue so the exact same loop runs under wall-clock deadlines
+// (internal/service) and under the discrete-event simulator's modeled
+// budgets (internal/cluster).
+package core

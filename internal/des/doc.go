@@ -1,0 +1,6 @@
+// Package des is a minimal deterministic discrete-event simulation kernel:
+// an event heap ordered by (virtual time, insertion sequence) and a
+// virtual clock. The cluster simulator runs hours of service load on it in
+// seconds of real time, which is how the paper-scale experiments
+// (Tables 1-2, Figures 5-8) regenerate on a laptop.
+package des

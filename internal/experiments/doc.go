@@ -1,0 +1,13 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment is a pure function of a Scale (the
+// knobs that shrink the paper's 30-node testbed onto a laptop) returning
+// a typed result with a paper-style text rendering.
+//
+// Scaling approach (DESIGN.md §4): the latency experiments simulate the
+// full fan-out width (108 components by default, as in the paper) on the
+// discrete-event cluster; the data those components serve is backed by a
+// smaller number of distinct shards of real CF/search data, cycled across
+// components. Accuracy is computed by replaying the real application
+// engines over exactly the sets each simulated component had time to
+// process.
+package experiments

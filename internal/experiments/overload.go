@@ -144,8 +144,8 @@ func RunOverload(sc Scale, multipliers []float64) (*OverloadSweep, error) {
 			return nil, err
 		}
 		point.Rows = append(point.Rows,
-			scoreBasic(resB, sc, sweep.WindowSeconds),
-			scorePartial(resB, sc, sweep.WindowSeconds))
+			scoreBasic(resB, sc, sweep.WindowSeconds, overloadClassMix),
+			scorePartial(resB, sc, sweep.WindowSeconds, overloadClassMix))
 
 		// Frontend+AT: fresh policy state per run.
 		ctrl, err := frontend.NewController(frontend.ControllerConfig{
@@ -174,7 +174,8 @@ func RunOverload(sc Scale, multipliers []float64) (*OverloadSweep, error) {
 		if err != nil {
 			return nil, err
 		}
-		point.Rows = append(point.Rows, scoreFrontend(resF, work, sc, sweep.WindowSeconds))
+		point.Rows = append(point.Rows,
+			scoreFrontend(resF, cfgF.Work, overloadLadderAccuracy, sc.DeadlineMs, sweep.WindowSeconds))
 		sweep.Points = append(sweep.Points, point)
 	}
 	return sweep, nil
@@ -195,12 +196,12 @@ func (row *OverloadRow) finish() {
 	}
 }
 
-func scoreBasic(res *cluster.Result, sc Scale, windowSec float64) OverloadRow {
+func scoreBasic(res *cluster.Result, sc Scale, windowSec float64, classOf func(int) frontend.SLO) OverloadRow {
 	row := OverloadRow{Name: "Basic (WaitAll)"}
 	row.P999Ms = stats.Percentile(res.ComponentLatencies(), 99.9)
 	good := 0
 	for r, lat := range res.ServiceLatencies(true, 0) {
-		row.accumulate(overloadClassMix(r).Kind, 1) // exact results
+		row.accumulate(classOf(r).Kind, 1) // exact results
 		if lat <= goodLatencyFactor*sc.DeadlineMs {
 			good++
 		}
@@ -210,7 +211,7 @@ func scoreBasic(res *cluster.Result, sc Scale, windowSec float64) OverloadRow {
 	return row
 }
 
-func scorePartial(res *cluster.Result, sc Scale, windowSec float64) OverloadRow {
+func scorePartial(res *cluster.Result, sc Scale, windowSec float64, classOf func(int) frontend.SLO) OverloadRow {
 	row := OverloadRow{Name: "PartialGather"}
 	row.P999Ms = stats.Percentile(res.ComponentLatencies(), 99.9)
 	good := 0
@@ -218,7 +219,7 @@ func scorePartial(res *cluster.Result, sc Scale, windowSec float64) OverloadRow 
 		// Composition at the deadline: latency is capped there, accuracy
 		// is the fraction of components that made it.
 		acc := res.CompletedFraction(r, sc.DeadlineMs)
-		row.accumulate(overloadClassMix(r).Kind, acc)
+		row.accumulate(classOf(r).Kind, acc)
 		if acc >= goodAccuracyFloor {
 			good++
 		}
@@ -228,7 +229,7 @@ func scorePartial(res *cluster.Result, sc Scale, windowSec float64) OverloadRow 
 	return row
 }
 
-func scoreFrontend(res *cluster.Result, work cluster.WorkModel, sc Scale, windowSec float64) OverloadRow {
+func scoreFrontend(res *cluster.Result, works []cluster.WorkModel, levelAcc []float64, deadlineMs, windowSec float64) OverloadRow {
 	row := OverloadRow{Name: "Frontend+AT"}
 	row.P999Ms = stats.Percentile(res.ComponentLatencies(), 99.9)
 	svc := res.ServiceLatencies(true, 0)
@@ -238,9 +239,9 @@ func scoreFrontend(res *cluster.Result, work cluster.WorkModel, sc Scale, window
 			rejected++
 			continue
 		}
-		acc := requestAccuracy(res, r, work)
+		acc := requestAccuracy(res, r, works, levelAcc)
 		row.accumulate(res.Class[r].Kind, acc)
-		if svc[r] <= goodLatencyFactor*sc.DeadlineMs && acc >= goodAccuracyFloor {
+		if svc[r] <= goodLatencyFactor*deadlineMs && acc >= goodAccuracyFloor {
 			good++
 		}
 	}
@@ -253,19 +254,23 @@ func scoreFrontend(res *cluster.Result, work cluster.WorkModel, sc Scale, window
 // requestAccuracy is the model estimate of one answered frontend
 // request's delivered accuracy: 1 for Exact-class requests (full
 // scans), otherwise the ladder level's synopsis accuracy plus the
-// ranked-set improvement averaged over components.
-func requestAccuracy(res *cluster.Result, r int, work cluster.WorkModel) float64 {
+// ranked-set improvement averaged over components. levelAcc holds the
+// per-level synopsis accuracy, coarse to fine (calibrated from real
+// replays for the aggregation workload, modeled for the search-shaped
+// overload sweep); works follows cluster.Config.Work's length contract
+// (one per component, or a single shared model).
+func requestAccuracy(res *cluster.Result, r int, works []cluster.WorkModel, levelAcc []float64) float64 {
 	if res.Class[r].Kind == frontend.Exact {
 		return 1
 	}
-	levelAcc := overloadLadderAccuracy[0]
-	if lv := res.Level[r]; lv >= 0 && lv < len(overloadLadderAccuracy) {
-		levelAcc = overloadLadderAccuracy[lv]
+	la := levelAcc[0]
+	if lv := res.Level[r]; lv >= 0 && lv < len(levelAcc) {
+		la = levelAcc[lv]
 	}
 	sum := 0.0
-	for _, op := range res.Ops[r] {
-		frac := float64(op.SetsProcessed) / float64(work.NumGroups)
-		sum += levelAcc + (1-levelAcc)*frac
+	for c, op := range res.Ops[r] {
+		frac := float64(op.SetsProcessed) / float64(works[c%len(works)].NumGroups)
+		sum += la + (1-la)*frac
 	}
 	return sum / float64(len(res.Ops[r]))
 }

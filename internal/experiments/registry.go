@@ -1,0 +1,41 @@
+package experiments
+
+// ExperimentInfo describes one runnable experiment. The registry is the
+// single source of truth for the experiment catalogue: cmd/attrader
+// generates its `-exp list` output and dispatch coverage from it, and
+// registry_test.go asserts EXPERIMENTS.md documents every entry — so
+// the CLI, the docs and the code can no longer drift silently.
+type ExperimentInfo struct {
+	Name     string // the -exp flag value
+	Artifact string // the paper artifact it regenerates, or "extension"
+	About    string // one-line description
+}
+
+// Registry returns the experiment catalogue in canonical run order
+// (the order `-exp all` executes, with aliases adjacent).
+func Registry() []ExperimentInfo {
+	return []ExperimentInfo{
+		{Name: "creation", Artifact: "§3 text", About: "synopsis creation overheads per service"},
+		{Name: "fig3", Artifact: "Figure 3", About: "incremental synopsis updating overheads"},
+		{Name: "fig4", Artifact: "Figure 4", About: "accuracy vs fraction of ranked sets processed"},
+		{Name: "table1", Artifact: "Table 1", About: "CF recommender latency across arrival rates"},
+		{Name: "table2", Artifact: "Table 2", About: "CF recommender accuracy across arrival rates"},
+		{Name: "fig5", Artifact: "Figure 5", About: "hours 9/10/24 search latency panels"},
+		{Name: "fig6", Artifact: "Figure 6", About: "hours 9/10/24 search accuracy panels"},
+		{Name: "fig7", Artifact: "Figure 7", About: "24-hour search latency"},
+		{Name: "fig8", Artifact: "Figure 8", About: "24-hour search accuracy"},
+		{Name: "headline", Artifact: "§4.3 text", About: "headline ratios (tail reduction, accuracy loss)"},
+		{Name: "overload", Artifact: "extension", About: "accuracy-aware frontend overload sweep (search-shaped)"},
+		{Name: "aggcompare", Artifact: "extension", About: "aggregation workload: ladder accuracy/latency + frontend overload"},
+	}
+}
+
+// Names returns the registered experiment names in canonical order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, e := range reg {
+		names[i] = e.Name
+	}
+	return names
+}

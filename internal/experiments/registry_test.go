@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsDocCoversRegistry is the anti-drift check: every
+// registered experiment name must be mentioned (as `name`) in
+// EXPERIMENTS.md, so adding an experiment without documenting it fails
+// CI instead of rotting silently.
+func TestExperimentsDocCoversRegistry(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, e := range Registry() {
+		if !strings.Contains(text, fmt.Sprintf("`%s`", e.Name)) {
+			t.Errorf("EXPERIMENTS.md does not mention experiment `%s`", e.Name)
+		}
+	}
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.Name == "" || e.Artifact == "" || e.About == "" {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate registry entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Name != strings.ToLower(e.Name) || strings.ContainsAny(e.Name, " \t") {
+			t.Fatalf("registry name %q not a flat lowercase token", e.Name)
+		}
+	}
+	for _, reserved := range []string{"list", "all"} {
+		if seen[reserved] {
+			t.Fatalf("registry must not contain the CLI meta-command %q", reserved)
+		}
+	}
+}

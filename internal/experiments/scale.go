@@ -1,15 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§4). Each experiment is a pure function of a Scale (the
-// knobs that shrink the paper's 30-node testbed onto a laptop) returning
-// a typed result with a paper-style text rendering.
-//
-// Scaling approach (DESIGN.md §4): the latency experiments simulate the
-// full fan-out width (108 components by default, as in the paper) on the
-// discrete-event cluster; the data those components serve is backed by a
-// smaller number of distinct shards of real CF/search data, cycled across
-// components. Accuracy is computed by replaying the real application
-// engines over exactly the sets each simulated component had time to
-// process.
 package experiments
 
 // Scale holds every size knob of the reproduction.
@@ -27,6 +15,10 @@ type Scale struct {
 
 	// Search data shape.
 	DocsPerSubset int
+
+	// Aggregation data shape (the third workload, internal/agg).
+	FactRowsPerSubset int
+	FactKeys          int
 
 	// SessionSeconds is the measured window per arrival rate (Tables 1-2)
 	// and per hour (Figures 5-8).
@@ -65,6 +57,8 @@ func DefaultScale() Scale {
 		UsersPerSubset:    400,
 		Items:             200,
 		DocsPerSubset:     400,
+		FactRowsPerSubset: 4000,
+		FactKeys:          48,
 		SessionSeconds:    30,
 		AccuracySamples:   120,
 		DeadlineMs:        100,
@@ -86,6 +80,8 @@ func QuickScale() Scale {
 		UsersPerSubset:    200,
 		Items:             120,
 		DocsPerSubset:     160,
+		FactRowsPerSubset: 2000,
+		FactKeys:          24,
 		SessionSeconds:    8,
 		AccuracySamples:   30,
 		DeadlineMs:        100,
@@ -109,3 +105,7 @@ func (s Scale) cfUnitCostMs() float64 { return fullScanMs / float64(s.UsersPerSu
 
 // searchUnitCostMs returns the per-page scan cost for the search service.
 func (s Scale) searchUnitCostMs() float64 { return fullScanMs / float64(s.DocsPerSubset) }
+
+// aggUnitCostMs returns the per-row scan cost for the aggregation
+// service.
+func (s Scale) aggUnitCostMs() float64 { return fullScanMs / float64(s.FactRowsPerSubset) }

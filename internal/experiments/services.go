@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"accuracytrader/internal/agg"
 	"accuracytrader/internal/cf"
 	"accuracytrader/internal/cluster"
 	"accuracytrader/internal/interference"
@@ -102,6 +103,64 @@ func BuildSearchService(sc Scale) (*SearchService, error) {
 func (s *SearchService) Shard(c int) *textindex.Component {
 	return s.Comps[c%s.Scale.Shards]
 }
+
+// aggConfig returns the aggregation application's synopsis-ladder
+// configuration for a scale. The finest rate and the per-stratum floor
+// are sized so the finest level's measured accuracy clears the
+// Bounded{0.90} SLO floor with margin at every scale.
+func (s Scale) aggConfig() agg.Config {
+	return agg.Config{
+		Rates:     []float64{0.03, 0.08, 0.18, 0.40},
+		MinSample: 8,
+		Seed:      s.Seed ^ 0xa9,
+	}
+}
+
+// AggService bundles the aggregation workload's real fact-table shards
+// with the work models the cluster simulator needs.
+type AggService struct {
+	Scale Scale
+	Data  *workload.FactsData
+	Comps []*agg.Component
+	Work  []cluster.WorkModel
+}
+
+// BuildAggService generates fact-table shards and builds each shard's
+// stratified-sample synopsis ladder.
+func BuildAggService(sc Scale) (*AggService, error) {
+	fcfg := workload.DefaultFactsConfig()
+	fcfg.RowsPerSubset = sc.FactRowsPerSubset
+	fcfg.Keys = sc.FactKeys
+	fcfg.Seed = sc.Seed
+	data := workload.GenerateFacts(fcfg, sc.Shards)
+	svc := &AggService{Scale: sc, Data: data}
+	for _, t := range data.Subsets {
+		comp, err := agg.BuildComponent(t, sc.aggConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build agg component: %w", err)
+		}
+		svc.Comps = append(svc.Comps, comp)
+	}
+	svc.Work = make([]cluster.WorkModel, sc.Components)
+	for c := 0; c < sc.Components; c++ {
+		comp := svc.Comps[c%sc.Shards]
+		syn := comp.Syn
+		ladder := make([]float64, syn.Levels())
+		for l := range ladder {
+			ladder[l] = float64(syn.SampleUnits(l))
+		}
+		svc.Work[c] = cluster.WorkModel{
+			FullUnits:      float64(comp.T.NumRows()),
+			SynopsisUnits:  float64(comp.SynopsisSize()),
+			NumGroups:      syn.NumStrata(),
+			SynopsisLadder: ladder,
+		}
+	}
+	return svc, nil
+}
+
+// Shard returns the real component behind simulated component c.
+func (s *AggService) Shard(c int) *agg.Component { return s.Comps[c%s.Scale.Shards] }
 
 // slowdownFunc builds the per-node interference slowdown used by all
 // latency runs: one independent trace per component over the horizon.

@@ -1,13 +1,3 @@
-// Package interference models the performance interference from co-located
-// MapReduce workloads (paper §4.1: WordCount and Sort jobs replayed from
-// the SWIM/Facebook trace with BigDataBench-MT). What the tail-latency
-// experiments need from the co-located jobs is their effect: a
-// time-varying, bursty, node-specific slowdown of the service components.
-// The generator reproduces that effect directly: jobs arrive at each node
-// as a Poisson process, job durations are heavy-tailed (lognormal — the
-// SWIM Facebook trace is dominated by short jobs with a long tail), and
-// each running job contributes a slowdown depending on its class
-// (CPU-bound WordCount vs I/O-bound Sort).
 package interference
 
 import (

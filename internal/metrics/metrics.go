@@ -1,20 +1,3 @@
-// Package metrics defines the evaluation metrics of the paper (§4.1) and
-// the time-binned series used to render the per-minute / per-hour panels
-// of Figures 5-8.
-//
-// Accuracy-loss definitions (documented in EXPERIMENTS.md):
-//
-//   - Search engine: accuracy is the fraction of the actual top-10 pages
-//     present in the retrieved top-10; exact processing scores 1 by
-//     construction, so loss% = 100*(1 - overlap).
-//   - Recommender: the paper reports losses in [0,100]% even when a
-//     technique answers with no usable neighbours, so raw RMSE ratios do
-//     not work as the loss measure. We define accuracy as prediction
-//     skill over the trivial predictor (always answering the active
-//     user's mean rating): skill = max(0, 1 - RMSE/RMSE_trivial). A
-//     technique that degrades to the trivial answer has skill 0, i.e.
-//     100% loss — exactly the regime Partial execution reaches under
-//     overload. loss% = 100*(skill_exact - skill_approx)/skill_exact.
 package metrics
 
 import (

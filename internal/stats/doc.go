@@ -1,0 +1,10 @@
+// Package stats provides the deterministic random-number machinery,
+// probability distributions and summary statistics (percentiles,
+// streaming P² quantile estimation) that the paper's evaluation (§4)
+// rests on: workload generation, interference traces, and the
+// 99.9th-percentile component latencies every figure reports.
+//
+// Every stochastic element of the experiments draws from an explicitly
+// seeded RNG so that runs are reproducible bit-for-bit. The generator is
+// xoshiro256**, seeded through splitmix64 as recommended by its authors.
+package stats

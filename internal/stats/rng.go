@@ -1,10 +1,3 @@
-// Package stats provides the deterministic random-number machinery,
-// probability distributions and summary statistics used throughout the
-// AccuracyTrader reproduction.
-//
-// Every stochastic element of the experiments draws from an explicitly
-// seeded RNG so that runs are reproducible bit-for-bit. The generator is
-// xoshiro256**, seeded through splitmix64 as recommended by its authors.
 package stats
 
 import "math"

@@ -1,10 +1,3 @@
-// Package svd implements the incremental singular-value-decomposition
-// dimensionality reduction used by step 1 of synopsis creation (paper
-// §2.2/§3.1, references [5][17]). It follows the Funk/Gorrell formulation:
-// latent dimensions are trained one at a time by stochastic gradient
-// descent over the known cells of a sparse matrix, so training time is
-// O(epochs x nnz x dims) and independent of the dense matrix size, and new
-// rows can be folded in against the fixed item factors without retraining.
 package svd
 
 import "sort"

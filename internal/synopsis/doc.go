@@ -1,0 +1,20 @@
+// Package synopsis implements the offline synopsis-management module of
+// AccuracyTrader (paper §2.2, §3.1). A component's data subset is turned
+// into:
+//
+//   - an index file: a partition of the original data points into groups,
+//     one group per R-tree node at a chosen depth, grouping points that
+//     are similar in a low-dimensional latent space produced by
+//     incremental SVD; and
+//   - a synopsis: one aggregated data point per group. The aggregated
+//     *information* (mean ratings, merged documents, ...) is
+//     application-specific, so this package owns only the grouping; the
+//     applications build their aggregates from Groups() and cache them by
+//     the stable group ID.
+//
+// Updating is incremental, mirroring the paper: added points are folded
+// into the SVD model and inserted as new R-tree leaves; changed points are
+// deleted and re-inserted; then only the groups whose membership actually
+// changed receive new IDs (forcing re-aggregation), while untouched groups
+// keep their IDs so their cached aggregates remain valid.
+package synopsis

@@ -1,0 +1,8 @@
+// Package textindex implements the web search engine substrate of the
+// paper (§3.2): a Lucene-style inverted index with classic TF-IDF
+// similarity scoring, top-k retrieval, incremental document updates, and
+// the AccuracyTrader integration — aggregated web pages merged from
+// synopsis groups and an Algorithm 1 engine that retrieves from the
+// synopsis first and then refines with the original pages of the highest
+// scoring groups.
+package textindex

@@ -1,0 +1,6 @@
+// Package vmath provides the small dense/sparse vector kernels shared
+// by the SVD, R-tree, collaborative-filtering and text-index substrates
+// — the arithmetic floor under the paper's offline synopsis creation
+// (§2.2 step 1) and online similarity scoring (§4.1): dot products,
+// norms, cosine similarity and Pearson correlation.
+package vmath

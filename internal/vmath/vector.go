@@ -1,5 +1,3 @@
-// Package vmath provides the small dense/sparse vector kernels shared by
-// the SVD, R-tree, collaborative-filtering and text-index substrates.
 package vmath
 
 import (

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/stats"
+)
+
+// FactsConfig shapes the synthetic fact table backing the approximate
+// aggregation workload (internal/agg): Zipf-skewed group keys — a few
+// hot groups own most rows while the tail stays rare, the regime where
+// BlinkDB-style stratified sampling beats uniform sampling — and
+// lognormal measure values whose location shifts per key, so per-group
+// SUM/AVG answers genuinely differ.
+type FactsConfig struct {
+	RowsPerSubset int     // fact rows per shard
+	Keys          int     // GROUP-BY key domain size
+	ZipfS         float64 // key-popularity skew exponent
+	ValueMu       float64 // location of log(value) before the per-key shift
+	ValueSigma    float64 // per-row spread of log(value)
+	KeySpread     float64 // per-key shift spread of log(value)
+	Seed          uint64
+}
+
+// DefaultFactsConfig returns a laptop-scale aggregation workload.
+func DefaultFactsConfig() FactsConfig {
+	return FactsConfig{
+		RowsPerSubset: 4000,
+		Keys:          48,
+		ZipfS:         1.1,
+		ValueMu:       1.0,
+		ValueSigma:    0.5,
+		KeySpread:     0.6,
+	}
+}
+
+// FactsData is the generated aggregation input: per-shard fact tables
+// sharing one global key-popularity and value structure, so per-key
+// answers correlate across shards and merged results are meaningful.
+type FactsData struct {
+	Subsets []*agg.Table
+	keyMu   []float64 // per-key location of log(value), shared by shards
+	cfg     FactsConfig
+}
+
+// GenerateFacts builds nSubsets fact-table shards. Key popularity and
+// the per-key value locations are drawn once and shared, then each
+// shard samples its rows independently.
+func GenerateFacts(cfg FactsConfig, nSubsets int) *FactsData {
+	rng := stats.NewRNG(cfg.Seed ^ 0xfac75)
+	keyMu := make([]float64, cfg.Keys)
+	for k := range keyMu {
+		keyMu[k] = cfg.ValueMu + rng.Norm(0, cfg.KeySpread)
+	}
+	d := &FactsData{cfg: cfg, keyMu: keyMu}
+	for s := 0; s < nSubsets; s++ {
+		srng := rng.Split(uint64(s) + 1)
+		z := stats.NewZipf(srng, cfg.Keys, cfg.ZipfS)
+		t := agg.NewTable(cfg.Keys)
+		for i := 0; i < cfg.RowsPerSubset; i++ {
+			k := z.Draw()
+			t.Append(int32(k), srng.LogNormal(keyMu[k], cfg.ValueSigma))
+		}
+		d.Subsets = append(d.Subsets, t)
+	}
+	return d
+}
+
+// logStd returns the overall standard deviation of log(value): the
+// per-key location spread composed with the per-row spread.
+func (d *FactsData) logStd() float64 {
+	return math.Sqrt(d.cfg.KeySpread*d.cfg.KeySpread + d.cfg.ValueSigma*d.cfg.ValueSigma)
+}
+
+// SampleAggQueries draws n aggregation queries with a uniform op mix
+// and value-filter windows of moderate selectivity: the window's edges
+// sit at z-scores of the overall log(value) distribution, so most
+// queries keep a substantial (but never total) fraction of every
+// stratum and the sample-based estimates are genuinely approximate.
+func (d *FactsData) SampleAggQueries(seed uint64, n int) []agg.Query {
+	rng := stats.NewRNG(seed ^ 0x4a99e5)
+	m, s := d.cfg.ValueMu, d.logStd()
+	out := make([]agg.Query, n)
+	for i := range out {
+		zLo := -2.5 + 2.2*rng.Float64() // in [-2.5, -0.3]
+		zHi := zLo + 1.0 + 2.0*rng.Float64()
+		out[i] = agg.Query{
+			Op: agg.Op(rng.Intn(3)),
+			Lo: math.Exp(m + s*zLo),
+			Hi: math.Exp(m + s*zHi),
+		}
+	}
+	return out
+}

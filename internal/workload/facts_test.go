@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"accuracytrader/internal/agg"
+)
+
+func TestGenerateFactsShape(t *testing.T) {
+	cfg := DefaultFactsConfig()
+	cfg.RowsPerSubset = 1200
+	cfg.Keys = 24
+	cfg.Seed = 3
+	d := GenerateFacts(cfg, 3)
+	if len(d.Subsets) != 3 {
+		t.Fatalf("subsets = %d", len(d.Subsets))
+	}
+	for s, tab := range d.Subsets {
+		if tab.NumRows() != 1200 || tab.NumKeys() != 24 {
+			t.Fatalf("subset %d shape %d x %d", s, tab.NumRows(), tab.NumKeys())
+		}
+		for i := 0; i < tab.NumRows(); i++ {
+			if tab.Value(i) <= 0 {
+				t.Fatalf("subset %d row %d non-positive value %v", s, i, tab.Value(i))
+			}
+		}
+	}
+	// Zipf skew: the hottest key must own far more rows than the median.
+	counts := make([]int, cfg.Keys)
+	for i := 0; i < d.Subsets[0].NumRows(); i++ {
+		counts[d.Subsets[0].Key(i)]++
+	}
+	max, nonzero := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if max < 5*(1200/cfg.Keys) {
+		t.Fatalf("no key skew: hottest key holds %d of %d rows", max, 1200)
+	}
+	if nonzero < cfg.Keys/2 {
+		t.Fatalf("only %d of %d keys populated", nonzero, cfg.Keys)
+	}
+}
+
+func TestSampleAggQueriesSelectivity(t *testing.T) {
+	cfg := DefaultFactsConfig()
+	cfg.RowsPerSubset = 2000
+	cfg.Seed = 5
+	d := GenerateFacts(cfg, 1)
+	qs := d.SampleAggQueries(7, 40)
+	if len(qs) != 40 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	tab := d.Subsets[0]
+	ops := map[agg.Op]bool{}
+	var meanSel float64
+	for _, q := range qs {
+		if q.Hi <= q.Lo {
+			t.Fatalf("empty window [%v,%v)", q.Lo, q.Hi)
+		}
+		ops[q.Op] = true
+		sel := 0
+		for i := 0; i < tab.NumRows(); i++ {
+			v := tab.Value(i)
+			if q.Lo <= v && v < q.Hi {
+				sel++
+			}
+		}
+		meanSel += float64(sel) / float64(tab.NumRows())
+	}
+	if len(ops) != 3 {
+		t.Fatalf("op mix incomplete: %v", ops)
+	}
+	meanSel /= float64(len(qs))
+	// Moderate mean selectivity: the filter keeps a real subset, never
+	// everything, never (almost) nothing.
+	if meanSel < 0.25 || meanSel > 0.95 {
+		t.Fatalf("mean selectivity %v outside [0.25, 0.95]", meanSel)
+	}
+}

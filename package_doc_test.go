@@ -1,0 +1,43 @@
+package accuracytrader
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEveryInternalPackageHasDocComment enforces the documentation
+// floor: every internal package carries a package doc comment in a
+// dedicated doc.go, so godoc explains what each package implements (the
+// paper section or the extension) before anyone reads code.
+func TestEveryInternalPackageHasDocComment(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("only %d internal packages found — wrong working directory?", len(dirs))
+	}
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		docPath := filepath.Join(dir, "doc.go")
+		if _, err := os.Stat(docPath); err != nil {
+			t.Errorf("%s: no doc.go", dir)
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, docPath, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", docPath, err)
+			continue
+		}
+		if f.Doc == nil || len(f.Doc.Text()) < 40 {
+			t.Errorf("%s: missing or trivial package doc comment", docPath)
+		}
+	}
+}
