@@ -35,6 +35,9 @@
 //	internal/service   live goroutine fan-out runtime (wall clock)
 //	internal/frontend  accuracy-aware frontend: admission, replica
 //	                   routing, load-adaptive synopsis degradation
+//	internal/wire      binary protocol of the networked serving layer
+//	internal/netsvc    networked serving: component servers, socket
+//	                   aggregator, composed-reply front server
 //	internal/cluster   discrete-event cluster simulator (virtual clock)
 //	internal/experiments  regeneration of every paper table and figure
 //
@@ -49,11 +52,15 @@ import (
 	"time"
 
 	"accuracytrader/internal/agg"
+	"accuracytrader/internal/cf"
 	"accuracytrader/internal/core"
 	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/netsvc"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/svd"
 	"accuracytrader/internal/synopsis"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/wire"
 )
 
 // FeatureSource exposes a data subset as sparse numeric feature vectors —
@@ -218,9 +225,16 @@ func NewDegradationController(cfg DegradationConfig) (*DegradationController, er
 	return frontend.NewController(cfg)
 }
 
-// NewFrontend wraps a live cluster with the frontend pipeline.
-func NewFrontend(cl *Cluster, opts FrontendOptions) (*Frontend, error) {
-	return frontend.New(cl, opts)
+// FrontendBackend is the fan-out runtime seam a Frontend drives: both
+// the in-process Cluster and the networked NetAggregator satisfy it,
+// so one policy set (admission, routing, degradation) governs every
+// runtime.
+type FrontendBackend = frontend.Backend
+
+// NewFrontend wraps a fan-out backend — a live in-process Cluster or a
+// networked NetAggregator — with the frontend pipeline.
+func NewFrontend(b FrontendBackend, opts FrontendOptions) (*Frontend, error) {
+	return frontend.New(b, opts)
 }
 
 // LevelFrom extracts the frontend-selected ladder level inside a
@@ -297,3 +311,112 @@ func MeasureAggLevelAccuracy(comps []*AggComponent, queries []AggQuery, level in
 // handlers can bypass their synopsis for Exact-class requests; ok is
 // false when the request did not pass a Frontend.
 func SLOFrom(ctx context.Context) (slo SLO, ok bool) { return frontend.SLOFrom(ctx) }
+
+// ComponentFrom returns the index of the component executing the
+// current sub-operation inside a live-cluster Handler — under hedging
+// the replica runs on a different component than the primary, so
+// handlers modeling per-machine effects can key on the executor.
+func ComponentFrom(ctx context.Context) (comp int, ok bool) { return service.ComponentFrom(ctx) }
+
+// The networked serving layer (internal/wire + internal/netsvc): the
+// paper's deployment model — an aggregator fanning each request out to
+// many component sub-services — over real TCP sockets, with the SLO
+// class, ladder level and absolute deadline propagated on every hop.
+
+// WireRequest is one sub-operation (or, with Subset < 0, one
+// whole-service request) on the wire.
+type WireRequest = wire.Request
+
+// WireSubReply is one component server's reply.
+type WireSubReply = wire.SubReply
+
+// WireCFRequest, WireSearchRequest and WireAggRequest are the
+// per-workload request payloads.
+type (
+	WireCFRequest     = wire.CFRequest
+	WireSearchRequest = wire.SearchRequest
+	WireAggRequest    = wire.AggRequest
+)
+
+// WireReply is the composed whole-service reply.
+type WireReply = wire.Reply
+
+// The wire payload kinds, one per application workload.
+const (
+	WireKindCF     = wire.KindCF
+	WireKindSearch = wire.KindSearch
+	WireKindAgg    = wire.KindAgg
+)
+
+// NetHandler serves one sub-operation on a component server.
+type NetHandler = netsvc.Handler
+
+// NetServerOptions configures component and front servers.
+type NetServerOptions = netsvc.ServerOptions
+
+// NetComponentServer is a shard-holding process's listener: bounded
+// accept/worker pool, deadline enforcement from the propagated budget.
+type NetComponentServer = netsvc.Server
+
+// NewNetComponentServer returns a component server around a handler.
+func NewNetComponentServer(h NetHandler, opts NetServerOptions) *NetComponentServer {
+	return netsvc.NewServer(h, opts)
+}
+
+// NetBackendOptions configures the per-workload component handlers
+// (modeled scan cost, interference hook, improvement cap).
+type NetBackendOptions = netsvc.BackendOptions
+
+// NewNetCFBackend serves the CF recommender workload over comps.
+func NewNetCFBackend(comps []*cf.Component, opts NetBackendOptions) NetHandler {
+	return netsvc.NewCFBackend(comps, opts)
+}
+
+// NewNetSearchBackend serves the web-search workload over comps.
+func NewNetSearchBackend(comps []*textindex.Component, opts NetBackendOptions) NetHandler {
+	return netsvc.NewSearchBackend(comps, opts)
+}
+
+// NewNetAggBackend serves the aggregation workload over comps.
+func NewNetAggBackend(comps []*AggComponent, opts NetBackendOptions) NetHandler {
+	return netsvc.NewAggBackend(comps, opts)
+}
+
+// NetAggregator is the scatter/gather client over component servers:
+// pooled reconnecting connections, the same WaitAll / PartialGather /
+// Hedged gather policies as the in-process runtime, and a
+// FrontendBackend implementation so NewFrontend drives it unchanged.
+type NetAggregator = netsvc.Aggregator
+
+// NetAggregatorOptions configures a NetAggregator.
+type NetAggregatorOptions = netsvc.AggregatorOptions
+
+// NewNetAggregator returns an aggregator over one address per
+// component.
+func NewNetAggregator(addrs []string, opts NetAggregatorOptions) (*NetAggregator, error) {
+	return netsvc.NewAggregator(addrs, opts)
+}
+
+// NetFrontServer answers whole-service requests with composed replies,
+// optionally through the accuracy-aware frontend pipeline.
+type NetFrontServer = netsvc.FrontServer
+
+// NewNetFrontServer wraps an aggregator (and optional frontend).
+func NewNetFrontServer(agr *NetAggregator, fe *Frontend, opts NetServerOptions) *NetFrontServer {
+	return netsvc.NewFrontServer(agr, fe, opts)
+}
+
+// NetClient talks to a NetFrontServer over one multiplexed connection.
+type NetClient = netsvc.Client
+
+// NetClientOptions configures a NetClient.
+type NetClientOptions = netsvc.ClientOptions
+
+// DialNetClient connects to a NetFrontServer.
+func DialNetClient(addr string, opts NetClientOptions) (*NetClient, error) {
+	return netsvc.DialClient(addr, opts)
+}
+
+// NetAggResultOf views a composed wire aggregation result as an
+// AggResult, so Estimate/Bound work on network replies.
+func NetAggResultOf(r *wire.AggResult) AggResult { return netsvc.AggResultOf(r) }

@@ -14,11 +14,25 @@
 //
 // Scale flags shrink or grow the reproduction; defaults regenerate all
 // shapes in a few minutes on a laptop.
+//
+// The networked serving layer deploys as separate processes:
+//
+//	attrader -serve component -workload agg -listen 127.0.0.1:7101
+//	attrader -serve aggregator -workload agg -peers 127.0.0.1:7101,127.0.0.1:7102
+//
+// Component processes build their workload's shards deterministically
+// from the scale flags (every process started with the same flags
+// serves the same data) and answer sub-operations until interrupted.
+// The aggregator process connects to its peers, verifies one
+// round-trip, then either drives an open-loop measurement session and
+// exits (the default), or — with -listen — serves composed replies to
+// wire-protocol clients until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -37,6 +51,12 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override random seed")
 		repeats  = flag.Int("repeats", 3, "fig3 repeats per scenario")
 		requests = flag.Int("requests", 200, "fig4 requests per service")
+
+		serve    = flag.String("serve", "", "network role: component|aggregator (empty = run -exp)")
+		workload = flag.String("workload", "agg", "workload served by -serve: agg|cf|search")
+		listen   = flag.String("listen", "", "listen address (component server, or aggregator front server)")
+		peers    = flag.String("peers", "", "comma-separated component addresses (aggregator)")
+		rate     = flag.Float64("rate", 40, "aggregator measurement: open-loop request rate per second")
 	)
 	flag.Parse()
 
@@ -60,7 +80,13 @@ func main() {
 		sc.Seed = *seed
 	}
 
-	if err := run(*exp, sc, *repeats, *requests); err != nil {
+	var err error
+	if *serve != "" {
+		err = runServe(*serve, *workload, *listen, *peers, *rate, sc)
+	} else {
+		err = run(os.Stdout, *exp, sc, *repeats, *requests)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "attrader:", err)
 		os.Exit(1)
 	}
@@ -87,6 +113,7 @@ var runners = map[string]runner{
 	"headline":   func(sc experiments.Scale, _, _ int) error { return runHeadline(sc) },
 	"overload":   func(sc experiments.Scale, _, _ int) error { return runOverload(sc) },
 	"aggcompare": func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
+	"netcompare": func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -104,13 +131,10 @@ func aliasOf(name string) string {
 	}
 }
 
-func run(exp string, sc experiments.Scale, repeats, requests int) error {
+func run(out io.Writer, exp string, sc experiments.Scale, repeats, requests int) error {
 	switch exp {
 	case "list":
-		fmt.Println("experiments (run one with -exp <name>, or -exp all):")
-		for _, e := range experiments.Registry() {
-			fmt.Printf("  %-12s %-10s %s\n", e.Name, e.Artifact, e.About)
-		}
+		printCatalogue(out)
 		return nil
 	case "all":
 		done := map[string]bool{}
@@ -128,9 +152,20 @@ func run(exp string, sc experiments.Scale, repeats, requests int) error {
 	default:
 		r, ok := runners[exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (see -exp list)", exp)
+			// A typo in a script must fail loudly AND helpfully: print
+			// the catalogue, then exit non-zero through the error path.
+			printCatalogue(out)
+			return fmt.Errorf("unknown experiment %q", exp)
 		}
 		return r(sc, repeats, requests)
+	}
+}
+
+// printCatalogue writes the registry-generated experiment list.
+func printCatalogue(out io.Writer) {
+	fmt.Fprintln(out, "experiments (run one with -exp <name>, or -exp all):")
+	for _, e := range experiments.Registry() {
+		fmt.Fprintf(out, "  %-12s %-10s %s\n", e.Name, e.Artifact, e.About)
 	}
 }
 
@@ -251,6 +286,17 @@ func runOverload(sc experiments.Scale) error {
 func runAggCompare(sc experiments.Scale) error {
 	return timed("Aggregation workload (ladder accuracy/latency + frontend overload)", func() error {
 		res, err := experiments.RunAggCompare(sc, []float64{0.5, 1, 1.5, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	})
+}
+
+func runNetCompare(sc experiments.Scale) error {
+	return timed("Networked serving layer (loopback sockets vs in-process runtime)", func() error {
+		res, err := experiments.RunNetCompare(sc)
 		if err != nil {
 			return err
 		}

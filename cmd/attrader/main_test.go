@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"accuracytrader/internal/experiments"
@@ -33,5 +34,55 @@ func TestAliasesResolveToRunners(t *testing.T) {
 		if _, ok := runners[aliasOf(name)]; !ok {
 			t.Errorf("alias target %q of %q has no runner", aliasOf(name), name)
 		}
+	}
+}
+
+// TestUnknownExperimentPrintsCatalogue pins the misuse behaviour: an
+// unknown -exp name prints the registry-generated catalogue and
+// returns an error (so main exits non-zero) — a typo in a script fails
+// loudly instead of silently doing nothing.
+func TestUnknownExperimentPrintsCatalogue(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, "no-such-experiment", experiments.QuickScale(), 1, 1)
+	if err == nil {
+		t.Fatal("unknown experiment must return an error")
+	}
+	if !strings.Contains(err.Error(), "no-such-experiment") {
+		t.Fatalf("error does not name the bad experiment: %v", err)
+	}
+	for _, name := range experiments.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("catalogue output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestListPrintsCatalogue keeps -exp list on the same single source.
+func TestListPrintsCatalogue(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "list", experiments.QuickScale(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range experiments.Registry() {
+		if !strings.Contains(out.String(), e.Name) || !strings.Contains(out.String(), e.About) {
+			t.Fatalf("list output missing %q", e.Name)
+		}
+	}
+}
+
+// TestServeRejectsBadConfig covers the -serve argument validation.
+func TestServeRejectsBadConfig(t *testing.T) {
+	sc := experiments.QuickScale()
+	if err := runServe("bogus", "agg", "", "", 1, sc); err == nil {
+		t.Fatal("unknown role must error")
+	}
+	if err := runServe("component", "agg", "", "", 1, sc); err == nil {
+		t.Fatal("component without -listen must error")
+	}
+	if err := runServe("aggregator", "agg", "", "", 1, sc); err == nil {
+		t.Fatal("aggregator without -peers must error")
+	}
+	if err := runServe("component", "nope", "127.0.0.1:0", "", 1, sc); err == nil {
+		t.Fatal("unknown workload must error")
 	}
 }

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/experiments"
+	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/netsvc"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/wire"
+)
+
+// netService is one workload prepared for network serving: the
+// component handler over the deterministically built shards, plus
+// request templates for probing and load.
+type netService struct {
+	workload  string
+	shards    int
+	handler   netsvc.Handler
+	templates []*wire.Request
+	// levelAcc is the measured per-ladder-level accuracy (aggregation
+	// workload only) used to calibrate the front server's controller.
+	levelAcc []float64
+}
+
+// buildNetService constructs the workload's shards from the scale —
+// deterministic, so separate processes started with the same flags
+// serve consistent data.
+func buildNetService(workload string, sc experiments.Scale) (*netService, error) {
+	ns := &netService{workload: workload, shards: sc.Shards}
+	switch workload {
+	case "agg":
+		svc, err := experiments.BuildAggService(sc)
+		if err != nil {
+			return nil, err
+		}
+		ns.handler = netsvc.NewAggBackend(svc.Comps, netsvc.BackendOptions{})
+		queries := svc.Data.SampleAggQueries(sc.Seed^0x51, 16)
+		for _, q := range queries {
+			ns.templates = append(ns.templates, &wire.Request{
+				Kind: wire.KindAgg, Subset: -1, SLO: wire.SLONone, Level: wire.NoLevel,
+				Agg: &wire.AggRequest{Op: uint8(q.Op), Lo: q.Lo, Hi: q.Hi},
+			})
+		}
+		for l := 0; l < svc.Comps[0].Syn.Levels(); l++ {
+			ns.levelAcc = append(ns.levelAcc, agg.MeasureLevelAccuracy(svc.Comps, queries, l))
+		}
+	case "cf":
+		svc, err := experiments.BuildCFService(sc)
+		if err != nil {
+			return nil, err
+		}
+		ns.handler = netsvc.NewCFBackend(svc.Comps, netsvc.BackendOptions{})
+		for _, r := range svc.Data.SampleCFRequests(sc.Seed^0x52, 16, 0.2) {
+			ratings := make([]wire.Rating, len(r.Known))
+			for i, kr := range r.Known {
+				ratings[i] = wire.Rating{Item: kr.Item, Score: kr.Score}
+			}
+			ns.templates = append(ns.templates, &wire.Request{
+				Kind: wire.KindCF, Subset: -1, SLO: wire.SLONone, Level: wire.NoLevel,
+				CF: &wire.CFRequest{Ratings: ratings, Targets: r.Targets},
+			})
+		}
+	case "search":
+		svc, err := experiments.BuildSearchService(sc)
+		if err != nil {
+			return nil, err
+		}
+		ns.handler = netsvc.NewSearchBackend(svc.Comps, netsvc.BackendOptions{})
+		for _, q := range svc.Data.SampleQueries(sc.Seed^0x53, 16) {
+			ns.templates = append(ns.templates, &wire.Request{
+				Kind: wire.KindSearch, Subset: -1, SLO: wire.SLONone, Level: wire.NoLevel,
+				Search: &wire.SearchRequest{Query: q, K: 10},
+			})
+		}
+	default:
+		return nil, fmt.Errorf("unknown workload %q (agg|cf|search)", workload)
+	}
+	return ns, nil
+}
+
+// runServe dispatches the -serve role.
+func runServe(role, workload, listen, peers string, rate float64, sc experiments.Scale) error {
+	switch role {
+	case "component":
+		return serveComponent(workload, listen, sc)
+	case "aggregator":
+		return serveAggregator(workload, listen, peers, rate, sc)
+	default:
+		return fmt.Errorf("unknown -serve role %q (component|aggregator)", role)
+	}
+}
+
+// serveComponent builds the workload and answers sub-operations on
+// listen until interrupted.
+func serveComponent(workload, listen string, sc experiments.Scale) error {
+	if listen == "" {
+		return fmt.Errorf("-serve component requires -listen")
+	}
+	ns, err := buildNetService(workload, sc)
+	if err != nil {
+		return err
+	}
+	srv := netsvc.NewServer(ns.handler, netsvc.ServerOptions{Workers: 2, QueueLen: 1024})
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(listen) }()
+	fmt.Printf("component server: workload=%s shards=%d listening on %s\n", workload, ns.shards, listen)
+	select {
+	case err := <-errCh:
+		return err
+	case <-interrupted():
+		srv.Close()
+		st := srv.Stats()
+		fmt.Printf("component server: served %d requests (%d abandoned past deadline, %d shed busy)\n",
+			st.Requests, st.Abandoned, st.Shed)
+		return nil
+	}
+}
+
+// serveAggregator connects to the component peers, verifies one
+// round-trip, then either serves composed replies on listen (until
+// interrupted) or drives an open-loop measurement session and exits.
+func serveAggregator(workload, listen, peers string, rate float64, sc experiments.Scale) error {
+	addrs := strings.Split(peers, ",")
+	if peers == "" || len(addrs) == 0 {
+		return fmt.Errorf("-serve aggregator requires -peers host:port[,host:port...]")
+	}
+	ns, err := buildNetService(workload, sc)
+	if err != nil {
+		return err
+	}
+	agr, err := netsvc.NewAggregator(addrs, netsvc.AggregatorOptions{
+		Policy:   service.WaitAll,
+		Deadline: 2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer agr.Close()
+	if err := agr.WaitReady(15 * time.Second); err != nil {
+		return err
+	}
+
+	// Probe: one whole-service round-trip must answer every subset.
+	probeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	subs, err := agr.Call(probeCtx, ns.templates[0])
+	if err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
+	for _, sr := range subs {
+		if sr.Err != nil || sr.Skipped {
+			return fmt.Errorf("probe: subset %d unanswered: err=%v skipped=%v", sr.Subset, sr.Err, sr.Skipped)
+		}
+	}
+	fmt.Printf("aggregator: %d components answered the %s probe\n", len(subs), workload)
+
+	if listen != "" {
+		return serveFront(ns, agr, listen)
+	}
+	return measure(ns, agr, rate, time.Duration(sc.SessionSeconds*float64(time.Second)))
+}
+
+// serveFront runs the client-facing composed-reply server, with the
+// accuracy-aware frontend pipeline when the workload has a calibrated
+// ladder.
+func serveFront(ns *netService, agr *netsvc.Aggregator, listen string) error {
+	var fe *frontend.Frontend
+	if len(ns.levelAcc) > 0 {
+		ctrl, err := frontend.NewController(frontend.ControllerConfig{
+			Levels:             len(ns.levelAcc),
+			LevelAccuracy:      ns.levelAcc,
+			InflightSaturation: 4 * agr.Components(),
+		})
+		if err != nil {
+			return err
+		}
+		fe, err = frontend.New(agr, frontend.Options{
+			Replicas: 2,
+			Router:   frontend.NewLeastLoaded(),
+			Admission: []frontend.AdmissionPolicy{
+				frontend.NewMaxInflight(4 * agr.Components()),
+				frontend.NewQueueWatermark(0.35, 0.85),
+			},
+			Controller: ctrl,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fs := netsvc.NewFrontServer(agr, fe, netsvc.ServerOptions{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- fs.ListenAndServe(listen) }()
+	fmt.Printf("aggregator: serving composed replies on %s (frontend: %v)\n", listen, fe != nil)
+	select {
+	case err := <-errCh:
+		return err
+	case <-interrupted():
+		fs.Close()
+		return nil
+	}
+}
+
+// measure drives open-loop load through the aggregator and reports.
+func measure(ns *netService, agr *netsvc.Aggregator, rate float64, window time.Duration) error {
+	var mu sync.Mutex
+	lat := stats.NewLatencyRecorder(2048)
+	errs := 0
+	rng := stats.NewRNG(0x5e55)
+	fired := netsvc.OpenLoop(rng, rate, window, func(r int) {
+		req := *ns.templates[r%len(ns.templates)]
+		req.ID = uint64(r)
+		t0 := time.Now()
+		subs, err := agr.Call(context.Background(), &req)
+		d := float64(time.Since(t0)) / float64(time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs++
+			return
+		}
+		for _, sr := range subs {
+			if sr.Err != nil {
+				errs++
+				return
+			}
+		}
+		lat.Record(d)
+	})
+	st := agr.Stats()
+	fmt.Printf("aggregator measurement: %d requests at %.0f req/s over %.1fs\n", fired, rate, window.Seconds())
+	fmt.Printf("  answered %d (errors %d)  p50 %.1fms  p99 %.1fms  sub-ops %d  reconnects %d\n",
+		lat.Count(), errs, lat.Percentile(50), lat.Percentile(99), st.SubOps, st.Reconnects)
+	if lat.Count() == 0 {
+		return fmt.Errorf("no requests answered")
+	}
+	return nil
+}
+
+// interrupted returns a channel closed on SIGINT/SIGTERM.
+func interrupted() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"accuracytrader/internal/frontend"
+)
+
+// TestNetCompareQuick runs the full networked-vs-in-process comparison
+// at quick scale on loopback sockets and pins the acceptance
+// behaviours: wire parity for all three workloads, both tail-tolerant
+// gather policies beating WaitAll's p99.9 over real sockets, and the
+// frontend holding Bounded{0.90} delivered accuracy at or above its
+// floor.
+func TestNetCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback load run: seconds per configuration")
+	}
+	nc, err := RunNetCompare(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !nc.ParityCF || !nc.ParitySearch || !nc.ParityAgg {
+		t.Fatalf("wire parity failed: cf=%v search=%v agg=%v", nc.ParityCF, nc.ParitySearch, nc.ParityAgg)
+	}
+
+	for _, runtime := range []string{"net", "inproc"} {
+		for _, name := range []string{"WaitAll", "PartialGather", "Hedged"} {
+			row := nc.Row(runtime, name)
+			if row == nil {
+				t.Fatalf("missing row %s/%s", runtime, name)
+			}
+			if row.Calls < 20 {
+				t.Fatalf("%s/%s fired only %d requests", runtime, name, row.Calls)
+			}
+		}
+	}
+
+	waitAll := nc.Row("net", "WaitAll")
+	partial := nc.Row("net", "PartialGather")
+	hedged := nc.Row("net", "Hedged")
+	fe := nc.Row("net", "Frontend+AT")
+	if fe == nil {
+		t.Fatal("missing net Frontend+AT row")
+	}
+
+	// The interference stall dwarfs the deadline, so WaitAll's p99.9
+	// must carry it while the tail-tolerant policies do not.
+	if waitAll.P999Ms < netStallMs {
+		t.Fatalf("WaitAll p99.9 = %.1f ms, expected >= the %v ms stall", waitAll.P999Ms, netStallMs)
+	}
+	if partial.P999Ms >= waitAll.P999Ms {
+		t.Fatalf("PartialGather p99.9 %.1f ms does not beat WaitAll %.1f ms", partial.P999Ms, waitAll.P999Ms)
+	}
+	if hedged.P999Ms >= waitAll.P999Ms {
+		t.Fatalf("Hedged p99.9 %.1f ms does not beat WaitAll %.1f ms", hedged.P999Ms, waitAll.P999Ms)
+	}
+	if hedged.HedgePct <= 0 {
+		t.Fatal("Hedged row issued no hedges")
+	}
+
+	// Frontend semantics over sockets: Exact-class requests are served
+	// exactly (bit-identical merged answers, accuracy 1), and Bounded
+	// requests hold their calibrated accuracy floor.
+	if fe.ClassAcc[frontend.Exact] != 1 {
+		t.Fatalf("frontend Exact-class accuracy = %.4f, want exactly 1", fe.ClassAcc[frontend.Exact])
+	}
+	if fe.ClassAcc[frontend.Bounded] < 0.90 {
+		t.Fatalf("frontend Bounded{0.90} delivered accuracy %.4f below its floor", fe.ClassAcc[frontend.Bounded])
+	}
+
+	// The calibrated ladder must be usable: its finest level has to
+	// clear the Bounded floor, or the controller could never serve the
+	// class at all.
+	finest := nc.LevelAccuracy[len(nc.LevelAccuracy)-1]
+	if finest < 0.90 {
+		t.Fatalf("finest calibrated level accuracy %.4f cannot satisfy Bounded{0.90}", finest)
+	}
+
+	out := nc.Render()
+	for _, want := range []string{"wire parity", "Frontend+AT", "inproc", "p99.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -27,6 +27,7 @@ func Registry() []ExperimentInfo {
 		{Name: "headline", Artifact: "§4.3 text", About: "headline ratios (tail reduction, accuracy loss)"},
 		{Name: "overload", Artifact: "extension", About: "accuracy-aware frontend overload sweep (search-shaped)"},
 		{Name: "aggcompare", Artifact: "extension", About: "aggregation workload: ladder accuracy/latency + frontend overload"},
+		{Name: "netcompare", Artifact: "extension", About: "networked serving layer over loopback TCP vs the in-process runtime"},
 	}
 }
 

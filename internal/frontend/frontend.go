@@ -13,6 +13,35 @@ import (
 // admission policy.
 var ErrRejected = errors.New("frontend: admission rejected request")
 
+// Backend is the fan-out runtime a Frontend drives. It is the
+// clock-agnostic seam that lets one policy set (admission, routing,
+// degradation) govern every runtime: the in-process goroutine cluster
+// (service.Cluster), the networked aggregator (netsvc.Aggregator), and
+// — mirrored structurally — the discrete-event simulator. The load
+// probes (QueueDepth, Inflight, EstimatedP95) feed the Load snapshot;
+// SetRouter receives the frontend's replica-routing policy; Call fans
+// one request out and gathers sub-results.
+type Backend interface {
+	// Components returns the fan-out width.
+	Components() int
+	// QueueCap is the per-component queue bound QueueDepth is measured
+	// against (mailbox length in process, outstanding-request window
+	// over the network).
+	QueueCap() int
+	// QueueDepth returns the outstanding sub-operations on component c.
+	QueueDepth(c int) int
+	// Inflight returns the number of Calls currently executing.
+	Inflight() int
+	// EstimatedP95 is the streaming tail sub-operation latency estimate.
+	EstimatedP95() time.Duration
+	// Deadline is the backend's configured call deadline.
+	Deadline() time.Duration
+	// SetRouter injects the routing policy used to place sub-operations.
+	SetRouter(service.RouteFunc)
+	// Call fans the payload out and gathers one SubResult per subset.
+	Call(ctx context.Context, payload interface{}) ([]service.SubResult, error)
+}
+
 // Options configures a Frontend.
 type Options struct {
 	// Admission policies, evaluated together; the most severe verdict
@@ -53,10 +82,11 @@ type Result struct {
 }
 
 // Frontend is the admission → routing → degradation pipeline in front
-// of a live service.Cluster. New injects its router into the cluster;
-// Call performs admission and level selection, then fans out.
+// of a fan-out Backend (a live service.Cluster or a networked
+// netsvc.Aggregator). New injects its router into the backend; Call
+// performs admission and level selection, then fans out.
 type Frontend struct {
-	cl    *service.Cluster
+	cl    Backend
 	opts  Options
 	rmap  ReplicaMap
 	start time.Time
@@ -70,10 +100,10 @@ type Frontend struct {
 	inflightNow atomic.Int64
 }
 
-// New wraps a cluster. The cluster's router is replaced with the
-// frontend's replica-routing policy (service falls back to home
+// New wraps a backend. The backend's router is replaced with the
+// frontend's replica-routing policy (backends fall back to home
 // placement for anything the router leaves out of range).
-func New(cl *service.Cluster, opts Options) (*Frontend, error) {
+func New(cl Backend, opts Options) (*Frontend, error) {
 	if opts.Replicas <= 0 {
 		opts.Replicas = 2
 	}
@@ -92,7 +122,7 @@ func New(cl *service.Cluster, opts Options) (*Frontend, error) {
 	return f, nil
 }
 
-// Snapshot reads the cluster's live load signals.
+// Snapshot reads the backend's live load signals.
 func (f *Frontend) Snapshot() Load {
 	n := f.cl.Components()
 	cap := f.cl.QueueCap()

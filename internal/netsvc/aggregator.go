@@ -1,0 +1,580 @@
+package netsvc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/wire"
+)
+
+// ErrClosed is returned by Aggregator.Call after Close.
+var ErrClosed = errors.New("netsvc: aggregator closed")
+
+// ErrQueueFull is reported for a sub-operation shed because the target
+// component's outstanding-request window was full — the network analog
+// of service.ErrQueueFull.
+var ErrQueueFull = errors.New("netsvc: component outstanding window full")
+
+// AggregatorOptions configures an Aggregator.
+type AggregatorOptions struct {
+	// Policy selects the gather behaviour — the same policies as the
+	// in-process runtime (service.WaitAll, service.PartialGather,
+	// service.Hedged), executed over sockets.
+	Policy service.Policy
+	// Deadline bounds gathering for PartialGather and is the default
+	// Call timeout otherwise (default 1s).
+	Deadline time.Duration
+	// MaxOutstanding caps in-flight sub-operations per component — the
+	// QueueCap/QueueDepth bound the frontend's load snapshot and queue
+	// watermarks act on (default 128).
+	MaxOutstanding int
+	// ConnsPerPeer is the connection-pool width per component (default
+	// 2). Requests are multiplexed by ID, so the pool mainly spreads
+	// TCP-level head-of-line blocking.
+	ConnsPerPeer int
+	// HedgeFloor is the minimum hedge delay before the p95 estimator
+	// has warmed up (default 1ms).
+	HedgeFloor time.Duration
+	// ReplicaOf maps a subset to the component executing its hedged
+	// replica (default: next component).
+	ReplicaOf func(subset, n int) int
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// MaxFrame bounds accepted reply frames (default wire.MaxFrame).
+	MaxFrame int
+}
+
+func (o AggregatorOptions) withDefaults() AggregatorOptions {
+	if o.Deadline <= 0 {
+		o.Deadline = time.Second
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 128
+	}
+	if o.ConnsPerPeer <= 0 {
+		o.ConnsPerPeer = 2
+	}
+	if o.HedgeFloor <= 0 {
+		o.HedgeFloor = time.Millisecond
+	}
+	if o.ReplicaOf == nil {
+		o.ReplicaOf = func(subset, n int) int { return (subset + 1) % n }
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.MaxFrame
+	}
+	return o
+}
+
+// AggregatorStats are the aggregator's scatter/gather counters.
+type AggregatorStats struct {
+	SubOps     int   // sub-replies received
+	Hedges     int64 // replicas issued
+	Reconnects int64 // re-dials after a connection failure
+	P999Ms     float64
+}
+
+// Aggregator is the scatter/gather client over n component servers:
+// the networked counterpart of service.Cluster, implementing
+// frontend.Backend so the accuracy-aware frontend drives it unchanged.
+type Aggregator struct {
+	addrs  []string
+	opts   AggregatorOptions
+	peers  []*peer
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	route  service.RouteFunc
+	closed bool
+
+	// Streaming sub-operation latency estimators (P², as in service).
+	estMu   sync.Mutex
+	p95est  *stats.P2Quantile
+	p999est *stats.P2Quantile
+	subOps  int
+	p95us   atomic.Uint64
+
+	hedges   atomic.Int64
+	inflight atomic.Int64
+}
+
+// NewAggregator returns an aggregator over one address per component.
+// Connections are dialed lazily; use WaitReady to block until every
+// component answers.
+func NewAggregator(addrs []string, opts AggregatorOptions) (*Aggregator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("netsvc: no component addresses")
+	}
+	opts = opts.withDefaults()
+	a := &Aggregator{
+		addrs:   addrs,
+		opts:    opts,
+		p95est:  stats.NewP2Quantile(0.95),
+		p999est: stats.NewP2Quantile(0.999),
+	}
+	a.p95us.Store(uint64(opts.HedgeFloor / time.Microsecond))
+	for _, addr := range addrs {
+		a.peers = append(a.peers, &peer{agg: a, addr: addr, slots: make([]*peerConn, opts.ConnsPerPeer)})
+	}
+	return a, nil
+}
+
+// WaitReady dials every component until it answers or the timeout
+// elapses — the race-free way to start an aggregator before its
+// component processes are certain to be listening.
+func (a *Aggregator) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, p := range a.peers {
+		for {
+			_, err := p.conn()
+			if err == nil {
+				break
+			}
+			if !time.Now().Before(deadline) {
+				return fmt.Errorf("netsvc: component %s not ready: %w", p.addr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Components returns the fan-out width.
+func (a *Aggregator) Components() int { return len(a.peers) }
+
+// QueueCap returns the per-component outstanding window
+// (AggregatorOptions.MaxOutstanding).
+func (a *Aggregator) QueueCap() int { return a.opts.MaxOutstanding }
+
+// QueueDepth returns the sub-operations currently outstanding on one
+// component — the aggregator-side load signal admission and routing
+// policies act on.
+func (a *Aggregator) QueueDepth(comp int) int {
+	return int(a.peers[comp].outstanding.Load())
+}
+
+// Inflight returns the number of Calls currently executing.
+func (a *Aggregator) Inflight() int { return int(a.inflight.Load()) }
+
+// EstimatedP95 returns the streaming 95th-percentile sub-operation
+// latency estimate (the hedge trigger delay).
+func (a *Aggregator) EstimatedP95() time.Duration {
+	return time.Duration(a.p95us.Load()) * time.Microsecond
+}
+
+// Deadline returns the configured call deadline.
+func (a *Aggregator) Deadline() time.Duration { return a.opts.Deadline }
+
+// SetRouter injects a routing policy used by subsequent Calls to place
+// each sub-operation on a component; nil restores home placement.
+func (a *Aggregator) SetRouter(route service.RouteFunc) {
+	a.mu.Lock()
+	a.route = route
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the aggregator's counters.
+func (a *Aggregator) Stats() AggregatorStats {
+	var reconnects int64
+	for _, p := range a.peers {
+		reconnects += p.reconnects.Load()
+	}
+	a.estMu.Lock()
+	defer a.estMu.Unlock()
+	st := AggregatorStats{SubOps: a.subOps, Hedges: a.hedges.Load(), Reconnects: reconnects}
+	if st.SubOps > 0 {
+		st.P999Ms = a.p999est.Value()
+	}
+	return st
+}
+
+func (a *Aggregator) recordLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	a.estMu.Lock()
+	a.subOps++
+	a.p95est.Add(ms)
+	a.p999est.Add(ms)
+	if a.subOps%16 == 0 {
+		p := a.p95est.Value()
+		floor := float64(a.opts.HedgeFloor) / float64(time.Millisecond)
+		if p < floor {
+			p = floor
+		}
+		a.p95us.Store(uint64(p * 1000))
+	}
+	a.estMu.Unlock()
+}
+
+// Call fans the request template out to every component and gathers
+// sub-results according to the gather policy. payload must be a
+// *wire.Request with the payload fields set; the aggregator stamps
+// per-sub-operation IDs, the subset, the absolute deadline from the
+// context, and the frontend-selected SLO class and ladder level (read
+// from the context via the frontend package's conventions). The
+// returned slice has one entry per subset in subset order; Value holds
+// the *wire.SubReply of answered sub-operations.
+func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.SubResult, error) {
+	tmpl, ok := payload.(*wire.Request)
+	if !ok {
+		return nil, fmt.Errorf("netsvc: Call payload must be *wire.Request, got %T", payload)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	route := a.route
+	a.mu.Unlock()
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.opts.Deadline)
+		defer cancel()
+	}
+	dl, _ := ctx.Deadline()
+	// The frontend's context values override the template's class and
+	// level; without a frontend the request's own fields stand, so a
+	// client-stamped SLO survives an aggregator that runs bare.
+	level := tmpl.Level
+	if lv, ok := frontend.LevelFrom(ctx); ok {
+		level = int16(lv)
+	}
+	slo, minAcc := tmpl.SLO, tmpl.MinAccuracy
+	if s, ok := frontend.SLOFrom(ctx); ok {
+		slo, minAcc = uint8(s.Kind), s.MinAccuracy
+	}
+
+	n := len(a.peers)
+	reply := make(chan service.SubResult, 2*n)
+	dones := make([]*atomic.Bool, n)
+	var timers []*time.Timer
+	for i := 0; i < n; i++ {
+		dones[i] = &atomic.Bool{}
+		sub := *tmpl
+		sub.ID = a.nextID.Add(1)
+		sub.Seq = tmpl.ID // correlate sub-operations with their parent request
+		sub.Subset = int32(i)
+		// The call deadline only ever tightens a deadline the request
+		// already carries (a client-side l_spe): each hop propagates the
+		// strictest absolute budget downward.
+		if sub.Deadline == 0 || dl.UnixNano() < sub.Deadline {
+			sub.Deadline = dl.UnixNano()
+		}
+		sub.Level = level
+		sub.SLO, sub.MinAccuracy = slo, minAcc
+		target := i
+		if route != nil {
+			if t := route(i, n, a.QueueDepth); t >= 0 && t < n {
+				target = t
+			}
+		}
+		hedged := &atomic.Bool{}
+		a.dispatch(target, &sub, dones[i], hedged, reply, true)
+		if a.opts.Policy == service.Hedged {
+			timers = append(timers, a.armHedge(sub, target, dones[i], hedged, reply))
+		}
+	}
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
+
+	out := make([]service.SubResult, n)
+	got := make([]bool, n)
+	remaining := n
+	var deadlineC <-chan time.Time
+	if a.opts.Policy == service.PartialGather {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	for remaining > 0 {
+		select {
+		case r := <-reply:
+			if !got[r.Subset] {
+				got[r.Subset] = true
+				out[r.Subset] = r
+				remaining--
+			}
+		case <-deadlineC:
+			// Partial execution: compose without the stragglers. Their
+			// servers keep working unless the propagated deadline stops
+			// them first; late replies are dropped via the done flags.
+			for i := range got {
+				if !got[i] {
+					dones[i].Store(true)
+					out[i] = service.SubResult{Subset: i, Skipped: true}
+					remaining--
+				}
+			}
+		case <-ctx.Done():
+			for i := range got {
+				if !got[i] {
+					dones[i].Store(true)
+					out[i] = service.SubResult{Subset: i, Err: ctx.Err(), Skipped: true}
+					remaining--
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// dispatch sends one sub-operation to a component. primary outcomes
+// are always delivered (first-wins); hedge outcomes are delivered only
+// when the replica actually answered OK, so a failed or shed replica
+// can never displace the primary's pending reply.
+func (a *Aggregator) dispatch(target int, sub *wire.Request, done, hedged *atomic.Bool, reply chan<- service.SubResult, primary bool) {
+	p := a.peers[target]
+	subset := int(sub.Subset)
+	deliverErr := func(err error, skipped bool) {
+		if !primary {
+			return
+		}
+		if done.CompareAndSwap(false, true) {
+			reply <- service.SubResult{Subset: subset, Err: err, Skipped: skipped, Hedged: hedged.Load()}
+		}
+	}
+	if p.outstanding.Add(1) > int64(a.opts.MaxOutstanding) {
+		p.outstanding.Add(-1)
+		deliverErr(ErrQueueFull, false)
+		return
+	}
+	start := time.Now()
+	p.send(sub, func(rep *wire.SubReply, err error) {
+		p.outstanding.Add(-1)
+		if err != nil {
+			deliverErr(err, false)
+			return
+		}
+		lat := time.Since(start)
+		a.recordLatency(lat)
+		switch rep.Status {
+		case wire.StatusOK:
+			if done.CompareAndSwap(false, true) {
+				reply <- service.SubResult{Subset: subset, Value: rep, Latency: lat, Hedged: hedged.Load()}
+			}
+		case wire.StatusSkipped:
+			// A skipped reply means the propagated budget is gone: any
+			// later reply would be past-deadline too, so a replica's
+			// skip resolves the subset just like a primary's.
+			if done.CompareAndSwap(false, true) {
+				reply <- service.SubResult{Subset: subset, Skipped: true, Latency: lat, Hedged: hedged.Load()}
+			}
+		case wire.StatusBusy:
+			// A server-side shed is the same condition as the
+			// aggregator-side outstanding window: report the sentinel so
+			// composed replies classify it StatusBusy, not a generic
+			// error.
+			deliverErr(ErrQueueFull, false)
+		default:
+			deliverErr(fmt.Errorf("netsvc: component %d: %s", target, rep.Err), false)
+		}
+	})
+}
+
+// armHedge schedules the reissue check for one sub-operation.
+func (a *Aggregator) armHedge(sub wire.Request, target int, done, hedged *atomic.Bool, reply chan<- service.SubResult) *time.Timer {
+	return time.AfterFunc(a.EstimatedP95(), func() {
+		if done.Load() {
+			return
+		}
+		rc := a.opts.ReplicaOf(int(sub.Subset), len(a.peers))
+		if rc == target {
+			// A replica behind the very sub-operation it hedges would
+			// queue after it — skip, as in the in-process runtime.
+			return
+		}
+		// Mark before sending so the replica's own reply (which may win
+		// immediately) already observes the flag.
+		hedged.Store(true)
+		clone := sub
+		clone.ID = a.nextID.Add(1)
+		a.hedges.Add(1)
+		a.dispatch(rc, &clone, done, hedged, reply, false)
+	})
+}
+
+// Close tears down every connection; Call returns ErrClosed afterwards
+// and outstanding sub-operations fail over to their gather policy's
+// error path.
+func (a *Aggregator) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	for _, p := range a.peers {
+		p.close()
+	}
+}
+
+// peer is the connection pool for one component server.
+type peer struct {
+	agg         *Aggregator
+	addr        string
+	outstanding atomic.Int64
+	reconnects  atomic.Int64
+
+	mu     sync.Mutex
+	slots  []*peerConn
+	next   int
+	closed bool
+}
+
+// conn returns a live pooled connection, dialing (or re-dialing a dead
+// slot) as needed.
+func (p *peer) conn() (*peerConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	i := p.next
+	p.next = (p.next + 1) % len(p.slots)
+	pc := p.slots[i]
+	if pc != nil && !pc.isDead() {
+		return pc, nil
+	}
+	if pc != nil {
+		p.reconnects.Add(1)
+	}
+	c, err := net.DialTimeout("tcp", p.addr, p.agg.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	pc = &peerConn{c: c, pending: map[uint64]func(*wire.SubReply, error){}}
+	p.slots[i] = pc
+	go pc.readLoop(p.agg.opts.MaxFrame)
+	return pc, nil
+}
+
+// send transmits one sub-operation and registers its delivery callback
+// (invoked exactly once: reply, connection failure, or close).
+func (p *peer) send(sub *wire.Request, deliver func(*wire.SubReply, error)) {
+	pc, err := p.conn()
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	if !pc.register(sub.ID, deliver) {
+		// The connection died between pooling and registration; one
+		// retry against a fresh slot, then give up.
+		pc, err = p.conn()
+		if err != nil {
+			deliver(nil, err)
+			return
+		}
+		if !pc.register(sub.ID, deliver) {
+			deliver(nil, errors.New("netsvc: connection lost"))
+			return
+		}
+	}
+	frame := wire.AppendRequestFrame(nil, sub)
+	pc.wmu.Lock()
+	_, werr := pc.c.Write(frame)
+	pc.wmu.Unlock()
+	if werr != nil {
+		pc.fail(werr)
+	}
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	slots := append([]*peerConn(nil), p.slots...)
+	p.mu.Unlock()
+	for _, pc := range slots {
+		if pc != nil {
+			pc.fail(ErrClosed)
+		}
+	}
+}
+
+// peerConn is one multiplexed connection: concurrent requests are
+// matched to replies by ID.
+type peerConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+
+	pmu     sync.Mutex
+	pending map[uint64]func(*wire.SubReply, error)
+	dead    bool
+}
+
+func (pc *peerConn) isDead() bool {
+	pc.pmu.Lock()
+	defer pc.pmu.Unlock()
+	return pc.dead
+}
+
+func (pc *peerConn) register(id uint64, deliver func(*wire.SubReply, error)) bool {
+	pc.pmu.Lock()
+	defer pc.pmu.Unlock()
+	if pc.dead {
+		return false
+	}
+	pc.pending[id] = deliver
+	return true
+}
+
+// readLoop dispatches reply frames to their pending callbacks until
+// the connection fails.
+func (pc *peerConn) readLoop(maxFrame int) {
+	br := bufio.NewReader(pc.c)
+	var buf []byte
+	for {
+		var err error
+		buf, err = wire.ReadFrame(br, buf, maxFrame)
+		if err != nil {
+			pc.fail(err)
+			return
+		}
+		rep, err := wire.DecodeSubReply(buf)
+		if err != nil {
+			pc.fail(err)
+			return
+		}
+		pc.pmu.Lock()
+		deliver := pc.pending[rep.ID]
+		delete(pc.pending, rep.ID)
+		pc.pmu.Unlock()
+		if deliver != nil {
+			deliver(rep, nil)
+		}
+	}
+}
+
+// fail marks the connection dead and fails every pending sub-operation
+// exactly once.
+func (pc *peerConn) fail(err error) {
+	pc.pmu.Lock()
+	if pc.dead {
+		pc.pmu.Unlock()
+		return
+	}
+	pc.dead = true
+	pending := pc.pending
+	pc.pending = nil
+	pc.pmu.Unlock()
+	pc.c.Close()
+	for _, deliver := range pending {
+		deliver(nil, fmt.Errorf("netsvc: connection failed: %w", err))
+	}
+}

@@ -1,0 +1,279 @@
+package netsvc
+
+import (
+	"context"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/core"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/wire"
+)
+
+// BackendOptions configures a workload backend handler.
+type BackendOptions struct {
+	// UnitCost is the modeled wall-clock cost per original data point
+	// scanned (0 = pure compute). The real engines at laptop scale run
+	// in microseconds; the modeled cost restores the cluster-scale
+	// cost/accuracy trade so deadlines, degradation and hedging have
+	// something real to act on — the live analog of the simulator's
+	// UnitCostMs.
+	UnitCost time.Duration
+	// SubBudget is the component-side service deadline l_spe (paper §4:
+	// 100ms): each sub-operation's Algorithm 1 budget is capped at
+	// min(propagated request deadline, arrival + SubBudget), so a
+	// component never spends more than SubBudget on one sub-operation
+	// even when the gather policy is willing to wait much longer
+	// (0 = bound by the propagated deadline alone).
+	SubBudget time.Duration
+	// Interfere returns this server's co-located interference delay for
+	// a parent request (wire.Request.Seq; nil = none). It models the
+	// machine the server runs on, not the subset: a hedged replica
+	// dispatched to another server escapes it. The stall counts against
+	// the sub-operation's budget, exactly like queueing delay.
+	Interfere func(seq uint64) time.Duration
+	// K is the per-component search hit count when the request carries
+	// none (default 10).
+	K int
+	// IMaxFrac caps Algorithm 1 improvement at the top fraction of
+	// ranked sets (the paper's imax). 0 selects the workload default:
+	// 0.4 for search (paper §4.3), every set eligible for CF and
+	// aggregation. Keeping typical service time well under the budget
+	// is what gives hedging its headroom.
+	IMaxFrac float64
+}
+
+func (o BackendOptions) withDefaults() BackendOptions {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	return o
+}
+
+// imax converts the configured improvement fraction into a set cap.
+func (o BackendOptions) imax(sets int, workloadDefault float64) int {
+	frac := o.IMaxFrac
+	if frac <= 0 {
+		frac = workloadDefault
+	}
+	m := int(frac * float64(sets))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// errSub builds a StatusErr sub-reply.
+func errSub(msg string) *wire.SubReply {
+	return &wire.SubReply{Status: wire.StatusErr, Err: msg, Level: wire.NoLevel}
+}
+
+// budgetContinue stops Algorithm 1's improvement loop once the
+// context's propagated deadline has passed — the per-hop budget
+// enforcement (the paper's l_spe measured from the remaining request
+// budget, not from a local constant).
+func budgetContinue(ctx context.Context) core.Continue {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return func(int) bool { return true }
+	}
+	return func(int) bool { return time.Now().Before(dl) }
+}
+
+// costedEngine wraps an application engine with the modeled scan cost.
+// Costs are paid through a debt account: sub-millisecond charges are
+// accumulated and slept in chunks, and each sleep's measured overshoot
+// (Go timers overshoot small sleeps by up to ~1ms under load) is
+// credited back, so the long-run wall cost tracks the model instead of
+// the platform's timer granularity.
+type costedEngine struct {
+	inner    core.Engine
+	synopsis time.Duration
+	setCost  func(g int) time.Duration
+	debt     time.Duration
+}
+
+// pay charges d against the debt account and sleeps when at least a
+// millisecond is owed.
+func (e *costedEngine) pay(d time.Duration) {
+	e.debt += d
+	if e.debt < time.Millisecond {
+		return
+	}
+	t0 := time.Now()
+	time.Sleep(e.debt)
+	e.debt -= time.Since(t0)
+}
+
+func (e *costedEngine) ProcessSynopsis() []float64 {
+	e.pay(e.synopsis)
+	return e.inner.ProcessSynopsis()
+}
+
+func (e *costedEngine) ProcessSet(g int) {
+	e.pay(e.setCost(g))
+	e.inner.ProcessSet(g)
+}
+
+// interfere applies the server's modeled co-located interference.
+func (o BackendOptions) interfere(seq uint64) {
+	if o.Interfere != nil {
+		if d := o.Interfere(seq); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// budget caps the sub-operation's context at l_spe from now.
+// context.WithTimeout keeps the parent's deadline when it is earlier,
+// so the propagated request deadline always remains the outer bound.
+func (o BackendOptions) budget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.SubBudget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, o.SubBudget)
+}
+
+// NewAggBackend returns a handler serving the aggregation workload
+// over comps (component c answers for subset c mod len(comps)). Exact
+// requests scan every row; others run Algorithm 1 at the request's
+// ladder level against the propagated budget.
+func NewAggBackend(comps []*agg.Component, opts BackendOptions) Handler {
+	opts = opts.withDefaults()
+	return func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		if req.Kind != wire.KindAgg || req.Agg == nil || req.Subset < 0 {
+			return errSub("netsvc: malformed aggregation request")
+		}
+		ctx, cancel := opts.budget(ctx)
+		defer cancel()
+		opts.interfere(req.Seq)
+		c := comps[int(req.Subset)%len(comps)]
+		q := agg.Query{Op: agg.Op(req.Agg.Op), Lo: req.Agg.Lo, Hi: req.Agg.Hi}
+		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
+		if req.SLO == wire.SLOExact {
+			if opts.UnitCost > 0 {
+				time.Sleep(time.Duration(c.T.NumRows()) * opts.UnitCost)
+			}
+			res := agg.ExactResult(c, q)
+			rep.Agg = &wire.AggResult{Sum: res.Sum, Cnt: res.Cnt, SumVar: res.SumVar, CntVar: res.CntVar}
+			return rep
+		}
+		level := int(req.Level)
+		if req.Level == wire.NoLevel {
+			level = c.Syn.Levels() - 1
+		}
+		e := agg.GetEngine(c, q, level)
+		var eng core.Engine = e
+		if opts.UnitCost > 0 {
+			eng = &costedEngine{
+				inner:    e,
+				synopsis: time.Duration(c.Syn.SampleUnits(e.Level)) * opts.UnitCost,
+				setCost:  func(g int) time.Duration { return time.Duration(c.Syn.StratumSize(g)) * opts.UnitCost },
+			}
+		}
+		trace := core.Run(eng, budgetContinue(ctx), opts.imax(c.Syn.NumStrata(), 1.0))
+		served := e.Level
+		res := e.TakeResult()
+		e.Release()
+		rep.Level = int16(served)
+		rep.SetsProcessed = uint32(trace.SetsProcessed)
+		rep.Agg = &wire.AggResult{Sum: res.Sum, Cnt: res.Cnt, SumVar: res.SumVar, CntVar: res.CntVar}
+		return rep
+	}
+}
+
+// NewCFBackend returns a handler serving the CF recommender workload
+// over comps.
+func NewCFBackend(comps []*cf.Component, opts BackendOptions) Handler {
+	opts = opts.withDefaults()
+	return func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		if req.Kind != wire.KindCF || req.CF == nil || req.Subset < 0 {
+			return errSub("netsvc: malformed CF request")
+		}
+		ctx, cancel := opts.budget(ctx)
+		defer cancel()
+		opts.interfere(req.Seq)
+		c := comps[int(req.Subset)%len(comps)]
+		ratings := make([]cf.Rating, len(req.CF.Ratings))
+		for i, r := range req.CF.Ratings {
+			ratings[i] = cf.Rating{Item: r.Item, Score: r.Score}
+		}
+		creq := cf.NewRequest(ratings, req.CF.Targets)
+		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
+		if req.SLO == wire.SLOExact {
+			if opts.UnitCost > 0 {
+				time.Sleep(time.Duration(c.M.NumUsers()) * opts.UnitCost)
+			}
+			res := cf.ExactResult(c, creq)
+			rep.CF = &wire.CFResult{Num: res.Num, Den: res.Den}
+			return rep
+		}
+		e := cf.GetEngine(c, creq)
+		var eng core.Engine = e
+		if opts.UnitCost > 0 {
+			eng = &costedEngine{
+				inner:    e,
+				synopsis: time.Duration(len(c.Aggs)) * opts.UnitCost,
+				setCost:  func(g int) time.Duration { return time.Duration(len(c.Aggs[g].Members)) * opts.UnitCost },
+			}
+		}
+		trace := core.Run(eng, budgetContinue(ctx), opts.imax(len(c.Aggs), 1.0))
+		res := e.TakeResult()
+		e.Release()
+		rep.SetsProcessed = uint32(trace.SetsProcessed)
+		rep.CF = &wire.CFResult{Num: res.Num, Den: res.Den}
+		return rep
+	}
+}
+
+// NewSearchBackend returns a handler serving the web-search workload
+// over comps.
+func NewSearchBackend(comps []*textindex.Component, opts BackendOptions) Handler {
+	opts = opts.withDefaults()
+	return func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		if req.Kind != wire.KindSearch || req.Search == nil || req.Subset < 0 {
+			return errSub("netsvc: malformed search request")
+		}
+		ctx, cancel := opts.budget(ctx)
+		defer cancel()
+		opts.interfere(req.Seq)
+		c := comps[int(req.Subset)%len(comps)]
+		q := c.Ix.ParseQuery(req.Search.Query)
+		k := int(req.Search.K)
+		if k <= 0 {
+			k = opts.K
+		}
+		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
+		if req.SLO == wire.SLOExact {
+			if opts.UnitCost > 0 {
+				time.Sleep(time.Duration(c.Ix.NumDocs()) * opts.UnitCost)
+			}
+			rep.Search = wireHits(textindex.ExactTopK(c, q, k))
+			return rep
+		}
+		e := textindex.GetEngine(c, q)
+		var eng core.Engine = e
+		if opts.UnitCost > 0 {
+			eng = &costedEngine{
+				inner:    e,
+				synopsis: time.Duration(len(c.Aggs)) * opts.UnitCost,
+				setCost:  func(g int) time.Duration { return time.Duration(c.GroupSize(g)) * opts.UnitCost },
+			}
+		}
+		trace := core.Run(eng, budgetContinue(ctx), opts.imax(len(c.Aggs), 0.4))
+		hits := e.TopK(k)
+		e.Release()
+		rep.SetsProcessed = uint32(trace.SetsProcessed)
+		rep.Search = wireHits(hits)
+		return rep
+	}
+}
+
+func wireHits(hits []textindex.Hit) *wire.SearchResult {
+	out := make([]wire.Hit, len(hits))
+	for i, h := range hits {
+		out[i] = wire.Hit{Doc: int32(h.Doc), Score: h.Score}
+	}
+	return &wire.SearchResult{Hits: out}
+}

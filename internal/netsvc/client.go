@@ -1,0 +1,199 @@
+package netsvc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accuracytrader/internal/wire"
+)
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// MaxFrame bounds accepted reply frames (default wire.MaxFrame).
+	MaxFrame int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.MaxFrame
+	}
+	return o
+}
+
+// Client talks to a FrontServer: it sends whole-service requests and
+// receives composed replies over one multiplexed connection with
+// transparent re-dial after failures. Safe for concurrent use.
+type Client struct {
+	addr   string
+	opts   ClientOptions
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	conn   *clientConn
+	closed bool
+}
+
+type clientConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Reply
+	dead    bool
+}
+
+// DialClient connects to a FrontServer.
+func DialClient(addr string, opts ClientOptions) (*Client, error) {
+	cl := &Client{addr: addr, opts: opts.withDefaults()}
+	if _, err := cl.live(); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+func (cl *Client) live() (*clientConn, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil, ErrClosed
+	}
+	if cc := cl.conn; cc != nil && !cc.isDead() {
+		return cc, nil
+	}
+	c, err := net.DialTimeout("tcp", cl.addr, cl.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{c: c, pending: map[uint64]chan *wire.Reply{}}
+	cl.conn = cc
+	go cc.readLoop(cl.opts.MaxFrame)
+	return cc, nil
+}
+
+// Call sends one whole-service request and waits for its composed
+// reply. The request's ID is stamped by the client and its Deadline
+// from the context; Subset is forced to -1 (whole service).
+func (cl *Client) Call(ctx context.Context, req *wire.Request) (*wire.Reply, error) {
+	cc, err := cl.live()
+	if err != nil {
+		return nil, err
+	}
+	sub := *req
+	sub.ID = cl.nextID.Add(1)
+	sub.Subset = -1
+	// The context only tightens a service deadline the request already
+	// carries, so a caller can hold a strict service budget while
+	// allowing transport slack for the reply to travel back.
+	if dl, ok := ctx.Deadline(); ok {
+		if sub.Deadline == 0 || dl.UnixNano() < sub.Deadline {
+			sub.Deadline = dl.UnixNano()
+		}
+	}
+	ch := make(chan *wire.Reply, 1)
+	if !cc.register(sub.ID, ch) {
+		return nil, errors.New("netsvc: connection lost")
+	}
+	defer cc.deregister(sub.ID)
+	frame := wire.AppendRequestFrame(nil, &sub)
+	cc.wmu.Lock()
+	_, werr := cc.c.Write(frame)
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.fail()
+		return nil, fmt.Errorf("netsvc: send failed: %w", werr)
+	}
+	select {
+	case rep := <-ch:
+		if rep == nil {
+			return nil, errors.New("netsvc: connection failed awaiting reply")
+		}
+		return rep, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close tears the connection down; in-flight Calls fail.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	cl.closed = true
+	cc := cl.conn
+	cl.mu.Unlock()
+	if cc != nil {
+		cc.fail()
+	}
+}
+
+func (cc *clientConn) isDead() bool {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	return cc.dead
+}
+
+func (cc *clientConn) register(id uint64, ch chan *wire.Reply) bool {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	if cc.dead {
+		return false
+	}
+	cc.pending[id] = ch
+	return true
+}
+
+func (cc *clientConn) deregister(id uint64) {
+	cc.pmu.Lock()
+	delete(cc.pending, id)
+	cc.pmu.Unlock()
+}
+
+func (cc *clientConn) readLoop(maxFrame int) {
+	br := bufio.NewReader(cc.c)
+	var buf []byte
+	for {
+		var err error
+		buf, err = wire.ReadFrame(br, buf, maxFrame)
+		if err != nil {
+			cc.fail()
+			return
+		}
+		rep, err := wire.DecodeReply(buf)
+		if err != nil {
+			cc.fail()
+			return
+		}
+		cc.pmu.Lock()
+		ch := cc.pending[rep.ID]
+		delete(cc.pending, rep.ID)
+		cc.pmu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+func (cc *clientConn) fail() {
+	cc.pmu.Lock()
+	if cc.dead {
+		cc.pmu.Unlock()
+		return
+	}
+	cc.dead = true
+	pending := cc.pending
+	cc.pending = nil
+	cc.pmu.Unlock()
+	cc.c.Close()
+	for _, ch := range pending {
+		ch <- nil
+	}
+}

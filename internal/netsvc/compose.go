@@ -1,0 +1,142 @@
+package netsvc
+
+import (
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/textindex"
+	"accuracytrader/internal/topk"
+	"accuracytrader/internal/wire"
+)
+
+// GlobalDocStride globalizes shard-local search doc ids in composed
+// replies: global id = subset*GlobalDocStride + doc (the convention of
+// the experiment replays).
+const GlobalDocStride = 10_000_000
+
+// subReplyOf extracts the decoded sub-reply of an answered sub-result.
+func subReplyOf(sr service.SubResult) *wire.SubReply {
+	if sr.Err != nil || sr.Skipped || sr.Value == nil {
+		return nil
+	}
+	rep, _ := sr.Value.(*wire.SubReply)
+	return rep
+}
+
+// SubStatuses maps gathered sub-results to per-subset wire statuses
+// for the composed reply.
+func SubStatuses(subs []service.SubResult) []uint8 {
+	out := make([]uint8, len(subs))
+	for i, sr := range subs {
+		switch {
+		case sr.Skipped:
+			out[i] = wire.StatusSkipped
+		case sr.Err != nil:
+			if sr.Err == ErrQueueFull || sr.Err == service.ErrQueueFull {
+				out[i] = wire.StatusBusy
+			} else {
+				out[i] = wire.StatusErr
+			}
+		default:
+			out[i] = wire.StatusOK
+			// An in-process handler may resolve a sub-operation with a
+			// non-OK reply in the value slot; surface the inner status.
+			if rep, ok := sr.Value.(*wire.SubReply); ok && rep != nil {
+				out[i] = rep.Status
+			}
+		}
+	}
+	return out
+}
+
+// ComposeCF merges CF sub-results additively (the partial-result merge
+// contract of cf.Result): skipped or failed components simply
+// contribute nothing, exactly as in the in-process composition.
+func ComposeCF(subs []service.SubResult) *wire.CFResult {
+	var res cf.Result
+	for _, sr := range subs {
+		rep := subReplyOf(sr)
+		if rep == nil || rep.CF == nil {
+			continue
+		}
+		part := cf.Result{Num: rep.CF.Num, Den: rep.CF.Den}
+		if res.Num == nil {
+			res = cf.NewResult(len(part.Num))
+		}
+		if len(part.Num) != len(res.Num) {
+			continue // mis-shaped partial: drop rather than corrupt
+		}
+		res.Merge(part)
+	}
+	return &wire.CFResult{Num: res.Num, Den: res.Den}
+}
+
+// ComposeSearch merges per-component hit lists into a global top-k via
+// the same bounded selection kernel the engines use (internal/topk),
+// globalizing shard-local doc ids with GlobalDocStride.
+func ComposeSearch(subs []service.SubResult, k int) *wire.SearchResult {
+	var sel topk.Selector
+	sel.Reset(k)
+	for _, sr := range subs {
+		rep := subReplyOf(sr)
+		if rep == nil || rep.Search == nil {
+			continue
+		}
+		// Globalize on the gathered subset (always set by the runtime),
+		// not the reply's echo of it, so directly-invoked handlers
+		// compose identically to server-filled replies.
+		for _, h := range rep.Search.Hits {
+			sel.Offer(sr.Subset*GlobalDocStride+int(h.Doc), h.Score)
+		}
+	}
+	items := sel.Sorted()
+	hits := make([]wire.Hit, 0, len(items))
+	for _, it := range items {
+		hits = append(hits, wire.Hit{Doc: int32(it.ID), Score: it.Score})
+	}
+	return &wire.SearchResult{Hits: hits}
+}
+
+// ComposeAgg merges aggregation sub-results additively, variances
+// included — the composed reply stays bounds-aware: converting it with
+// AggResultOf yields an agg.Result whose Estimate/Bound methods work
+// on the merged answer.
+func ComposeAgg(subs []service.SubResult) *wire.AggResult {
+	var res agg.Result
+	for _, sr := range subs {
+		rep := subReplyOf(sr)
+		if rep == nil || rep.Agg == nil {
+			continue
+		}
+		part := AggResultOf(rep.Agg)
+		if res.Sum == nil {
+			res = agg.NewResult(len(part.Sum))
+		}
+		if len(part.Sum) != len(res.Sum) {
+			continue
+		}
+		res.Merge(part)
+	}
+	return &wire.AggResult{Sum: res.Sum, Cnt: res.Cnt, SumVar: res.SumVar, CntVar: res.CntVar}
+}
+
+// AggResultOf views a wire aggregation result as an agg.Result, so the
+// application's Estimate/Bound/Estimates machinery is reused verbatim
+// on composed network replies.
+func AggResultOf(r *wire.AggResult) agg.Result {
+	return agg.Result{Sum: r.Sum, Cnt: r.Cnt, SumVar: r.SumVar, CntVar: r.CntVar}
+}
+
+// CFResultOf views a wire CF result as a cf.Result (for Predictions).
+func CFResultOf(r *wire.CFResult) cf.Result {
+	return cf.Result{Num: r.Num, Den: r.Den}
+}
+
+// SearchHitsOf converts wire hits to textindex hits (global doc ids).
+func SearchHitsOf(r *wire.SearchResult) []textindex.Hit {
+	out := make([]textindex.Hit, len(r.Hits))
+	for i, h := range r.Hits {
+		out[i] = textindex.Hit{Doc: int(h.Doc), Score: h.Score}
+	}
+	return out
+}

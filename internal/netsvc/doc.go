@@ -1,0 +1,33 @@
+// Package netsvc is the networked serving layer: the paper's
+// deployment model — an aggregator fanning each request out to many
+// component sub-services — realized over real TCP sockets instead of
+// in-process goroutine mailboxes (internal/service).
+//
+// The pieces, bottom up:
+//
+//   - Server: a component server — one listener, a bounded accept and
+//     worker pool, and per-request deadline enforcement: a request
+//     whose propagated absolute deadline (wire.Request.Deadline) has
+//     already passed is answered Skipped without touching the handler,
+//     and handlers run under a context carrying the remaining budget
+//     so Algorithm 1 abandons improvement the moment it is exhausted.
+//   - Aggregator: the scatter/gather client — pooled persistent
+//     connections per component with transparent reconnect, and the
+//     same gather policies as the in-process runtime (service.WaitAll,
+//     service.PartialGather, service.Hedged) executed over sockets,
+//     including the P²-estimated p95 hedge trigger. It implements
+//     frontend.Backend, so the accuracy-aware frontend's admission,
+//     replica routing, and degradation policies drive it unchanged.
+//   - FrontServer: an aggregator process's client-facing listener: it
+//     accepts whole-service wire.Requests, runs them through the
+//     frontend pipeline, merges the sub-results with the application
+//     composers (additive for CF and aggregation — bounds-aware via
+//     the carried variances — top-k for search), and answers with a
+//     composed wire.Reply recording what was delivered.
+//   - Backends: per-workload component handlers wrapping the pooled
+//     application engines, with an optional modeled per-point scan
+//     cost and a co-located-interference hook so laptop-scale loopback
+//     deployments exhibit cluster-shaped tails.
+//   - OpenLoop: the open-loop Poisson load generator used by the
+//     netcompare experiment and the distributed example.
+package netsvc

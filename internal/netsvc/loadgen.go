@@ -1,0 +1,30 @@
+package netsvc
+
+import (
+	"sync"
+	"time"
+
+	"accuracytrader/internal/stats"
+)
+
+// OpenLoop drives open-loop Poisson load for the window: fire(i) runs
+// in its own goroutine at each arrival — arrivals never wait for
+// earlier requests, so queueing delay shows up as latency instead of
+// silently throttling the offered rate (the closed-loop trap). It
+// returns the number of requests fired, after all of them complete.
+func OpenLoop(rng *stats.RNG, ratePerSec float64, window time.Duration, fire func(i int)) int {
+	var wg sync.WaitGroup
+	stop := time.Now().Add(window)
+	n := 0
+	for time.Now().Before(stop) {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fire(i)
+		}(n)
+		n++
+		time.Sleep(time.Duration(rng.Exp(ratePerSec) * float64(time.Second)))
+	}
+	wg.Wait()
+	return n
+}

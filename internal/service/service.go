@@ -96,7 +96,23 @@ type job struct {
 
 type component struct {
 	mailbox chan job
+	idx     int
 	busy    atomic.Bool // worker is executing a job right now
+}
+
+// compKey is the context key carrying the executing component's index
+// to handlers.
+type compKey struct{}
+
+// ComponentFrom returns the index of the component whose worker is
+// executing the current sub-operation. Under hedging the replica runs
+// on a different component than the primary, so handlers modeling
+// per-machine effects (co-located interference, cache locality) can
+// key on the executor rather than the subset. ok is false outside a
+// cluster worker.
+func ComponentFrom(ctx context.Context) (comp int, ok bool) {
+	comp, ok = ctx.Value(compKey{}).(int)
+	return comp, ok
 }
 
 // quit signals workers to stop; mailboxes are never closed, so a hedge
@@ -141,8 +157,8 @@ func New(handlers []Handler, policy Policy, opts Options) (*Cluster, error) {
 		quit:     make(chan struct{}),
 	}
 	cl.p95ms.Store(uint64(opts.HedgeFloor / time.Microsecond))
-	for range handlers {
-		c := &component{mailbox: make(chan job, opts.QueueLen)}
+	for i := range handlers {
+		c := &component{mailbox: make(chan job, opts.QueueLen), idx: i}
 		cl.comps = append(cl.comps, c)
 		cl.wg.Add(1)
 		go cl.worker(c)
@@ -163,7 +179,7 @@ func (cl *Cluster) worker(c *component) {
 				continue // the other replica already answered
 			}
 			c.busy.Store(true)
-			v, err := j.handler(j.ctx, j.payload)
+			v, err := j.handler(context.WithValue(j.ctx, compKey{}, c.idx), j.payload)
 			c.busy.Store(false)
 			lat := time.Since(j.enqueued)
 			if j.done.CompareAndSwap(false, true) {

@@ -1,0 +1,21 @@
+// Package wire is the compact length-prefixed binary protocol of the
+// networked serving layer (an extension beyond the paper's in-process
+// evaluation): sub-operation requests, component sub-replies, and
+// composed whole-service replies for all three application workloads
+// (CF recommender, web search, approximate aggregation).
+//
+// Every request carries the SLO class, the frontend-selected ladder
+// level, and an absolute deadline, so each hop — aggregator, component
+// server, Algorithm 1 inside a handler — can compute its remaining
+// budget and abandon work the moment the budget is exhausted, which is
+// what makes the paper's partial-execution and degradation techniques
+// meaningful across process boundaries.
+//
+// Frames are little-endian, `uint32 length | version | kind | body`.
+// Decoding is strictly bounds-checked with declared counts validated
+// against the bytes actually present: corrupt or truncated input
+// yields an error, never a panic or an attacker-sized allocation.
+// Float64 values round-trip bit-exactly, so a result served over the
+// network is bit-identical to the same result composed in process
+// (asserted by the netcompare parity check).
+package wire

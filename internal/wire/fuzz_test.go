@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"accuracytrader/internal/stats"
+)
+
+// seedBodies returns valid frame bodies of every frame and payload
+// kind, used as the fuzz corpus.
+func seedBodies(t interface{ Fatalf(string, ...interface{}) }) [][]byte {
+	rng := stats.NewRNG(7)
+	strip := func(frame []byte) []byte { return frame[4:] }
+	var out [][]byte
+	for i := 0; i < 12; i++ {
+		out = append(out,
+			strip(AppendRequestFrame(nil, randRequest(rng))),
+			strip(AppendSubReplyFrame(nil, randSubReply(rng))),
+			strip(AppendReplyFrame(nil, randReply(rng))))
+	}
+	return out
+}
+
+// FuzzDecodeRequest asserts decoding never panics on arbitrary bytes,
+// and that anything that does decode re-encodes to a body that decodes
+// to the identical message (encode→decode identity).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, b := range seedBodies(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		re := AppendRequestFrame(nil, req)[4:]
+		back, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded request: %v", err)
+		}
+		if !reflect.DeepEqual(req, back) {
+			t.Fatalf("re-encode not identity:\nfirst  %+v\nsecond %+v", req, back)
+		}
+	})
+}
+
+// FuzzDecodeSubReply is the sub-reply half of the identity fuzz.
+func FuzzDecodeSubReply(f *testing.F) {
+	for _, b := range seedBodies(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeSubReply(data)
+		if err != nil {
+			return
+		}
+		re := AppendSubReplyFrame(nil, rep)[4:]
+		back, err := DecodeSubReply(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded sub-reply: %v", err)
+		}
+		if !reflect.DeepEqual(rep, back) {
+			t.Fatalf("re-encode not identity:\nfirst  %+v\nsecond %+v", rep, back)
+		}
+	})
+}
+
+// FuzzDecodeReply is the composed-reply half of the identity fuzz.
+func FuzzDecodeReply(f *testing.F) {
+	for _, b := range seedBodies(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReply(data)
+		if err != nil {
+			return
+		}
+		re := AppendReplyFrame(nil, rep)[4:]
+		back, err := DecodeReply(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded reply: %v", err)
+		}
+		if !reflect.DeepEqual(rep, back) {
+			t.Fatalf("re-encode not identity:\nfirst  %+v\nsecond %+v", rep, back)
+		}
+	})
+}

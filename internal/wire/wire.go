@@ -1,0 +1,627 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version stamped into every frame. A peer
+// speaking a different version is rejected at decode time instead of
+// being misparsed.
+const Version = 1
+
+// Frame kinds: what a frame body contains.
+const (
+	frameRequest  = 1
+	frameSubReply = 2
+	frameReply    = 3
+)
+
+// Kind selects which application payload a request or result carries.
+type Kind uint8
+
+// The application payload kinds, one per workload.
+const (
+	KindCF Kind = iota
+	KindSearch
+	KindAgg
+)
+
+// String returns the workload name.
+func (k Kind) String() string {
+	switch k {
+	case KindCF:
+		return "cf"
+	case KindSearch:
+		return "search"
+	default:
+		return "agg"
+	}
+}
+
+// SLO classes on the wire. They mirror frontend.SLOKind with an extra
+// sentinel for requests that did not pass through a frontend.
+const (
+	SLOExact      = 0
+	SLOBounded    = 1
+	SLOBestEffort = 2
+	SLONone       = 0xff
+)
+
+// Sub-operation statuses (SubReply.Status and Reply.SubStatus entries).
+const (
+	StatusOK      = 0
+	StatusErr     = 1
+	StatusSkipped = 2 // deadline passed before the work ran (or reply arrived)
+	StatusBusy    = 3 // shed at an outstanding-window or server queue bound
+)
+
+// Reply statuses for the composed reply.
+const (
+	ReplyOK       = 0
+	ReplyRejected = 1 // shed by frontend admission
+	ReplyErr      = 2
+)
+
+// NoLevel is the Level value of a request that carries no ladder level
+// (handlers serve their finest synopsis).
+const NoLevel = -1
+
+// Rating is one (item, score) pair of a CF request, mirroring
+// cf.Rating without importing the application package: the codec stays
+// a leaf.
+type Rating struct {
+	Item  int32
+	Score float64
+}
+
+// Hit is one (doc, score) pair of a search result.
+type Hit struct {
+	Doc   int32
+	Score float64
+}
+
+// CFRequest asks for rating predictions: the active user's known
+// ratings and the target items.
+type CFRequest struct {
+	Ratings []Rating
+	Targets []int32
+}
+
+// SearchRequest asks for the top-K pages matching a query string.
+type SearchRequest struct {
+	Query string
+	K     int32
+}
+
+// AggRequest asks for a filtered per-group aggregate: Op(value) GROUP
+// BY key over rows with value in [Lo, Hi). Op values mirror agg.Op.
+type AggRequest struct {
+	Op     uint8
+	Lo, Hi float64
+}
+
+// CFResult is a CF partial result: per-target weighted deviation sums
+// and weight normalizers. Partials merge by addition.
+type CFResult struct {
+	Num []float64
+	Den []float64
+}
+
+// SearchResult is a ranked hit list. Component servers return
+// shard-local doc ids; composed replies carry globalized ids.
+type SearchResult struct {
+	Hits []Hit
+}
+
+// AggResult is an aggregation partial result: per-key estimated SUM
+// and COUNT with estimator variances. Partials merge by addition, and
+// keeping the variances makes the composed reply bounds-aware.
+type AggResult struct {
+	Sum    []float64
+	Cnt    []float64
+	SumVar []float64
+	CntVar []float64
+}
+
+// Request is one sub-operation sent from an aggregator to a component
+// server — or, with Subset < 0, a whole-service request sent from a
+// client to an aggregator. It carries everything a hop needs to stop
+// work when the budget is gone: the SLO class, the ladder level the
+// frontend selected, and the absolute deadline.
+type Request struct {
+	ID uint64
+	// Seq correlates a sub-operation with its parent whole-service
+	// request: the aggregator stamps each sub-request's Seq with the
+	// parent's ID, so component-side logs, traces and interference
+	// models can key on the request rather than the sub-operation.
+	Seq    uint64
+	Kind   Kind
+	Subset int32 // data subset to serve; < 0 on client→aggregator requests
+	// SLO is the request's class (SLOExact…SLOBestEffort, or SLONone
+	// when no frontend is involved); MinAccuracy is the Bounded floor.
+	SLO         uint8
+	MinAccuracy float64
+	// Level is the frontend-selected ladder level (coarse 0 … fine), or
+	// NoLevel.
+	Level int16
+	// Deadline is the absolute request deadline in Unix nanoseconds (0 =
+	// none). Every hop computes its remaining budget from it and
+	// abandons work once the budget is exhausted.
+	Deadline int64
+
+	CF     *CFRequest
+	Search *SearchRequest
+	Agg    *AggRequest
+}
+
+// SubReply is one component server's reply to a sub-operation.
+type SubReply struct {
+	ID     uint64
+	Subset int32
+	Status uint8
+	Err    string
+	Kind   Kind
+	// Level is the ladder level actually served (NoLevel when the finest
+	// synopsis was used implicitly).
+	Level int16
+	// SetsProcessed counts Algorithm 1 improvement steps — the accuracy
+	// proxy reported back to the aggregator.
+	SetsProcessed uint32
+
+	CF     *CFResult
+	Search *SearchResult
+	Agg    *AggResult
+}
+
+// Reply is the composed whole-service reply an aggregator returns to a
+// client: the merged result plus what was actually delivered (effective
+// SLO after downgrades, served level, per-subset statuses).
+type Reply struct {
+	ID          uint64
+	Status      uint8
+	Err         string
+	Kind        Kind
+	SLO         uint8
+	MinAccuracy float64
+	Degraded    bool
+	Level       int16
+	// SubStatus holds one Status* byte per subset, in subset order.
+	SubStatus []uint8
+
+	CF     *CFResult
+	Search *SearchResult
+	Agg    *AggResult
+}
+
+// MaxFrame is the default bound on accepted frame sizes; a corrupt
+// length prefix fails fast instead of attempting a huge allocation.
+const MaxFrame = 8 << 20
+
+// appenders — little-endian throughout.
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendF64s(b []byte, vs []float64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+// reader decodes a frame body with sticky bounds-checked errors: a
+// truncated or corrupt frame yields an error, never a panic.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated or corrupt frame (%s at offset %d of %d)", what, r.off, len(r.b))
+	}
+}
+
+func (r *reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail(what)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8(what string) uint8 {
+	s := r.take(1, what)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u16(what string) uint16 {
+	s := r.take(2, what)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *reader) u32(what string) uint32 {
+	s := r.take(4, what)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *reader) u64(what string) uint64 {
+	s := r.take(8, what)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+// count validates a declared element count against the bytes actually
+// remaining (elemSize bytes each), so corrupt counts cannot drive huge
+// allocations.
+func (r *reader) count(elemSize int, what string) int {
+	n := int(r.u32(what))
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || (len(r.b)-r.off)/elemSize < n {
+		r.fail(what + " count")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) str(what string) string {
+	n := r.count(1, what)
+	return string(r.take(n, what))
+}
+
+func (r *reader) f64s(what string) []float64 {
+	n := r.count(8, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64(what)
+	}
+	return out
+}
+
+func (r *reader) i32s(what string) []int32 {
+	n := r.count(4, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.u32(what))
+	}
+	return out
+}
+
+func (r *reader) done(kind string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes after %s", len(r.b)-r.off, kind)
+	}
+	return nil
+}
+
+// AppendRequestFrame appends the length-prefixed encoding of req.
+func AppendRequestFrame(dst []byte, req *Request) []byte {
+	start := len(dst)
+	dst = appendU32(dst, 0) // length, patched below
+	dst = append(dst, Version, frameRequest)
+	dst = appendU64(dst, req.ID)
+	dst = appendU64(dst, req.Seq)
+	dst = append(dst, byte(req.Kind))
+	dst = appendU32(dst, uint32(req.Subset))
+	dst = append(dst, req.SLO)
+	dst = appendF64(dst, req.MinAccuracy)
+	dst = appendU16(dst, uint16(req.Level))
+	dst = appendU64(dst, uint64(req.Deadline))
+	switch req.Kind {
+	case KindCF:
+		dst = appendU32(dst, uint32(len(req.CF.Ratings)))
+		for _, rt := range req.CF.Ratings {
+			dst = appendU32(dst, uint32(rt.Item))
+			dst = appendF64(dst, rt.Score)
+		}
+		dst = appendI32s(dst, req.CF.Targets)
+	case KindSearch:
+		dst = appendStr(dst, req.Search.Query)
+		dst = appendU32(dst, uint32(req.Search.K))
+	case KindAgg:
+		dst = append(dst, req.Agg.Op)
+		dst = appendF64(dst, req.Agg.Lo)
+		dst = appendF64(dst, req.Agg.Hi)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// DecodeRequest decodes a request frame body.
+func DecodeRequest(body []byte) (*Request, error) {
+	r := &reader{b: body}
+	if err := checkHeader(r, frameRequest, "request"); err != nil {
+		return nil, err
+	}
+	req := &Request{}
+	req.ID = r.u64("id")
+	req.Seq = r.u64("seq")
+	req.Kind = Kind(r.u8("kind"))
+	req.Subset = int32(r.u32("subset"))
+	req.SLO = r.u8("slo")
+	req.MinAccuracy = r.f64("minAccuracy")
+	req.Level = int16(r.u16("level"))
+	req.Deadline = int64(r.u64("deadline"))
+	switch req.Kind {
+	case KindCF:
+		cf := &CFRequest{}
+		n := r.count(12, "ratings")
+		if r.err == nil && n > 0 {
+			cf.Ratings = make([]Rating, n)
+			for i := range cf.Ratings {
+				cf.Ratings[i].Item = int32(r.u32("rating item"))
+				cf.Ratings[i].Score = r.f64("rating score")
+			}
+		}
+		cf.Targets = r.i32s("targets")
+		req.CF = cf
+	case KindSearch:
+		req.Search = &SearchRequest{Query: r.str("query"), K: int32(r.u32("k"))}
+	case KindAgg:
+		req.Agg = &AggRequest{Op: r.u8("op"), Lo: r.f64("lo"), Hi: r.f64("hi")}
+	default:
+		return nil, fmt.Errorf("wire: unknown payload kind %d", req.Kind)
+	}
+	if err := r.done("request"); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// AppendSubReplyFrame appends the length-prefixed encoding of rep.
+func AppendSubReplyFrame(dst []byte, rep *SubReply) []byte {
+	start := len(dst)
+	dst = appendU32(dst, 0)
+	dst = append(dst, Version, frameSubReply)
+	dst = appendU64(dst, rep.ID)
+	dst = appendU32(dst, uint32(rep.Subset))
+	dst = append(dst, rep.Status)
+	dst = appendStr(dst, rep.Err)
+	dst = append(dst, byte(rep.Kind))
+	dst = appendU16(dst, uint16(rep.Level))
+	dst = appendU32(dst, rep.SetsProcessed)
+	if rep.Status == StatusOK {
+		dst = appendResultPayload(dst, rep.Kind, rep.CF, rep.Search, rep.Agg)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// DecodeSubReply decodes a sub-reply frame body.
+func DecodeSubReply(body []byte) (*SubReply, error) {
+	r := &reader{b: body}
+	if err := checkHeader(r, frameSubReply, "sub-reply"); err != nil {
+		return nil, err
+	}
+	rep := &SubReply{}
+	rep.ID = r.u64("id")
+	rep.Subset = int32(r.u32("subset"))
+	rep.Status = r.u8("status")
+	rep.Err = r.str("err")
+	rep.Kind = Kind(r.u8("kind"))
+	rep.Level = int16(r.u16("level"))
+	rep.SetsProcessed = r.u32("sets")
+	if rep.Status == StatusOK {
+		var err error
+		rep.CF, rep.Search, rep.Agg, err = decodeResultPayload(r, rep.Kind)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := r.done("sub-reply"); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// AppendReplyFrame appends the length-prefixed encoding of the
+// composed reply.
+func AppendReplyFrame(dst []byte, rep *Reply) []byte {
+	start := len(dst)
+	dst = appendU32(dst, 0)
+	dst = append(dst, Version, frameReply)
+	dst = appendU64(dst, rep.ID)
+	dst = append(dst, rep.Status)
+	dst = appendStr(dst, rep.Err)
+	dst = append(dst, byte(rep.Kind))
+	dst = append(dst, rep.SLO)
+	dst = appendF64(dst, rep.MinAccuracy)
+	degraded := byte(0)
+	if rep.Degraded {
+		degraded = 1
+	}
+	dst = append(dst, degraded)
+	dst = appendU16(dst, uint16(rep.Level))
+	dst = appendU32(dst, uint32(len(rep.SubStatus)))
+	dst = append(dst, rep.SubStatus...)
+	if rep.Status == ReplyOK {
+		dst = appendResultPayload(dst, rep.Kind, rep.CF, rep.Search, rep.Agg)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// DecodeReply decodes a composed-reply frame body.
+func DecodeReply(body []byte) (*Reply, error) {
+	r := &reader{b: body}
+	if err := checkHeader(r, frameReply, "reply"); err != nil {
+		return nil, err
+	}
+	rep := &Reply{}
+	rep.ID = r.u64("id")
+	rep.Status = r.u8("status")
+	rep.Err = r.str("err")
+	rep.Kind = Kind(r.u8("kind"))
+	rep.SLO = r.u8("slo")
+	rep.MinAccuracy = r.f64("minAccuracy")
+	rep.Degraded = r.u8("degraded") != 0
+	rep.Level = int16(r.u16("level"))
+	if n := r.count(1, "substatus"); r.err == nil && n > 0 {
+		rep.SubStatus = append([]uint8(nil), r.take(n, "substatus")...)
+	}
+	if rep.Status == ReplyOK {
+		var err error
+		rep.CF, rep.Search, rep.Agg, err = decodeResultPayload(r, rep.Kind)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := r.done("reply"); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func appendResultPayload(dst []byte, kind Kind, cf *CFResult, search *SearchResult, agg *AggResult) []byte {
+	switch kind {
+	case KindCF:
+		dst = appendF64s(dst, cf.Num)
+		dst = appendF64s(dst, cf.Den)
+	case KindSearch:
+		dst = appendU32(dst, uint32(len(search.Hits)))
+		for _, h := range search.Hits {
+			dst = appendU32(dst, uint32(h.Doc))
+			dst = appendF64(dst, h.Score)
+		}
+	case KindAgg:
+		dst = appendF64s(dst, agg.Sum)
+		dst = appendF64s(dst, agg.Cnt)
+		dst = appendF64s(dst, agg.SumVar)
+		dst = appendF64s(dst, agg.CntVar)
+	}
+	return dst
+}
+
+func decodeResultPayload(r *reader, kind Kind) (*CFResult, *SearchResult, *AggResult, error) {
+	switch kind {
+	case KindCF:
+		return &CFResult{Num: r.f64s("num"), Den: r.f64s("den")}, nil, nil, nil
+	case KindSearch:
+		sr := &SearchResult{}
+		n := r.count(12, "hits")
+		if r.err == nil && n > 0 {
+			sr.Hits = make([]Hit, n)
+			for i := range sr.Hits {
+				sr.Hits[i].Doc = int32(r.u32("hit doc"))
+				sr.Hits[i].Score = r.f64("hit score")
+			}
+		}
+		return nil, sr, nil, nil
+	case KindAgg:
+		ar := &AggResult{
+			Sum:    r.f64s("sum"),
+			Cnt:    r.f64s("cnt"),
+			SumVar: r.f64s("sumVar"),
+			CntVar: r.f64s("cntVar"),
+		}
+		return nil, nil, ar, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("wire: unknown payload kind %d", kind)
+	}
+}
+
+func checkHeader(r *reader, wantFrame byte, what string) error {
+	v := r.u8("version")
+	fk := r.u8("frame kind")
+	if r.err != nil {
+		return r.err
+	}
+	if v != Version {
+		return fmt.Errorf("wire: version %d, want %d", v, Version)
+	}
+	if fk != wantFrame {
+		return fmt.Errorf("wire: frame kind %d, want %s (%d)", fk, what, wantFrame)
+	}
+	return nil
+}
+
+// FrameKind peeks at a frame body's kind without decoding it.
+func FrameKind(body []byte) (byte, error) {
+	if len(body) < 2 {
+		return 0, fmt.Errorf("wire: frame too short for header")
+	}
+	if body[0] != Version {
+		return 0, fmt.Errorf("wire: version %d, want %d", body[0], Version)
+	}
+	return body[1], nil
+}
+
+// ReadFrame reads one length-prefixed frame body from r, reusing buf
+// when it is large enough. maxFrame bounds the accepted body size
+// (<= 0 selects MaxFrame); an oversized or corrupt length prefix is an
+// error, never an allocation.
+func ReadFrame(r io.Reader, buf []byte, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 2 || n > maxFrame {
+		return buf, fmt.Errorf("wire: frame length %d outside [2, %d]", n, maxFrame)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"accuracytrader/internal/stats"
+)
+
+// randRequest draws a random request of any payload kind.
+func randRequest(rng *stats.RNG) *Request {
+	req := &Request{
+		ID:          rng.Uint64(),
+		Seq:         rng.Uint64(),
+		Subset:      int32(rng.Intn(64)) - 1,
+		SLO:         []uint8{SLOExact, SLOBounded, SLOBestEffort, SLONone}[rng.Intn(4)],
+		MinAccuracy: rng.Float64(),
+		Level:       int16(rng.Intn(6)) - 1,
+		Deadline:    int64(rng.Uint64() >> 1),
+	}
+	switch Kind(rng.Intn(3)) {
+	case KindCF:
+		req.Kind = KindCF
+		cf := &CFRequest{}
+		for i := 0; i < rng.Intn(8); i++ {
+			cf.Ratings = append(cf.Ratings, Rating{Item: int32(rng.Intn(1000)), Score: rng.Float64() * 5})
+		}
+		for i := 0; i < rng.Intn(8); i++ {
+			cf.Targets = append(cf.Targets, int32(rng.Intn(1000)))
+		}
+		req.CF = cf
+	case KindSearch:
+		req.Kind = KindSearch
+		words := []string{"alpha", "beta", "gamma", "delta", ""}
+		req.Search = &SearchRequest{Query: words[rng.Intn(len(words))], K: int32(rng.Intn(20))}
+	default:
+		req.Kind = KindAgg
+		req.Agg = &AggRequest{Op: uint8(rng.Intn(3)), Lo: rng.Norm(0, 1), Hi: rng.Norm(0, 1) + 5}
+	}
+	return req
+}
+
+func randF64s(rng *stats.RNG, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Norm(0, 1)
+	}
+	return out
+}
+
+func randSubReply(rng *stats.RNG) *SubReply {
+	rep := &SubReply{
+		ID:            rng.Uint64(),
+		Subset:        int32(rng.Intn(64)),
+		Status:        uint8(rng.Intn(3)),
+		Kind:          Kind(rng.Intn(3)),
+		Level:         int16(rng.Intn(6)) - 1,
+		SetsProcessed: uint32(rng.Intn(100)),
+	}
+	if rep.Status == StatusErr {
+		rep.Err = "component exploded"
+	}
+	if rep.Status == StatusOK {
+		n := 1 + rng.Intn(6)
+		switch rep.Kind {
+		case KindCF:
+			rep.CF = &CFResult{Num: randF64s(rng, n), Den: randF64s(rng, n)}
+		case KindSearch:
+			sr := &SearchResult{}
+			for i := 0; i < n; i++ {
+				sr.Hits = append(sr.Hits, Hit{Doc: int32(rng.Intn(5000)), Score: rng.Float64()})
+			}
+			rep.Search = sr
+		default:
+			rep.Agg = &AggResult{
+				Sum: randF64s(rng, n), Cnt: randF64s(rng, n),
+				SumVar: randF64s(rng, n), CntVar: randF64s(rng, n),
+			}
+		}
+	}
+	return rep
+}
+
+func randReply(rng *stats.RNG) *Reply {
+	rep := &Reply{
+		ID:          rng.Uint64(),
+		Status:      uint8(rng.Intn(3)),
+		Kind:        Kind(rng.Intn(3)),
+		SLO:         []uint8{SLOExact, SLOBounded, SLOBestEffort, SLONone}[rng.Intn(4)],
+		MinAccuracy: rng.Float64(),
+		Degraded:    rng.Intn(2) == 0,
+		Level:       int16(rng.Intn(6)) - 1,
+	}
+	for i := 0; i < rng.Intn(8); i++ {
+		rep.SubStatus = append(rep.SubStatus, uint8(rng.Intn(4)))
+	}
+	if rep.Status == ReplyErr {
+		rep.Err = "compose failed"
+	}
+	if rep.Status == ReplyOK {
+		n := 1 + rng.Intn(6)
+		switch rep.Kind {
+		case KindCF:
+			rep.CF = &CFResult{Num: randF64s(rng, n), Den: randF64s(rng, n)}
+		case KindSearch:
+			sr := &SearchResult{}
+			for i := 0; i < n; i++ {
+				sr.Hits = append(sr.Hits, Hit{Doc: int32(rng.Intn(5000)), Score: rng.Float64()})
+			}
+			rep.Search = sr
+		default:
+			rep.Agg = &AggResult{
+				Sum: randF64s(rng, n), Cnt: randF64s(rng, n),
+				SumVar: randF64s(rng, n), CntVar: randF64s(rng, n),
+			}
+		}
+	}
+	return rep
+}
+
+// body strips the length prefix from a framed encoding.
+func body(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	got, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatalf("ReadFrame on own encoding: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(41)
+	for i := 0; i < 500; i++ {
+		req := randRequest(rng)
+		got, err := DecodeRequest(body(t, AppendRequestFrame(nil, req)))
+		if err != nil {
+			t.Fatalf("decode: %v (%+v)", err, req)
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", req, got)
+		}
+	}
+}
+
+func TestSubReplyRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for i := 0; i < 500; i++ {
+		rep := randSubReply(rng)
+		got, err := DecodeSubReply(body(t, AppendSubReplyFrame(nil, rep)))
+		if err != nil {
+			t.Fatalf("decode: %v (%+v)", err, rep)
+		}
+		if !reflect.DeepEqual(rep, got) {
+			t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", rep, got)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(43)
+	for i := 0; i < 500; i++ {
+		rep := randReply(rng)
+		got, err := DecodeReply(body(t, AppendReplyFrame(nil, rep)))
+		if err != nil {
+			t.Fatalf("decode: %v (%+v)", err, rep)
+		}
+		if !reflect.DeepEqual(rep, got) {
+			t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", rep, got)
+		}
+	}
+}
+
+// TestTruncatedFramesError asserts every strict prefix of a valid body
+// decodes to a clean error — never a panic, never a silent success.
+func TestTruncatedFramesError(t *testing.T) {
+	rng := stats.NewRNG(44)
+	for i := 0; i < 50; i++ {
+		reqBody := body(t, AppendRequestFrame(nil, randRequest(rng)))
+		for cut := 0; cut < len(reqBody); cut++ {
+			if _, err := DecodeRequest(reqBody[:cut]); err == nil {
+				t.Fatalf("request prefix of %d/%d bytes decoded without error", cut, len(reqBody))
+			}
+		}
+		repBody := body(t, AppendSubReplyFrame(nil, randSubReply(rng)))
+		for cut := 0; cut < len(repBody); cut++ {
+			if _, err := DecodeSubReply(repBody[:cut]); err == nil {
+				t.Fatalf("sub-reply prefix of %d/%d bytes decoded without error", cut, len(repBody))
+			}
+		}
+		comBody := body(t, AppendReplyFrame(nil, randReply(rng)))
+		for cut := 0; cut < len(comBody); cut++ {
+			if _, err := DecodeReply(comBody[:cut]); err == nil {
+				t.Fatalf("reply prefix of %d/%d bytes decoded without error", cut, len(comBody))
+			}
+		}
+	}
+}
+
+// TestCorruptFramesError covers the targeted corruption cases: wrong
+// version, wrong frame kind, unknown payload kind, inflated counts,
+// trailing bytes, and an oversized or undersized length prefix.
+func TestCorruptFramesError(t *testing.T) {
+	req := &Request{Kind: KindAgg, Agg: &AggRequest{Op: 1, Lo: 0, Hi: 10}}
+	good := body(t, AppendRequestFrame(nil, req))
+
+	mut := func(idx int, v byte) []byte {
+		cp := append([]byte(nil), good...)
+		cp[idx] = v
+		return cp
+	}
+	if _, err := DecodeRequest(mut(0, 99)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := DecodeRequest(mut(1, frameReply)); err == nil || !strings.Contains(err.Error(), "frame kind") {
+		t.Fatalf("bad frame kind: %v", err)
+	}
+	if _, err := DecodeRequest(mut(18, 77)); err == nil || !strings.Contains(err.Error(), "unknown payload kind") {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	if _, err := DecodeRequest(append(append([]byte(nil), good...), 0xab)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+
+	// A CF request whose declared rating count exceeds the frame must
+	// fail the count validation, not attempt the allocation.
+	cfReq := &Request{Kind: KindCF, CF: &CFRequest{Targets: []int32{1}}}
+	cfBody := body(t, AppendRequestFrame(nil, cfReq))
+	// ratings count sits right after the fixed request header.
+	hdr := 2 + 8 + 8 + 1 + 4 + 1 + 8 + 2 + 8
+	cp := append([]byte(nil), cfBody...)
+	cp[hdr] = 0xff
+	cp[hdr+1] = 0xff
+	if _, err := DecodeRequest(cp); err == nil {
+		t.Fatal("inflated count must error")
+	}
+
+	// Length prefix outside bounds.
+	frame := AppendRequestFrame(nil, req)
+	frame[0], frame[1], frame[2], frame[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadFrame(bytes.NewReader(frame), nil, 1024); err == nil {
+		t.Fatal("oversized length prefix must error")
+	}
+	frame = AppendRequestFrame(nil, req)
+	frame[0], frame[1], frame[2], frame[3] = 1, 0, 0, 0
+	if _, err := ReadFrame(bytes.NewReader(frame), nil, 0); err == nil {
+		t.Fatal("undersized length prefix must error")
+	}
+
+	// A frame cut off mid-body is an unexpected EOF.
+	frame = AppendRequestFrame(nil, req)
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]), nil, 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("mid-body EOF: %v", err)
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	req := &Request{Kind: KindAgg, Agg: &AggRequest{Op: 0, Lo: 1, Hi: 2}}
+	frame := AppendRequestFrame(nil, req)
+	buf := make([]byte, 0, 4096)
+	got, err := ReadFrame(bytes.NewReader(frame), buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("ReadFrame allocated although the buffer had capacity")
+	}
+}
+
+func TestFrameKind(t *testing.T) {
+	req := &Request{Kind: KindSearch, Search: &SearchRequest{Query: "q", K: 3}}
+	b := body(t, AppendRequestFrame(nil, req))
+	k, err := FrameKind(b)
+	if err != nil || k != frameRequest {
+		t.Fatalf("FrameKind = %d, %v", k, err)
+	}
+	if _, err := FrameKind([]byte{Version}); err == nil {
+		t.Fatal("short header must error")
+	}
+}
