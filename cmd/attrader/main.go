@@ -101,19 +101,20 @@ type runner func(sc experiments.Scale, repeats, requests int) error
 // versa). Aliases that share one run (table1/table2, fig5/fig6,
 // fig7/fig8) map to the same function and are deduplicated by `all`.
 var runners = map[string]runner{
-	"creation":   func(sc experiments.Scale, _, _ int) error { return runCreation(sc) },
-	"fig3":       func(sc experiments.Scale, repeats, _ int) error { return runFig3(sc, repeats) },
-	"fig4":       func(sc experiments.Scale, _, requests int) error { return runFig4(sc, requests) },
-	"table1":     func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
-	"table2":     func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
-	"fig5":       func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
-	"fig6":       func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
-	"fig7":       func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
-	"fig8":       func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
-	"headline":   func(sc experiments.Scale, _, _ int) error { return runHeadline(sc) },
-	"overload":   func(sc experiments.Scale, _, _ int) error { return runOverload(sc) },
-	"aggcompare": func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
-	"netcompare": func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
+	"creation":     func(sc experiments.Scale, _, _ int) error { return runCreation(sc) },
+	"fig3":         func(sc experiments.Scale, repeats, _ int) error { return runFig3(sc, repeats) },
+	"fig4":         func(sc experiments.Scale, _, requests int) error { return runFig4(sc, requests) },
+	"table1":       func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
+	"table2":       func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
+	"fig5":         func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
+	"fig6":         func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
+	"fig7":         func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
+	"fig8":         func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
+	"headline":     func(sc experiments.Scale, _, _ int) error { return runHeadline(sc) },
+	"overload":     func(sc experiments.Scale, _, _ int) error { return runOverload(sc) },
+	"aggcompare":   func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
+	"netcompare":   func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
+	"cachecompare": func(sc experiments.Scale, _, _ int) error { return runCacheCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -297,6 +298,17 @@ func runAggCompare(sc experiments.Scale) error {
 func runNetCompare(sc experiments.Scale) error {
 	return timed("Networked serving layer (loopback sockets vs in-process runtime)", func() error {
 		res, err := experiments.RunNetCompare(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	})
+}
+
+func runCacheCompare(sc experiments.Scale) error {
+	return timed("Result cache (accuracy-tagged cache vs no-cache frontend under Zipf load)", func() error {
+		res, err := experiments.RunCacheCompare(sc)
 		if err != nil {
 			return err
 		}

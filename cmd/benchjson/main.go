@@ -11,12 +11,21 @@
 // Standard units (ns/op, B/op, allocs/op) become top-level fields; every
 // other unit — including the experiment benchmarks' domain metrics such
 // as at_p999_ms — lands in the metrics map.
+//
+// With -assert-zero-allocs <regexp>, benchjson additionally acts as a
+// CI guard: every benchmark whose name matches the pattern must report
+// 0 allocs/op (run the benchmarks with -benchmem), and at least one
+// benchmark must match — a renamed benchmark fails the guard instead of
+// silently skipping it. CI uses this to pin the result cache's
+// zero-allocation hit path.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -46,8 +55,20 @@ type Report struct {
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	assertZero := flag.String("assert-zero-allocs", "",
+		"fail unless every matching benchmark reports 0 allocs/op (and at least one matches)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *assertZero); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run converts bench output from r to JSON on w, applying the optional
+// zero-alloc guard.
+func run(r io.Reader, w io.Writer, assertZero string) error {
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -67,19 +88,42 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines on input")
 	}
-	enc := json.NewEncoder(os.Stdout)
+	if assertZero != "" {
+		if err := assertZeroAllocs(rep, assertZero); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return enc.Encode(rep)
+}
+
+// assertZeroAllocs enforces the 0 allocs/op guard over benchmarks
+// matching the pattern.
+func assertZeroAllocs(rep Report, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -assert-zero-allocs pattern: %w", err)
 	}
+	matched := 0
+	for _, b := range rep.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		if b.AllocsPerOp != 0 {
+			return fmt.Errorf("%s allocates %.1f allocs/op, want 0", b.Name, b.AllocsPerOp)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matches %q (renamed? run with -benchmem?)", pattern)
+	}
+	return nil
 }
 
 // parseLine parses one "BenchmarkName  N  v unit  v unit ..." line.

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: accuracytrader/internal/rescache
+BenchmarkCacheHit-8   	32002186	        37.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheMiss-8  	50123456	        21.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLeaky-8      	  100000	     10032 ns/op	     128 B/op	       3 allocs/op
+PASS
+`
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(benchOutput), &out, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"BenchmarkCacheHit"`, `"ns_per_op": 37.5`, `"allocs_per_op": 3`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAssertZeroAllocsGuard(t *testing.T) {
+	var out strings.Builder
+	// Matching zero-alloc benchmarks pass.
+	if err := run(strings.NewReader(benchOutput), &out, "CacheHit|CacheMiss"); err != nil {
+		t.Fatalf("clean benchmarks failed the guard: %v", err)
+	}
+	// An allocating benchmark in the match set fails.
+	if err := run(strings.NewReader(benchOutput), &out, "Leaky"); err == nil ||
+		!strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocating benchmark passed the guard: %v", err)
+	}
+	// A pattern matching nothing fails loudly — a renamed benchmark
+	// must not silently disable the guard.
+	if err := run(strings.NewReader(benchOutput), &out, "NoSuchBench"); err == nil ||
+		!strings.Contains(err.Error(), "no benchmark matches") {
+		t.Fatalf("empty match set passed the guard: %v", err)
+	}
+	// A bad pattern is an error, not a panic.
+	if err := run(strings.NewReader(benchOutput), &out, "("); err == nil {
+		t.Fatal("invalid pattern accepted")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("unrelated text\n"), &out, ""); err == nil {
+		t.Fatal("input with no benchmarks accepted")
+	}
+}

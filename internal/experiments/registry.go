@@ -28,6 +28,7 @@ func Registry() []ExperimentInfo {
 		{Name: "overload", Artifact: "extension", About: "accuracy-aware frontend overload sweep (search-shaped)"},
 		{Name: "aggcompare", Artifact: "extension", About: "aggregation workload: ladder accuracy/latency + frontend overload"},
 		{Name: "netcompare", Artifact: "extension", About: "networked serving layer over loopback TCP vs the in-process runtime"},
+		{Name: "cachecompare", Artifact: "extension", About: "accuracy-aware result cache vs no-cache frontend under Zipf load"},
 	}
 }
 

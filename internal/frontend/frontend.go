@@ -3,9 +3,11 @@ package frontend
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/rescache"
 	"accuracytrader/internal/service"
 )
 
@@ -56,6 +58,28 @@ type Options struct {
 	// handlers use their finest synopsis) and Result.Level is -1,
 	// matching the simulator's nil-controller behaviour.
 	Controller *Controller
+	// Cache, when non-nil, serves repeated requests from the
+	// accuracy-aware result cache *ahead of admission* — a hit consumes
+	// no token, no in-flight slot and no backend work. Entries are
+	// tagged with the accuracy they were computed at; a hit is served
+	// only when that accuracy clears the request's floor (Exact: 1,
+	// Bounded: MinAccuracy, BestEffort: the cache's load-loosened base
+	// floor) and the entry's data epoch is current. Concurrent
+	// identical misses coalesce onto one backend computation.
+	// Requires CacheKey and Controller (the accuracy tags come from the
+	// controller's calibrated level estimates).
+	Cache *rescache.Cache
+	// CacheKey derives the canonical cache key of a payload; ok = false
+	// marks the request uncacheable (it bypasses the cache entirely).
+	// Use rescache.Key over wire.AppendCanonicalKey for wire payloads.
+	CacheKey func(payload interface{}) (key uint64, ok bool)
+	// CacheRefresh installs the cache's background refresh-to-exact
+	// worker: hits on entries below the cache's refresh target enqueue
+	// the key, and a low-priority worker recomputes the answer at
+	// Exact class through this frontend — admission included, so
+	// refreshes lose to foreground traffic under overload — and
+	// upgrades the entry to accuracy 1.
+	CacheRefresh bool
 }
 
 // Stats counts frontend outcomes.
@@ -63,6 +87,11 @@ type Stats struct {
 	Admitted int64
 	Degraded int64 // admitted with a downgraded SLO
 	Rejected int64
+	// CacheHits counts requests served from the result cache (including
+	// coalesced waiters that shared another request's computation);
+	// cache-served requests appear in no other counter — they bypass
+	// admission entirely.
+	CacheHits int64
 }
 
 // Result is one answered request.
@@ -75,10 +104,15 @@ type Result struct {
 	// … fine Levels-1), or -1 when no degradation controller is set.
 	Level int
 	// EstimatedAccuracy is the controller's accuracy estimate for
-	// Level.
+	// Level (for cache-served results: the accuracy recorded on the
+	// entry, 1 for exact answers).
 	EstimatedAccuracy float64
 	// Degraded reports that admission downgraded the request's class.
 	Degraded bool
+	// FromCache reports that the result was served from the result
+	// cache (or shared from a coalesced concurrent computation) instead
+	// of a fresh fan-out.
+	FromCache bool
 }
 
 // Frontend is the admission → routing → degradation pipeline in front
@@ -91,9 +125,10 @@ type Frontend struct {
 	rmap  ReplicaMap
 	start time.Time
 
-	admitted atomic.Int64
-	degraded atomic.Int64
-	rejected atomic.Int64
+	admitted  atomic.Int64
+	degraded  atomic.Int64
+	rejected  atomic.Int64
+	cacheHits atomic.Int64
 	// inflightNow reserves a request's in-flight slot at admission
 	// time: the cluster's own counter only rises once Call reaches it,
 	// which would let a concurrent burst race past MaxInflight.
@@ -110,6 +145,19 @@ func New(cl Backend, opts Options) (*Frontend, error) {
 	if opts.Router == nil {
 		opts.Router = NewLeastLoaded()
 	}
+	if opts.Cache != nil && opts.CacheKey == nil {
+		return nil, fmt.Errorf("frontend: Options.Cache requires Options.CacheKey")
+	}
+	if opts.Cache != nil && opts.Controller == nil {
+		// Without a controller there is no calibrated accuracy estimate
+		// to tag entries with — callMiss would claim accuracy 1 for
+		// approximate answers and Exact/Bounded floors would admit them,
+		// silently voiding the cache's core contract.
+		return nil, fmt.Errorf("frontend: Options.Cache requires Options.Controller (entries are tagged with its calibrated level accuracy)")
+	}
+	if opts.CacheRefresh && opts.Cache == nil {
+		return nil, fmt.Errorf("frontend: Options.CacheRefresh requires Options.Cache")
+	}
 	f := &Frontend{
 		cl:    cl,
 		opts:  opts,
@@ -119,7 +167,51 @@ func New(cl Backend, opts Options) (*Frontend, error) {
 	cl.SetRouter(func(subset, n int, queueDepth func(int) int) int {
 		return f.opts.Router.Pick(subset, f.rmap.Replicas(subset), queueDepth)
 	})
+	if opts.CacheRefresh {
+		var gate func() bool
+		if opts.Controller != nil {
+			// Low priority: don't even attempt an exact recomputation
+			// while the smoothed load says the service is busy; the
+			// admission chain still has the final say below the gate.
+			ctrl := opts.Controller
+			gate = func() bool { return ctrl.Load() < RefreshLoadCeiling }
+		}
+		opts.Cache.SetRefresh(f.refreshToExact, gate)
+	}
 	return f, nil
+}
+
+// RefreshLoadCeiling gates the background refresh-to-exact worker in
+// both runtimes: above this smoothed controller load, refreshes are
+// deferred entirely (netsvc.FrontServer.EnableCache uses the same
+// value, so tuning it here tunes both).
+const RefreshLoadCeiling = 0.7
+
+// refreshToExact is the cache's refresh function: recompute one cached
+// answer at Exact class through the full frontend pipeline. Going
+// through admission is what makes the worker genuinely low-priority —
+// under overload the refresh is shed like any other request and the
+// entry keeps its coarse answer until load drops.
+func (f *Frontend) refreshToExact(_ uint64, payload interface{}) (interface{}, float64, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*f.cl.Deadline())
+	defer cancel()
+	res, err := f.callMiss(ctx, payload, ExactSLO())
+	if err != nil || !service.Complete(res.Sub) {
+		return nil, 0, false
+	}
+	return storableResult(res, 1), 1, true
+}
+
+// storableResult trims a fresh result down to what a cache entry may
+// replay: values and the serving metadata, no per-execution transport
+// facts.
+func storableResult(res *Result, acc float64) *Result {
+	return &Result{
+		Sub:               service.Snapshot(res.Sub),
+		SLO:               res.SLO,
+		Level:             res.Level,
+		EstimatedAccuracy: acc,
+	}
 }
 
 // Snapshot reads the backend's live load signals.
@@ -146,11 +238,94 @@ func (f *Frontend) Snapshot() Load {
 	}
 }
 
-// Call runs one request through the pipeline: observe load, admit (or
-// reject/downgrade), select the ladder level for the request's SLO,
-// and fan out through the cluster with the level attached to the
-// context (handlers read it via LevelFrom).
+// Call runs one request through the pipeline. With a result cache
+// configured, the cache is consulted first — ahead of admission, so a
+// hit consumes no token and no in-flight slot — and concurrent
+// identical misses coalesce onto one computation. The miss path (and
+// the cacheless path): observe load, admit (or reject/downgrade),
+// select the ladder level for the request's SLO, and fan out through
+// the cluster with the level attached to the context (handlers read it
+// via LevelFrom).
 func (f *Frontend) Call(ctx context.Context, payload interface{}, slo SLO) (*Result, error) {
+	if f.opts.Cache != nil {
+		if key, ok := f.opts.CacheKey(payload); ok {
+			return f.callCached(ctx, key, payload, slo)
+		}
+	}
+	return f.callMiss(ctx, payload, slo)
+}
+
+// cacheFloor maps an SLO to the accuracy floor a cached entry must
+// clear to serve it. Exact and Bounded floors are hard; the BestEffort
+// floor is the cache's load-loosened base.
+func (f *Frontend) cacheFloor(slo SLO) float64 {
+	switch slo.Kind {
+	case Exact:
+		return 1
+	case Bounded:
+		return slo.MinAccuracy
+	default:
+		return f.opts.Cache.BestEffortFloor()
+	}
+}
+
+// errPartialResult marks a computed result that must not be shared
+// with coalesced waiters or stored: a fan-out with errors or skips
+// does not back its accuracy tag. The reply itself still travels back
+// to its own caller alongside it.
+var errPartialResult = errors.New("frontend: partial result not cacheable")
+
+// callCached serves one cacheable request: lookup, coalesce, or
+// compute-and-store.
+func (f *Frontend) callCached(ctx context.Context, key uint64, payload interface{}, slo SLO) (*Result, error) {
+	if f.opts.Controller != nil {
+		// Keep the cache's BestEffort slack tracking the degradation
+		// controller's smoothed load.
+		f.opts.Cache.SetLoad(f.opts.Controller.Load())
+	}
+	v, acc, shared, err := f.opts.Cache.Do(ctx, key, f.cacheFloor(slo),
+		func() (interface{}, float64, error) {
+			// Capture the epoch before computing: if a synopsis update
+			// bumps it mid-flight, the entry is born stale rather than
+			// serving pre-update data as current.
+			epoch := f.opts.Cache.Epoch()
+			res, err := f.callMiss(ctx, payload, slo)
+			if err != nil {
+				return nil, 0, err
+			}
+			acc := res.EstimatedAccuracy
+			if !service.Complete(res.Sub) {
+				return res, acc, errPartialResult
+			}
+			f.opts.Cache.StoreAt(key, payload, storableResult(res, acc), acc, epoch)
+			return res, acc, nil
+		})
+	if errors.Is(err, errPartialResult) {
+		// This caller's own partial computation: answer it (the errors
+		// live in Sub), just never share or store it.
+		return v.(*Result), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*Result)
+	if !shared {
+		return res, nil // this caller's own computation
+	}
+	// Cache hit or coalesced share: the stored/shared result is
+	// immutable, so hand out a copy stamped with this request's class.
+	f.cacheHits.Add(1)
+	out := *res
+	out.SLO = slo
+	out.EstimatedAccuracy = acc
+	out.Degraded = false
+	out.FromCache = true
+	return &out, nil
+}
+
+// callMiss is the uncached pipeline: admission, level selection, fan
+// out.
+func (f *Frontend) callMiss(ctx context.Context, payload interface{}, slo SLO) (*Result, error) {
 	// Reserve before deciding: concurrent callers serialize through
 	// the counter, so each sees every earlier reservation and a burst
 	// admits at most MaxInflight requests (the slot is released when
@@ -184,6 +359,11 @@ func (f *Frontend) Call(ctx context.Context, payload interface{}, slo SLO) (*Res
 		level = f.opts.Controller.LevelFor(slo)
 		estAcc = f.opts.Controller.LevelAccuracy(level)
 		callCtx = WithLevel(callCtx, level)
+		if slo.Kind == Exact {
+			// Exact-class handlers bypass their synopsis entirely; the
+			// delivered accuracy is 1 regardless of the level estimate.
+			estAcc = 1
+		}
 	}
 	sub, err := f.cl.Call(callCtx, payload)
 	if err != nil {
@@ -201,11 +381,17 @@ func (f *Frontend) Call(ctx context.Context, payload interface{}, slo SLO) (*Res
 // Stats returns the admission counters.
 func (f *Frontend) Stats() Stats {
 	return Stats{
-		Admitted: f.admitted.Load(),
-		Degraded: f.degraded.Load(),
-		Rejected: f.rejected.Load(),
+		Admitted:  f.admitted.Load(),
+		Degraded:  f.degraded.Load(),
+		Rejected:  f.rejected.Load(),
+		CacheHits: f.cacheHits.Load(),
 	}
 }
+
+// Cache exposes the configured result cache (nil when the frontend
+// runs without one) — integrators bump its epoch after synopsis
+// updates.
+func (f *Frontend) Cache() *rescache.Cache { return f.opts.Cache }
 
 // Controller exposes the degradation controller (for reporting); nil
 // when the frontend runs without degradation.

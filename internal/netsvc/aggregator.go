@@ -206,7 +206,11 @@ func (a *Aggregator) recordLatency(d time.Duration) {
 	a.subOps++
 	a.p95est.Add(ms)
 	a.p999est.Add(ms)
-	if a.subOps%16 == 0 {
+	// Cold-start guard + warm-phase cadence (see stats.HedgeEstimateDue):
+	// with fewer than five observations the P² "p95" is an interpolation
+	// over noise, so the hedge delay holds HedgeFloor instead of firing
+	// replicas at a garbage threshold.
+	if stats.HedgeEstimateDue(a.subOps) {
 		p := a.p95est.Value()
 		floor := float64(a.opts.HedgeFloor) / float64(time.Millisecond)
 		if p < floor {

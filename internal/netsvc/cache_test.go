@@ -1,0 +1,292 @@
+package netsvc
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/rescache"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/wire"
+)
+
+// TestHedgeTriggerColdStartGuard is the satellite check on the
+// P²-estimated p95 hedge trigger: with fewer than five observations the
+// estimator has no meaningful tail estimate, so the hedge delay must
+// stay at the configured floor instead of a garbage threshold — and
+// must track the real tail once warm.
+func TestHedgeTriggerColdStartGuard(t *testing.T) {
+	floor := 2 * time.Millisecond
+	a, err := NewAggregator([]string{"127.0.0.1:1"}, AggregatorOptions{HedgeFloor: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Four fat samples: still cold, the trigger must hold the floor.
+	for i := 0; i < stats.HedgeWarmObservations-1; i++ {
+		a.recordLatency(300 * time.Millisecond)
+	}
+	if got := a.EstimatedP95(); got != floor {
+		t.Fatalf("cold-start hedge delay = %v, want the %v floor", got, floor)
+	}
+	// The fifth observation completes the marker set: the trigger may
+	// now move, and with five identical 300ms samples it must.
+	a.recordLatency(300 * time.Millisecond)
+	if got := a.EstimatedP95(); got < 100*time.Millisecond {
+		t.Fatalf("warm hedge delay = %v, not tracking the %v samples", got, 300*time.Millisecond)
+	}
+	// The floor still clamps from below once warm.
+	b, err := NewAggregator([]string{"127.0.0.1:1"}, AggregatorOptions{HedgeFloor: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 16; i++ {
+		b.recordLatency(10 * time.Microsecond)
+	}
+	if got := b.EstimatedP95(); got != floor {
+		t.Fatalf("warm sub-floor estimate = %v, want clamped to %v", got, floor)
+	}
+}
+
+// startCachedFrontServer builds the full stack — component servers,
+// aggregator, frontend, result cache — counting backend handler
+// invocations.
+func startCachedFrontServer(t *testing.T, n int, cacheCfg rescache.Config) (*FrontServer, *rescache.Cache, *Client, *atomic.Int64, []*agg.Component) {
+	t.Helper()
+	comps := buildAggComps(t, n)
+	var backendCalls atomic.Int64
+	inner := NewAggBackend(comps, BackendOptions{})
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		_, addrs[i] = startServer(t, func(ctx context.Context, req *wire.Request) *wire.SubReply {
+			backendCalls.Add(1)
+			return inner(ctx, req)
+		}, ServerOptions{Workers: 2})
+	}
+	a, err := NewAggregator(addrs, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	ctrl, err := frontend.NewController(frontend.ControllerConfig{
+		Levels:        comps[0].Syn.Levels(),
+		LevelAccuracy: []float64{0.8, 0.97},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := frontend.New(a, frontend.Options{Controller: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := rescache.New(cacheCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cache.Close)
+	fs := NewFrontServer(a, fe, ServerOptions{})
+	if err := fs.EnableCache(cache); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fs.Serve(fl)
+	t.Cleanup(fs.Close)
+	cl, err := DialClient(fl.Addr().String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return fs, cache, cl, &backendCalls, comps
+}
+
+// TestFrontServerCacheHitAndFloor covers the networked cache end to
+// end: a repeat request is answered from the cache (Cached flag set,
+// no backend work), a Bounded request whose floor exceeds the entry's
+// recorded accuracy recomputes, and an epoch bump invalidates.
+func TestFrontServerCacheHitAndFloor(t *testing.T) {
+	const n = 2
+	// RefreshBelow under every entry's accuracy: the background worker
+	// stays idle, so backend-call counts are deterministic.
+	fs, cache, cl, backendCalls, _ := startCachedFrontServer(t, n, rescache.Config{Capacity: 64, RefreshBelow: 0.01})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req := aggReq(agg.Sum, 0, math.Inf(1))
+	req.SLO, req.MinAccuracy = wire.SLOBounded, 0.9
+
+	rep1, err := cl.Call(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Status != wire.ReplyOK || rep1.Cached {
+		t.Fatalf("first reply = status %d cached %v", rep1.Status, rep1.Cached)
+	}
+	calls := backendCalls.Load()
+	if calls == 0 {
+		t.Fatal("first request did no backend work")
+	}
+
+	// Same semantic request (metadata may differ): served from cache.
+	rep2, err := cl.Call(ctx, aggReqBounded(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if backendCalls.Load() != calls {
+		t.Fatal("cache hit still did backend work")
+	}
+	if rep2.ID == rep1.ID {
+		t.Fatal("cached reply not re-stamped with its own request ID")
+	}
+	// The cached payload is the same composed answer.
+	for k := range rep1.Agg.Sum {
+		if rep1.Agg.Sum[k] != rep2.Agg.Sum[k] {
+			t.Fatalf("cached answer diverged at key %d", k)
+		}
+	}
+
+	// A floor above the entry's recorded accuracy (finest level 0.97)
+	// must recompute, not serve the entry.
+	strict := aggReqBounded(0.99)
+	rep3, err := cl.Call(ctx, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Cached {
+		t.Fatal("entry served above its recorded accuracy")
+	}
+	if backendCalls.Load() == calls {
+		t.Fatal("floor-violating lookup did not recompute")
+	}
+
+	// Epoch bump: the data changed, the entry must not serve again.
+	cache.BumpEpoch()
+	calls = backendCalls.Load()
+	rep4, err := cl.Call(ctx, aggReqBounded(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep4.Cached || backendCalls.Load() == calls {
+		t.Fatal("stale entry served after epoch bump")
+	}
+	if fs.CacheHits() == 0 {
+		t.Fatal("front-server cache-hit counter never moved")
+	}
+}
+
+// aggReqBounded is the Bounded{minAcc} whole-service SUM request the
+// cache tests repeat.
+func aggReqBounded(minAcc float64) *wire.Request {
+	req := aggReq(agg.Sum, 0, math.Inf(1))
+	req.SLO, req.MinAccuracy = wire.SLOBounded, minAcc
+	return req
+}
+
+// TestFrontServerCoalescesConcurrentMisses: N concurrent identical
+// whole-service requests against a cold cache must fan out once.
+func TestFrontServerCoalescesConcurrentMisses(t *testing.T) {
+	const n = 2
+	const clients = 16
+	_, cache, cl, backendCalls, _ := startCachedFrontServer(t, n, rescache.Config{Capacity: 64, RefreshBelow: 0.01})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var cached atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := cl.Call(ctx, aggReqBounded(0.9))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rep.Status != wire.ReplyOK {
+				t.Errorf("reply status %d err %q", rep.Status, rep.Err)
+			}
+			if rep.Cached {
+				cached.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Exactly one fan-out: n sub-operations total. (The requests race
+	// through one multiplexed client connection, so every waiter really
+	// is concurrent with the winner.)
+	if got := backendCalls.Load(); got != n {
+		t.Fatalf("%d backend sub-operations for %d concurrent identical requests, want %d", got, clients, n)
+	}
+	if cached.Load() != clients-1 {
+		t.Fatalf("%d of %d requests shared the computation, want %d", cached.Load(), clients, clients-1)
+	}
+	// A late-scheduled client hits the freshly stored entry instead of
+	// joining the flight; both count as sharing the one computation.
+	if st := cache.Stats(); st.Coalesced+st.Hits != clients-1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
+
+// TestFrontServerCacheRefreshToExact: a coarse cached entry is upgraded
+// to the exact answer by the background worker, so later hits carry
+// accuracy 1 — "coarse first, refine later" applied to reuse.
+func TestFrontServerCacheRefreshToExact(t *testing.T) {
+	const n = 2
+	_, cache, cl, _, comps := startCachedFrontServer(t, n, rescache.Config{
+		Capacity: 64, RefreshBelow: 1, RefreshInterval: time.Millisecond,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// BestEffort request: computed at the finest synopsis level
+	// (recorded accuracy 0.97 < 1), so its entry is a refresh candidate.
+	req := aggReq(agg.Sum, 0, math.Inf(1))
+	req.SLO = wire.SLOBestEffort
+	if _, err := cl.Call(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	// First hit enqueues the refresh.
+	if _, err := cl.Call(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	exact := agg.NewResult(comps[0].T.NumKeys())
+	for _, c := range comps {
+		exact.Merge(agg.ExactResult(c, agg.Query{Op: agg.Sum, Lo: 0, Hi: math.Inf(1)}))
+	}
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if cache.Stats().Refreshes > 0 {
+			rep, err := cl.Call(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Cached {
+				t.Fatal("refreshed entry not served from cache")
+			}
+			got := AggResultOf(rep.Agg)
+			for k := range exact.Sum {
+				if got.Sum[k] != exact.Sum[k] {
+					t.Fatalf("refreshed answer not exact at key %d: %v != %v", k, got.Sum[k], exact.Sum[k])
+				}
+			}
+			return
+		}
+		cl.Call(ctx, req) // keep hitting so a dropped enqueue retries
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("cache entry never refreshed to exact")
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/rescache"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/wire"
 )
@@ -306,11 +307,19 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // FrontServer is an aggregator process's client-facing listener: it
 // answers whole-service requests with composed replies, optionally
-// running every request through the accuracy-aware frontend pipeline.
+// running every request through the accuracy-aware frontend pipeline
+// and, with EnableCache, through the accuracy-tagged result cache.
 type FrontServer struct {
 	*srvCore
-	agg *Aggregator
-	fe  *frontend.Frontend
+	agg   *Aggregator
+	fe    *frontend.Frontend
+	cache *rescache.Cache
+
+	// keyBufs pools canonical-key scratch buffers so the cache lookup
+	// path does not allocate per request.
+	keyBufs sync.Pool
+
+	cacheHits atomic.Int64
 }
 
 // NewFrontServer wraps an aggregator (and, when fe is non-nil, the
@@ -353,12 +362,153 @@ func (s *FrontServer) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// serve answers one whole-service request.
+// EnableCache puts the accuracy-tagged result cache in front of the
+// frontend pipeline: whole-service requests are keyed on their
+// canonical wire encoding (wire.AppendCanonicalKey), hits are served
+// without touching admission or the aggregator, and concurrent
+// identical misses coalesce onto one fan-out. When the cache was built
+// with a refresh target, a background worker recomputes popular coarse
+// entries at Exact class through the frontend (admission included, so
+// refreshes yield to foreground traffic). Requires a frontend — the
+// accuracy tags come from its degradation controller. Call before
+// Serve.
+func (s *FrontServer) EnableCache(c *rescache.Cache) error {
+	if s.fe == nil || s.fe.Controller() == nil {
+		// Without a controller the frontend would tag approximate
+		// answers with accuracy 1 and the floor rule would be void.
+		return errors.New("netsvc: result cache requires a frontend with a degradation controller (entries are accuracy-tagged by its calibrated level estimates)")
+	}
+	s.cache = c
+	ctrl := s.fe.Controller()
+	c.SetRefresh(s.refreshToExact, func() bool {
+		return ctrl.Load() < frontend.RefreshLoadCeiling
+	})
+	return nil
+}
+
+// CacheHits returns the number of whole-service requests answered from
+// the result cache.
+func (s *FrontServer) CacheHits() int64 { return s.cacheHits.Load() }
+
+// cacheKey computes the canonical cache key of a whole-service request
+// using a pooled scratch buffer.
+func (s *FrontServer) cacheKey(req *wire.Request) uint64 {
+	buf, _ := s.keyBufs.Get().([]byte)
+	buf = wire.AppendCanonicalKey(buf[:0], req)
+	key := rescache.Key(buf)
+	s.keyBufs.Put(buf) //nolint:staticcheck // slice header boxing is amortized by the pool
+	return key
+}
+
+// cacheFloorOf maps the wire SLO class to the accuracy floor a cached
+// entry must clear to serve it.
+func (s *FrontServer) cacheFloorOf(req *wire.Request) float64 {
+	switch req.SLO {
+	case wire.SLOExact:
+		return 1
+	case wire.SLOBounded:
+		return req.MinAccuracy
+	default:
+		return s.cache.BestEffortFloor()
+	}
+}
+
+// errUncacheable marks a composed reply that must not be shared with
+// coalesced waiters or stored (rejected, failed, or partial); the
+// reply itself still travels back to the caller alongside it.
+var errUncacheable = errors.New("netsvc: reply not cacheable")
+
+// serve answers one whole-service request, through the result cache
+// when one is enabled.
 func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply {
+	if s.cache == nil {
+		rep, _ := s.serveMiss(ctx, req)
+		return rep
+	}
+	if ctrl := s.fe.Controller(); ctrl != nil {
+		s.cache.SetLoad(ctrl.Load())
+	}
+	key := s.cacheKey(req)
+	v, _, shared, err := s.cache.Do(ctx, key, s.cacheFloorOf(req),
+		func() (interface{}, float64, error) {
+			// Capture the epoch before computing so an entry whose
+			// fan-out straddles a data update is born stale.
+			epoch := s.cache.Epoch()
+			rep, acc := s.serveMiss(ctx, req)
+			if rep.Status != wire.ReplyOK || !allOK(rep.SubStatus) {
+				return rep, acc, errUncacheable
+			}
+			stored := *rep
+			stored.ID = 0 // hits are re-stamped with their own request ID
+			s.cache.StoreAt(key, req, &stored, acc, epoch)
+			return rep, acc, nil
+		})
+	rep, ok := v.(*wire.Reply)
+	if !ok {
+		// Only possible when the wait for a shared result was cut short
+		// by the connection's context.
+		msg := "cache wait cancelled"
+		if err != nil {
+			msg = err.Error()
+		}
+		return &wire.Reply{ID: req.ID, Kind: req.Kind, Status: wire.ReplyErr,
+			Err: msg, SLO: req.SLO, MinAccuracy: req.MinAccuracy, Level: wire.NoLevel}
+	}
+	if !shared {
+		return rep // this request's own computation, already stamped
+	}
+	// Cache hit or coalesced share: the stored reply is immutable —
+	// copy it and stamp this request's identity and class.
+	s.cacheHits.Add(1)
+	out := *rep
+	out.ID = req.ID
+	out.SLO, out.MinAccuracy = req.SLO, req.MinAccuracy
+	out.Degraded = false
+	out.Cached = true
+	return &out
+}
+
+// allOK reports whether every subset answered StatusOK.
+func allOK(statuses []uint8) bool {
+	for _, st := range statuses {
+		if st != wire.StatusOK {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshToExact recomputes one cached answer at Exact class through
+// the frontend pipeline and returns the upgraded reply (accuracy 1).
+func (s *FrontServer) refreshToExact(_ uint64, payload interface{}) (interface{}, float64, bool) {
+	req, ok := payload.(*wire.Request)
+	if !ok {
+		return nil, 0, false
+	}
+	exact := *req
+	exact.SLO, exact.MinAccuracy = wire.SLOExact, 0
+	exact.Level, exact.Deadline = wire.NoLevel, 0
+	ctx, cancel := context.WithTimeout(context.Background(), 2*s.agg.Deadline())
+	defer cancel()
+	rep, acc := s.serveMiss(ctx, &exact)
+	if rep.Status != wire.ReplyOK || !allOK(rep.SubStatus) {
+		return nil, 0, false
+	}
+	stored := *rep
+	stored.ID = 0
+	return &stored, acc, true
+}
+
+// serveMiss composes one whole-service reply from a fresh fan-out and
+// reports the accuracy bound it was computed at (1 for Exact-class
+// answers, the controller's calibrated level estimate otherwise; 0 for
+// failures).
+func (s *FrontServer) serveMiss(ctx context.Context, req *wire.Request) (*wire.Reply, float64) {
 	rep := &wire.Reply{
 		ID: req.ID, Kind: req.Kind, SLO: req.SLO,
 		MinAccuracy: req.MinAccuracy, Level: wire.NoLevel,
 	}
+	acc := 0.0
 	var subs []service.SubResult
 	if s.fe != nil {
 		res, err := s.fe.Call(ctx, req, sloFromWire(req.SLO, req.MinAccuracy))
@@ -366,24 +516,25 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply 
 		case errors.Is(err, frontend.ErrRejected):
 			rep.Status = wire.ReplyRejected
 			rep.Err = err.Error()
-			return rep
+			return rep, 0
 		case err != nil:
 			rep.Status = wire.ReplyErr
 			rep.Err = err.Error()
-			return rep
+			return rep, 0
 		}
 		rep.SLO = uint8(res.SLO.Kind)
 		rep.MinAccuracy = res.SLO.MinAccuracy
 		rep.Degraded = res.Degraded
 		rep.Level = int16(res.Level)
 		subs = res.Sub
+		acc = res.EstimatedAccuracy // 1 for Exact-class results
 	} else {
 		var err error
 		subs, err = s.agg.Call(ctx, req)
 		if err != nil {
 			rep.Status = wire.ReplyErr
 			rep.Err = err.Error()
-			return rep
+			return rep, 0
 		}
 	}
 	rep.Status = wire.ReplyOK
@@ -400,7 +551,7 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply 
 	case wire.KindAgg:
 		rep.Agg = ComposeAgg(subs)
 	}
-	return rep
+	return rep, acc
 }
 
 // sloFromWire converts a wire SLO class to the frontend's. SLONone

@@ -1,0 +1,454 @@
+package rescache
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Cache.
+type Config struct {
+	// Capacity bounds the total entry count across shards (default
+	// 4096). The bound is enforced per shard with LRU eviction.
+	Capacity int
+	// Shards is the shard count, rounded up to a power of two (default
+	// 16). More shards mean less lock contention on the hit path.
+	Shards int
+	// BestEffortFloor is the accuracy floor applied to BestEffort-class
+	// lookups when the service is idle (default 0.5). Exact and Bounded
+	// floors are fixed by the request and never pass through here.
+	BestEffortFloor float64
+	// MaxSlack is how much of BestEffortFloor the degradation
+	// controller may loosen away at full load (default: all of it).
+	// The effective BestEffort floor is
+	// BestEffortFloor - MaxSlack*load, clamped at 0.
+	MaxSlack float64
+	// RefreshBelow marks entries whose accuracy is below this value as
+	// refresh candidates on every hit (default 1: anything inexact).
+	// Only meaningful once SetRefresh installs a refresh function.
+	RefreshBelow float64
+	// RefreshInterval paces the low-priority refresh worker: at most
+	// one refresh attempt per interval (default 25ms).
+	RefreshInterval time.Duration
+	// RefreshQueue bounds the pending-refresh queue (default 256). A
+	// full queue drops the candidate; the next hit re-enqueues it.
+	RefreshQueue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.BestEffortFloor <= 0 {
+		c.BestEffortFloor = 0.5
+	}
+	if c.MaxSlack <= 0 {
+		c.MaxSlack = c.BestEffortFloor
+	}
+	if c.RefreshBelow <= 0 {
+		c.RefreshBelow = 1
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 25 * time.Millisecond
+	}
+	if c.RefreshQueue <= 0 {
+		c.RefreshQueue = 256
+	}
+	return c
+}
+
+// Stats are the cache's cumulative counters.
+type Stats struct {
+	Hits   int64 // lookups served from the cache
+	Misses int64 // lookups that fell through (includes coalesced waiters)
+	// Coalesced counts misses resolved by another caller's in-flight
+	// computation instead of their own (Do). Backend computations for
+	// cached keys are therefore Misses - Coalesced.
+	Coalesced    int64
+	Stored       int64 // Store calls
+	Evictions    int64 // entries displaced by the capacity bound
+	Stale        int64 // lookups that hit an entry from an old epoch
+	FloorRejects int64 // lookups whose entry's accuracy missed the floor
+	Refreshes    int64 // entries upgraded by the refresh worker
+}
+
+// entry is one cached reply in a shard's slab. prev/next thread the
+// intrusive LRU list (slab indices, -1 = none).
+type entry struct {
+	key     uint64
+	value   interface{}
+	payload interface{}
+	acc     float64
+	epoch   uint64
+	queued  bool // a refresh for this key is pending
+	prev    int32
+	next    int32
+}
+
+const nilIdx = int32(-1)
+
+// shard is one lock domain: an index map plus a preallocated entry slab
+// threaded with an intrusive LRU list and a free list.
+type shard struct {
+	mu   sync.Mutex
+	idx  map[uint64]int32
+	slab []entry
+	head int32 // most recently used
+	tail int32 // least recently used
+	free int32 // free-list head, threaded through next
+}
+
+func (s *shard) init(capacity int) {
+	s.idx = make(map[uint64]int32, capacity)
+	s.slab = make([]entry, capacity)
+	s.head, s.tail = nilIdx, nilIdx
+	for i := range s.slab {
+		s.slab[i].next = int32(i) + 1
+	}
+	s.slab[capacity-1].next = nilIdx
+	s.free = 0
+}
+
+// unlink removes slot i from the LRU list.
+func (s *shard) unlink(i int32) {
+	e := &s.slab[i]
+	if e.prev != nilIdx {
+		s.slab[e.prev].next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nilIdx {
+		s.slab[e.next].prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+}
+
+// pushFront links slot i as the most recently used.
+func (s *shard) pushFront(i int32) {
+	e := &s.slab[i]
+	e.prev, e.next = nilIdx, s.head
+	if s.head != nilIdx {
+		s.slab[s.head].prev = i
+	}
+	s.head = i
+	if s.tail == nilIdx {
+		s.tail = i
+	}
+}
+
+// toFront moves slot i to the front of the LRU list.
+func (s *shard) toFront(i int32) {
+	if s.head == i {
+		return
+	}
+	s.unlink(i)
+	s.pushFront(i)
+}
+
+// release returns slot i to the free list, dropping its references.
+func (s *shard) release(i int32) {
+	e := &s.slab[i]
+	e.value, e.payload = nil, nil
+	e.next = s.free
+	s.free = i
+}
+
+// Cache is the accuracy-aware result cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+	epoch  atomic.Uint64
+	load   atomic.Uint64 // float64 bits of the current load in [0,1]
+
+	fmu     sync.Mutex
+	flights map[uint64]*flight
+
+	refreshMu  sync.Mutex
+	refreshFn  RefreshFunc
+	gate       func() bool
+	refreshCh  chan uint64
+	quit       chan struct{}
+	workerDone chan struct{}
+	started    bool
+
+	hits, misses, coalesced atomic.Int64
+	stored, evictions       atomic.Int64
+	stale, floorRejects     atomic.Int64
+	refreshes               atomic.Int64
+}
+
+// New returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	perShard := (cfg.Capacity + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	if cfg.BestEffortFloor > 1 || cfg.RefreshBelow > 1 {
+		return nil, fmt.Errorf("rescache: accuracy floors must be in [0,1], got BestEffortFloor=%g RefreshBelow=%g",
+			cfg.BestEffortFloor, cfg.RefreshBelow)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		shards:  make([]shard, shards),
+		mask:    uint64(shards - 1),
+		flights: map[uint64]*flight{},
+		quit:    make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c, nil
+}
+
+// keySeed randomizes Key per process: with an unkeyed hash a client of
+// the networked front server could construct colliding canonical
+// encodings offline and poison another request's cache slot; a
+// process-random seed makes collisions unconstructible from outside.
+// Keys are therefore not stable across restarts — irrelevant for an
+// in-memory cache.
+var keySeed = maphash.MakeSeed()
+
+// Key hashes a canonical request encoding to a cache key.
+func Key(b []byte) uint64 {
+	return maphash.Bytes(keySeed, b)
+}
+
+// Epoch returns the current data-version epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// BumpEpoch advances the data-version epoch: entries stored under
+// earlier epochs become stale and are discarded lazily on their next
+// lookup. Call it after a synopsis (or any backing-data) update.
+func (c *Cache) BumpEpoch() { c.epoch.Add(1) }
+
+// SetLoad feeds the degradation controller's smoothed load estimate in
+// [0,1] to the cache. Load loosens the BestEffort accuracy floor
+// (Config.MaxSlack); it never touches Exact or Bounded floors.
+func (c *Cache) SetLoad(load float64) {
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	c.load.Store(math.Float64bits(load))
+}
+
+// BestEffortFloor returns the load-adjusted accuracy floor for
+// BestEffort-class lookups.
+func (c *Cache) BestEffortFloor() float64 {
+	f := c.cfg.BestEffortFloor - c.cfg.MaxSlack*math.Float64frombits(c.load.Load())
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Get looks the key up and returns the cached value when its recorded
+// accuracy clears floor and its epoch is current. The hot path: no
+// allocation on hit or miss.
+func (c *Cache) Get(key uint64, floor float64) (value interface{}, accuracy float64, ok bool) {
+	s := &c.shards[key&c.mask]
+	epoch := c.epoch.Load()
+	var enqueue bool
+	s.mu.Lock()
+	i, present := s.idx[key]
+	if !present {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	e := &s.slab[i]
+	if e.epoch != epoch {
+		// Stale epoch: discard lazily — the synopsis behind this answer
+		// has changed since it was computed.
+		s.unlink(i)
+		delete(s.idx, key)
+		s.release(i)
+		s.mu.Unlock()
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	if e.acc < floor {
+		s.mu.Unlock()
+		c.floorRejects.Add(1)
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	s.toFront(i)
+	value, accuracy = e.value, e.acc
+	if c.refreshEnabled() && accuracy < c.cfg.RefreshBelow && e.payload != nil && !e.queued {
+		e.queued = true
+		enqueue = true
+	}
+	s.mu.Unlock()
+	if enqueue {
+		select {
+		case c.refreshCh <- key:
+		default:
+			// Queue full: clear the flag so a later hit retries.
+			c.clearQueued(key)
+		}
+	}
+	c.hits.Add(1)
+	return value, accuracy, true
+}
+
+// Store inserts (or overwrites) the value for key, tagged with the
+// accuracy bound it was computed at and the current epoch. payload is
+// whatever the refresh function needs to recompute the answer (the
+// canonical request); nil disables refresh for the entry.
+//
+// Callers whose computation may straddle a BumpEpoch (any computation
+// reading the backing data) should capture Epoch() *before* computing
+// and use StoreAt instead, so an answer computed from pre-update data
+// is never stamped current.
+func (c *Cache) Store(key uint64, payload, value interface{}, accuracy float64) {
+	c.StoreAt(key, payload, value, accuracy, c.epoch.Load())
+}
+
+// StoreAt is Store with an explicit epoch stamp — the epoch the
+// computation *started* under. If BumpEpoch ran while the value was
+// being computed, the entry is born stale and discarded lazily on its
+// next lookup, exactly as if it had been cached before the update.
+func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64, epoch uint64) {
+	if accuracy < 0 {
+		accuracy = 0
+	}
+	if accuracy > 1 {
+		accuracy = 1
+	}
+	s := &c.shards[key&c.mask]
+	s.mu.Lock()
+	if i, present := s.idx[key]; present {
+		e := &s.slab[i]
+		e.value, e.payload, e.acc, e.epoch = value, payload, accuracy, epoch
+		e.queued = false
+		s.toFront(i)
+		s.mu.Unlock()
+		c.stored.Add(1)
+		return
+	}
+	i := s.free
+	if i == nilIdx {
+		// Full shard: evict the least recently used entry.
+		i = s.tail
+		delete(s.idx, s.slab[i].key)
+		s.unlink(i)
+		s.release(i)
+		i = s.free
+		c.evictions.Add(1)
+	}
+	s.free = s.slab[i].next
+	e := &s.slab[i]
+	*e = entry{key: key, value: value, payload: payload, acc: accuracy, epoch: epoch, prev: nilIdx, next: nilIdx}
+	s.idx[key] = i
+	s.pushFront(i)
+	s.mu.Unlock()
+	c.stored.Add(1)
+}
+
+// Invalidate removes one key (for targeted invalidation; whole-dataset
+// changes should BumpEpoch instead).
+func (c *Cache) Invalidate(key uint64) {
+	s := &c.shards[key&c.mask]
+	s.mu.Lock()
+	if i, present := s.idx[key]; present {
+		s.unlink(i)
+		delete(s.idx, key)
+		s.release(i)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the live entry count (entries from old epochs still
+// count until their lazy discard).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.idx)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Stored:       c.stored.Load(),
+		Evictions:    c.evictions.Load(),
+		Stale:        c.stale.Load(),
+		FloorRejects: c.floorRejects.Load(),
+		Refreshes:    c.refreshes.Load(),
+	}
+}
+
+// HitRate returns hits over lookups (0 when idle).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// payloadOf fetches the stored payload for a pending refresh; ok is
+// false when the entry was evicted or superseded in the meantime.
+func (c *Cache) payloadOf(key uint64) (interface{}, bool) {
+	s := &c.shards[key&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, present := s.idx[key]
+	if !present {
+		return nil, false
+	}
+	e := &s.slab[i]
+	if e.payload == nil || e.epoch != c.epoch.Load() {
+		return nil, false
+	}
+	return e.payload, true
+}
+
+// clearQueued resets the refresh-pending flag for key.
+func (c *Cache) clearQueued(key uint64) {
+	s := &c.shards[key&c.mask]
+	s.mu.Lock()
+	if i, present := s.idx[key]; present {
+		s.slab[i].queued = false
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the refresh worker (if started) and waits for it to
+// finish any in-flight recomputation — after Close returns, no
+// refresh touches the backing data, so callers may swap it safely.
+// The cache itself needs no teardown.
+func (c *Cache) Close() {
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	if c.started {
+		close(c.quit)
+		<-c.workerDone
+		c.started = false
+	}
+}

@@ -1,0 +1,416 @@
+package rescache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestStoreGetFloor(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8})
+	c.Store(1, nil, "coarse", 0.8)
+
+	if v, acc, ok := c.Get(1, 0.8); !ok || v != "coarse" || acc != 0.8 {
+		t.Fatalf("Get at floor = %v %v %v", v, acc, ok)
+	}
+	// An accuracy floor above the entry's bound must miss: a Bounded
+	// request can never be served below its contract.
+	if _, _, ok := c.Get(1, 0.9); ok {
+		t.Fatal("served below the accuracy floor")
+	}
+	// Exact floor (1.0) only matches exact entries.
+	if _, _, ok := c.Get(1, 1); ok {
+		t.Fatal("inexact entry served an Exact floor")
+	}
+	c.Store(1, nil, "exact", 1)
+	if v, _, ok := c.Get(1, 1); !ok || v != "exact" {
+		t.Fatalf("exact overwrite not served: %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.FloorRejects != 2 || st.Stored != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEpochInvalidatesLazily(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8})
+	c.Store(7, nil, "old", 1)
+	c.BumpEpoch()
+	if c.Len() != 1 {
+		t.Fatalf("bump eagerly removed entries: len=%d", c.Len())
+	}
+	if _, _, ok := c.Get(7, 0); ok {
+		t.Fatal("stale entry served after epoch bump")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not discarded on lookup: len=%d", c.Len())
+	}
+	if st := c.Stats(); st.Stale != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Re-stored under the new epoch, the key serves again.
+	c.Store(7, nil, "new", 1)
+	if v, _, ok := c.Get(7, 0); !ok || v != "new" {
+		t.Fatalf("fresh entry not served: %v %v", v, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard of capacity 4 so the LRU order is fully observable.
+	c := mustNew(t, Config{Capacity: 4, Shards: 1})
+	for k := uint64(0); k < 4; k++ {
+		c.Store(k, nil, k, 1)
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, _, ok := c.Get(0, 0); !ok {
+		t.Fatal("miss on resident key")
+	}
+	c.Store(4, nil, 4, 1)
+	if _, _, ok := c.Get(1, 0); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	for _, k := range []uint64{0, 2, 3, 4} {
+		if _, _, ok := c.Get(k, 0); !ok {
+			t.Fatalf("key %d evicted out of LRU order", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBestEffortFloorLoosensWithLoad(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8, BestEffortFloor: 0.6, MaxSlack: 0.6})
+	if f := c.BestEffortFloor(); f != 0.6 {
+		t.Fatalf("idle floor = %g", f)
+	}
+	c.SetLoad(0.5)
+	if f := c.BestEffortFloor(); f != 0.3 {
+		t.Fatalf("half-load floor = %g", f)
+	}
+	c.SetLoad(1)
+	if f := c.BestEffortFloor(); f != 0 {
+		t.Fatalf("full-load floor = %g", f)
+	}
+	// The slack only moves the BestEffort floor: a coarse entry becomes
+	// servable to best-effort lookups under load, while an explicit
+	// (Bounded) floor still rejects it.
+	c.Store(3, nil, "coarse", 0.35)
+	if _, _, ok := c.Get(3, c.BestEffortFloor()); !ok {
+		t.Fatal("loosened floor did not admit the coarse entry")
+	}
+	if _, _, ok := c.Get(3, 0.9); ok {
+		t.Fatal("bounded floor loosened by load")
+	}
+}
+
+func TestDoCoalescesConcurrentMisses(t *testing.T) {
+	// Satellite: N goroutines, same key -> exactly one backend
+	// computation; run under -race in CI.
+	c := mustNew(t, Config{Capacity: 8})
+	const waiters = 32
+	var computes atomic.Int64
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-started
+			v, acc, _, err := c.Do(context.Background(), 42, 0.5, func() (interface{}, float64, error) {
+				computes.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				c.Store(42, nil, "answer", 0.9)
+				return "answer", 0.9, nil
+			})
+			if err != nil || v != "answer" || acc != 0.9 {
+				t.Errorf("Do = %v %v %v", v, acc, err)
+			}
+		}()
+	}
+	close(started)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computations for %d concurrent identical misses", n, waiters)
+	}
+	st := c.Stats()
+	// Every non-winner either joined the flight (Coalesced) or — if
+	// scheduled after the winner stored — hit the fresh entry (Hits);
+	// both shapes are correct coalescing.
+	if st.Coalesced+st.Hits != waiters-1 {
+		t.Fatalf("coalesced %d + hits %d != %d (stats %+v)", st.Coalesced, st.Hits, waiters-1, st)
+	}
+	// The flight is gone: a later miss computes again.
+	_, _, shared, _ := c.Do(context.Background(), 42, 0.95, func() (interface{}, float64, error) {
+		computes.Add(1)
+		return "exact", 1, nil
+	})
+	if shared || computes.Load() != 2 {
+		t.Fatalf("follow-up above the cached accuracy did not compute (shared=%v computes=%d)", shared, computes.Load())
+	}
+}
+
+func TestStoreAtEpochCapture(t *testing.T) {
+	// A computation that straddles a BumpEpoch must not produce a
+	// current entry: StoreAt stamps the epoch the computation started
+	// under, so the entry is born stale.
+	c := mustNew(t, Config{Capacity: 8})
+	epoch := c.Epoch()
+	c.BumpEpoch() // the data changed mid-computation
+	c.StoreAt(2, nil, "pre-update answer", 1, epoch)
+	if _, _, ok := c.Get(2, 0); ok {
+		t.Fatal("pre-update answer served as current after epoch bump")
+	}
+	// The same pattern through Do: compute bumps the epoch mid-flight
+	// (standing in for a concurrent synopsis update) and stores under
+	// its captured epoch.
+	v, _, shared, err := c.Do(context.Background(), 3, 0, func() (interface{}, float64, error) {
+		ep := c.Epoch()
+		c.BumpEpoch()
+		c.StoreAt(3, nil, "stale", 0.9, ep)
+		return "stale", 0.9, nil
+	})
+	if err != nil || shared || v != "stale" {
+		t.Fatalf("Do = %v %v %v", v, shared, err)
+	}
+	if _, _, ok := c.Get(3, 0); ok {
+		t.Fatal("entry stored across a bump served as current")
+	}
+}
+
+func TestDoFailedWinnerSerializesWaiters(t *testing.T) {
+	// A failed winner (e.g. shed by admission under overload) must not
+	// release a thundering herd: the waiters re-enter the flight table
+	// and at most one computation runs at a time.
+	c := mustNew(t, Config{Capacity: 8})
+	const waiters = 16
+	var inCompute, maxConcurrent, computes atomic.Int64
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-started
+			c.Do(context.Background(), 8, 0.5, func() (interface{}, float64, error) {
+				cur := inCompute.Add(1)
+				for {
+					m := maxConcurrent.Load()
+					if cur <= m || maxConcurrent.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				computes.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				inCompute.Add(-1)
+				return nil, 0, context.DeadlineExceeded // every winner fails
+			})
+		}()
+	}
+	close(started)
+	wg.Wait()
+	if computes.Load() != waiters {
+		t.Fatalf("%d computations for %d callers whose every winner failed", computes.Load(), waiters)
+	}
+	if maxConcurrent.Load() != 1 {
+		t.Fatalf("%d computations ran concurrently, want serialized rounds of 1", maxConcurrent.Load())
+	}
+}
+
+func TestDoFloorFallback(t *testing.T) {
+	// A waiter whose floor the shared result cannot satisfy must fall
+	// back to its own computation instead of accepting a too-coarse
+	// answer.
+	c := mustNew(t, Config{Capacity: 8})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), 9, 0, func() (interface{}, float64, error) {
+			close(inFlight)
+			<-release
+			return "coarse", 0.5, nil
+		})
+	}()
+	<-inFlight
+	var ownCompute atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, acc, shared, err := c.Do(context.Background(), 9, 0.9, func() (interface{}, float64, error) {
+			ownCompute.Store(true)
+			return "fine", 0.95, nil
+		})
+		if err != nil || shared || v != "fine" || acc != 0.95 {
+			t.Errorf("fallback Do = %v %v shared=%v err=%v", v, acc, shared, err)
+		}
+	}()
+	close(release)
+	<-done
+	if !ownCompute.Load() {
+		t.Fatal("high-floor waiter accepted the coarse shared result")
+	}
+}
+
+func TestDoWaiterHonorsContext(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.Do(context.Background(), 5, 0, func() (interface{}, float64, error) {
+			close(inFlight)
+			<-release
+			return nil, 0, nil
+		})
+	}()
+	<-inFlight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := c.Do(ctx, 5, 0, func() (interface{}, float64, error) {
+		t.Error("cancelled waiter computed")
+		return nil, 0, nil
+	}); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentEvictionVsHit(t *testing.T) {
+	// Satellite: hammer one shard with hits on hot keys while stores
+	// churn the same shard past its capacity, under -race. The
+	// invariant: hot keys either hit with their stored value or miss
+	// cleanly — never a foreign value, never a corrupt LRU list.
+	c := mustNew(t, Config{Capacity: 8, Shards: 1})
+	hot := []uint64{1, 2, 3}
+	for _, k := range hot {
+		c.Store(k, nil, k, 1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, k := range hot {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, _, ok := c.Get(k, 0); ok && v != k {
+					t.Errorf("key %d returned foreign value %v", k, v)
+					return
+				}
+				c.Store(k, nil, k, 1) // re-insert after any eviction
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(100 + w*1000 + i%64)
+				c.Store(k, nil, k, 0.7)
+				c.Get(k, 0)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("capacity bound violated: len=%d", c.Len())
+	}
+}
+
+func TestRefreshUpgradesEntries(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8, RefreshBelow: 1, RefreshInterval: time.Millisecond})
+	var refreshed atomic.Int64
+	c.SetRefresh(func(key uint64, payload interface{}) (interface{}, float64, bool) {
+		refreshed.Add(1)
+		return fmt.Sprintf("exact-%v", payload), 1, true
+	}, nil)
+	c.Store(11, "req", "coarse", 0.7)
+	if v, _, ok := c.Get(11, 0); !ok || v != "coarse" {
+		t.Fatalf("initial hit = %v %v", v, ok)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, acc, ok := c.Get(11, 0); ok && acc == 1 {
+			if v != "exact-req" {
+				t.Fatalf("refreshed value = %v", v)
+			}
+			if st := c.Stats(); st.Refreshes < 1 {
+				t.Fatalf("stats = %+v", st)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("entry never refreshed (refreshed=%d)", refreshed.Load())
+}
+
+func TestRefreshGateDefers(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8, RefreshBelow: 1, RefreshInterval: time.Millisecond})
+	var open atomic.Bool
+	var refreshed atomic.Int64
+	c.SetRefresh(func(uint64, interface{}) (interface{}, float64, bool) {
+		refreshed.Add(1)
+		return "exact", 1, true
+	}, func() bool { return open.Load() })
+	c.Store(3, "req", "coarse", 0.5)
+	c.Get(3, 0)
+	time.Sleep(30 * time.Millisecond)
+	if refreshed.Load() != 0 {
+		t.Fatal("refresh ran while the gate was closed")
+	}
+	open.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && refreshed.Load() == 0 {
+		c.Get(3, 0) // re-enqueue in case the deferred key was dropped
+		time.Sleep(time.Millisecond)
+	}
+	if refreshed.Load() == 0 {
+		t.Fatal("refresh never ran after the gate opened")
+	}
+}
+
+func TestHitPathZeroAlloc(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 64})
+	c.Store(17, nil, "value", 0.9)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := c.Get(17, 0.5); !ok {
+			t.Fatal("hit path missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hit path allocates %.1f allocs/op, want 0", allocs)
+	}
+	// The miss path is alloc-free too (it is the overload fast-exit).
+	allocs = testing.AllocsPerRun(1000, func() {
+		c.Get(99, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("miss path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,93 @@
+package rescache
+
+import "time"
+
+// RefreshFunc recomputes one cached answer at full accuracy. It
+// receives the entry's key and the payload Store recorded for it (the
+// canonical request), and returns the upgraded value with its accuracy
+// bound; ok = false means the recomputation was not possible right now
+// (shed by admission, data gone) and the entry is left as is — its next
+// hit re-enqueues it.
+type RefreshFunc func(key uint64, payload interface{}) (value interface{}, accuracy float64, ok bool)
+
+// SetRefresh installs the background refresh-to-exact worker: hits on
+// entries whose accuracy is below Config.RefreshBelow enqueue the key,
+// and a single low-priority worker drains the queue at
+// Config.RefreshInterval pace, overwriting each entry with fn's
+// upgraded answer — the paper's "coarse first, refine later" applied
+// to reuse. gate (optional) is consulted before each recomputation;
+// returning false defers the key (it is requeued), so refresh yields
+// while the service is overloaded and catches up when load drops.
+//
+// SetRefresh must be called at most once, before the cache serves
+// traffic; Close stops the worker.
+func (c *Cache) SetRefresh(fn RefreshFunc, gate func() bool) {
+	if fn == nil {
+		return
+	}
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	if c.started {
+		panic("rescache: SetRefresh called twice")
+	}
+	c.refreshFn = fn
+	c.gate = gate
+	c.refreshCh = make(chan uint64, c.cfg.RefreshQueue)
+	c.workerDone = make(chan struct{})
+	c.started = true
+	go c.refreshLoop()
+}
+
+// refreshEnabled reports whether the refresh worker is installed. The
+// channel field is written once under refreshMu before any traffic, so
+// the unlocked read on the hit path is safe.
+func (c *Cache) refreshEnabled() bool { return c.refreshCh != nil }
+
+// refreshLoop is the low-priority worker: one refresh attempt per
+// RefreshInterval, deferring while the gate is closed.
+func (c *Cache) refreshLoop() {
+	defer close(c.workerDone)
+	for {
+		select {
+		case <-c.quit:
+			return
+		case key := <-c.refreshCh:
+			c.refreshOne(key)
+		}
+		select {
+		case <-c.quit:
+			return
+		case <-time.After(c.cfg.RefreshInterval):
+		}
+	}
+}
+
+func (c *Cache) refreshOne(key uint64) {
+	if c.gate != nil && !c.gate() {
+		// Overloaded: push the key back and let the pacing sleep retry
+		// later. A full queue drops it; the next hit re-enqueues.
+		select {
+		case c.refreshCh <- key:
+		default:
+			c.clearQueued(key)
+		}
+		return
+	}
+	// Capture the epoch before recomputing: if the data is updated while
+	// the refresh runs, the upgraded entry is born stale instead of
+	// resurrecting a pre-update answer as current.
+	epoch := c.Epoch()
+	payload, ok := c.payloadOf(key)
+	if !ok {
+		// Evicted, stale, or payload-free since it was queued.
+		c.clearQueued(key)
+		return
+	}
+	v, acc, ok := c.refreshFn(key, payload)
+	if !ok {
+		c.clearQueued(key)
+		return
+	}
+	c.StoreAt(key, payload, v, acc, epoch)
+	c.refreshes.Add(1)
+}

@@ -1,0 +1,70 @@
+package rescache
+
+import "context"
+
+// flight is one in-progress computation that concurrent identical
+// misses coalesce onto.
+type flight struct {
+	done chan struct{}
+	v    interface{}
+	acc  float64
+	err  error
+}
+
+// Do serves key through the cache with singleflight coalescing:
+//
+//  1. a current-epoch entry clearing floor is returned immediately
+//     (shared = true);
+//  2. otherwise, if another Do for the same key is computing, wait for
+//     its result and share it when its accuracy clears this caller's
+//     floor (shared = true, counted Coalesced);
+//  3. otherwise compute() runs (shared = false) — it is responsible for
+//     Store-ing its result if it is cacheable.
+//
+// A waiter whose floor the shared result cannot satisfy — or whose
+// winner failed — re-enters the lookup instead of computing
+// unconditionally: it either hits the freshly stored entry, becomes
+// the next single winner, or joins the next flight. Coalescing
+// therefore never weakens the accuracy contract *and* a failed winner
+// (e.g. shed by admission under overload) does not release a
+// thundering herd — the waiters serialize, one computation per round.
+// compute's value is returned even alongside a non-nil error, letting
+// callers that encode failures inside the value (wire replies) mark
+// them uncacheable via the error without losing the reply.
+//
+// ctx bounds only the waits for shared results; compute manages its
+// own context.
+func (c *Cache) Do(ctx context.Context, key uint64, floor float64,
+	compute func() (value interface{}, accuracy float64, err error)) (value interface{}, accuracy float64, shared bool, err error) {
+	for {
+		if v, acc, ok := c.Get(key, floor); ok {
+			return v, acc, true, nil
+		}
+		c.fmu.Lock()
+		fl, inFlight := c.flights[key]
+		if !inFlight {
+			fl = &flight{done: make(chan struct{})}
+			c.flights[key] = fl
+			c.fmu.Unlock()
+			fl.v, fl.acc, fl.err = compute()
+			c.fmu.Lock()
+			delete(c.flights, key)
+			c.fmu.Unlock()
+			close(fl.done)
+			return fl.v, fl.acc, false, fl.err
+		}
+		c.fmu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, 0, false, ctx.Err()
+		}
+		if fl.err == nil && fl.acc >= floor {
+			c.coalesced.Add(1)
+			return fl.v, fl.acc, true, nil
+		}
+		// The shared result cannot serve this caller (winner failed, or
+		// its accuracy misses our floor): loop — each round elects one
+		// new winner while the rest keep waiting.
+	}
+}

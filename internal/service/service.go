@@ -69,6 +69,30 @@ type SubResult struct {
 	Hedged  bool // Hedged: a replica was issued for this sub-operation
 }
 
+// Complete reports whether every sub-result was answered: no errors,
+// nothing skipped, a value present. Result caches store only complete
+// fan-outs — a partial composition's accuracy tag would overstate what
+// the entry actually contains.
+func Complete(subs []SubResult) bool {
+	for i := range subs {
+		if subs[i].Err != nil || subs[i].Skipped || subs[i].Value == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns a cache-ready copy of sub-results holding only the
+// durable fields (Subset, Value). Latency and the hedge flag are
+// per-execution transport facts that must not replay on cache hits.
+func Snapshot(subs []SubResult) []SubResult {
+	out := make([]SubResult, len(subs))
+	for i := range subs {
+		out[i] = SubResult{Subset: subs[i].Subset, Value: subs[i].Value}
+	}
+	return out
+}
+
 // RouteFunc picks the component that executes a subset's sub-operation.
 // It receives the subset, the component count, and a live queue-depth
 // probe, and must return a component in [0, n). Handlers are safe for
@@ -197,7 +221,9 @@ func (cl *Cluster) recordLatency(d time.Duration) {
 	cl.subOps++
 	cl.p95est.Add(ms)
 	cl.p999est.Add(ms)
-	if cl.subOps%16 == 0 {
+	// Cold-start guard + warm-phase cadence (see stats.HedgeEstimateDue):
+	// the trigger holds the floor until the P² estimator is meaningful.
+	if stats.HedgeEstimateDue(cl.subOps) {
 		p := cl.p95est.Value()
 		floor := float64(cl.opts.HedgeFloor) / float64(time.Millisecond)
 		if p < floor {

@@ -124,6 +124,21 @@ func (e *P2Quantile) Value() float64 {
 // N returns the number of observations.
 func (e *P2Quantile) N() int { return e.n }
 
+// HedgeWarmObservations is the cold-start guard shared by the hedge
+// triggers of both serving runtimes: the P² estimator keeps its first
+// five samples verbatim, so with fewer observations its "p95" is an
+// interpolation over noise and the trigger must hold its configured
+// floor.
+const HedgeWarmObservations = 5
+
+// HedgeEstimateDue reports whether the cached hedge-trigger estimate
+// should be refreshed after the n-th observation: never before the
+// estimator has a full marker set, on every sample through the warm
+// phase (so the trigger tracks reality quickly), then every 16th.
+func HedgeEstimateDue(n int) bool {
+	return n >= HedgeWarmObservations && (n < 16 || n%16 == 0)
+}
+
 // sortFive insertion-sorts a tiny slice.
 func sortFive(v []float64) {
 	for i := 1; i < len(v); i++ {

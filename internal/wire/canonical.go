@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"slices"
+	"strings"
+)
+
+// canonicalKeyVersion versions the canonical key format independently
+// of the frame protocol: bumping it on a format change invalidates old
+// keys instead of silently colliding with them.
+const canonicalKeyVersion = 1
+
+// AppendCanonicalKey appends a canonical byte encoding of the request's
+// semantic payload — the bytes a result cache should key on. Two
+// requests produce identical encodings iff they ask for the same
+// answer:
+//
+//   - per-request metadata (ID, Seq, Subset, SLO class, MinAccuracy,
+//     Level, Deadline) is excluded — the cache checks accuracy floors
+//     against the entry's recorded accuracy, not against key bytes;
+//   - search query terms are reduced to a sorted multiset: lowercased
+//     alphanumeric runs with per-term counts, so reordered (and
+//     arbitrarily re-whitespaced) queries collide while duplicated
+//     terms — which boost tf-idf scoring — stay distinct;
+//   - CF known ratings are encoded as a sorted multiset (engines sort
+//     them anyway, so order is semantically void). CF targets are kept
+//     in request order: the reply's Num/Den arrays are positional, so
+//     target order is part of the contract — clients that want
+//     order-insensitive caching canonicalize with Canonicalize first;
+//   - aggregation requests are already canonical (op + range).
+//
+// The tokenization here is deliberately coarser than the search
+// engine's analyzer (no stopword or length filtering — the codec is a
+// leaf and must not import it): it can only split cache keys more
+// finely than the engine distinguishes queries, never conflate
+// semantically different ones.
+func AppendCanonicalKey(dst []byte, req *Request) []byte {
+	dst = append(dst, canonicalKeyVersion, byte(req.Kind))
+	switch req.Kind {
+	case KindCF:
+		ratings := append([]Rating(nil), req.CF.Ratings...)
+		slices.SortFunc(ratings, func(a, b Rating) int {
+			if a.Item != b.Item {
+				return int(a.Item) - int(b.Item)
+			}
+			switch {
+			case a.Score < b.Score:
+				return -1
+			case a.Score > b.Score:
+				return 1
+			}
+			return 0
+		})
+		dst = appendU32(dst, uint32(len(ratings)))
+		for _, rt := range ratings {
+			dst = appendU32(dst, uint32(rt.Item))
+			dst = appendF64(dst, rt.Score)
+		}
+		dst = appendI32s(dst, req.CF.Targets)
+	case KindSearch:
+		toks := canonicalTokens(req.Search.Query)
+		dst = appendU32(dst, uint32(len(toks)))
+		for i := 0; i < len(toks); {
+			j := i
+			for j < len(toks) && toks[j] == toks[i] {
+				j++
+			}
+			dst = appendStr(dst, toks[i])
+			dst = appendU32(dst, uint32(j-i))
+			i = j
+		}
+		dst = appendU32(dst, uint32(req.Search.K))
+	case KindAgg:
+		dst = append(dst, req.Agg.Op)
+		dst = appendF64(dst, req.Agg.Lo)
+		dst = appendF64(dst, req.Agg.Hi)
+	}
+	return dst
+}
+
+// canonicalTokens splits text into sorted lowercased alphanumeric runs
+// (duplicates preserved — multiplicity matters for tf-idf weighting).
+func canonicalTokens(text string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	slices.Sort(toks)
+	return toks
+}
+
+// Canonicalize returns a copy of req with every order-insensitive
+// payload field in canonical order, so that permutations of the same
+// request encode — and cache-key — identically:
+//
+//   - search query terms sorted (duplicates preserved; scoring is
+//     order-independent but multiplicity-sensitive);
+//   - CF ratings sorted by (item, score);
+//   - CF targets sorted and deduplicated — callers must apply this
+//     before sending, because the reply's positional Num/Den arrays
+//     follow the canonical target order.
+//
+// Aggregation requests are returned as a plain copy (already
+// canonical). The input is never mutated.
+func Canonicalize(req *Request) *Request {
+	out := *req
+	switch req.Kind {
+	case KindCF:
+		cf := *req.CF
+		cf.Ratings = append([]Rating(nil), req.CF.Ratings...)
+		slices.SortFunc(cf.Ratings, func(a, b Rating) int {
+			if a.Item != b.Item {
+				return int(a.Item) - int(b.Item)
+			}
+			switch {
+			case a.Score < b.Score:
+				return -1
+			case a.Score > b.Score:
+				return 1
+			}
+			return 0
+		})
+		cf.Targets = append([]int32(nil), req.CF.Targets...)
+		slices.Sort(cf.Targets)
+		cf.Targets = slices.Compact(cf.Targets)
+		if len(cf.Targets) == 0 {
+			cf.Targets = nil
+		}
+		out.CF = &cf
+	case KindSearch:
+		s := *req.Search
+		s.Query = strings.Join(canonicalTokens(req.Search.Query), " ")
+		out.Search = &s
+	case KindAgg:
+		agg := *req.Agg
+		out.Agg = &agg
+	}
+	return &out
+}

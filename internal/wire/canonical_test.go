@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"accuracytrader/internal/stats"
+)
+
+// permute returns a copy of xs in a random order.
+func permute[T any](rng *stats.RNG, xs []T) []T {
+	out := append([]T(nil), xs...)
+	for i := len(out) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// TestCanonicalKeyPermutationInvariant is the satellite round-trip
+// check: permuted (and re-whitespaced) inputs must encode to the same
+// canonical key bytes.
+func TestCanonicalKeyPermutationInvariant(t *testing.T) {
+	rng := stats.NewRNG(7)
+
+	// Search: term order and separators are irrelevant.
+	base := &Request{Kind: KindSearch, Search: &SearchRequest{Query: "alpha beta gamma beta", K: 10}}
+	want := AppendCanonicalKey(nil, base)
+	for _, q := range []string{
+		"beta gamma alpha beta",
+		"beta,beta;GAMMA  alpha",
+		"gamma\tbeta alpha beta",
+	} {
+		got := AppendCanonicalKey(nil, &Request{Kind: KindSearch, Search: &SearchRequest{Query: q, K: 10}})
+		if !bytes.Equal(want, got) {
+			t.Fatalf("query %q keyed differently from %q", q, base.Search.Query)
+		}
+	}
+	// Multiplicity matters for tf-idf scoring: a duplicated term is a
+	// different request.
+	dedup := AppendCanonicalKey(nil, &Request{Kind: KindSearch, Search: &SearchRequest{Query: "alpha beta gamma", K: 10}})
+	if bytes.Equal(want, dedup) {
+		t.Fatal("duplicate query term conflated with its single occurrence")
+	}
+	// K is part of the answer shape.
+	otherK := AppendCanonicalKey(nil, &Request{Kind: KindSearch, Search: &SearchRequest{Query: "alpha beta gamma beta", K: 20}})
+	if bytes.Equal(want, otherK) {
+		t.Fatal("different K keyed identically")
+	}
+
+	// CF: rating order is irrelevant; target order is positional and
+	// must be preserved.
+	ratings := []Rating{{Item: 5, Score: 4}, {Item: 1, Score: 2}, {Item: 9, Score: 1}, {Item: 5, Score: 4}}
+	targets := []int32{7, 3, 11}
+	cfBase := &Request{Kind: KindCF, CF: &CFRequest{Ratings: ratings, Targets: targets}}
+	cfWant := AppendCanonicalKey(nil, cfBase)
+	for i := 0; i < 20; i++ {
+		req := &Request{Kind: KindCF, CF: &CFRequest{Ratings: permute(rng, ratings), Targets: targets}}
+		if !bytes.Equal(cfWant, AppendCanonicalKey(nil, req)) {
+			t.Fatalf("permuted ratings keyed differently: %+v", req.CF.Ratings)
+		}
+	}
+	swapped := &Request{Kind: KindCF, CF: &CFRequest{Ratings: ratings, Targets: []int32{3, 7, 11}}}
+	if bytes.Equal(cfWant, AppendCanonicalKey(nil, swapped)) {
+		t.Fatal("reordered targets keyed identically (replies are positional)")
+	}
+
+	// Aggregation: the payload is already canonical; distinct ranges
+	// must key distinctly.
+	a1 := AppendCanonicalKey(nil, &Request{Kind: KindAgg, Agg: &AggRequest{Op: 1, Lo: 0, Hi: 10}})
+	a2 := AppendCanonicalKey(nil, &Request{Kind: KindAgg, Agg: &AggRequest{Op: 1, Lo: 0, Hi: 11}})
+	if bytes.Equal(a1, a2) {
+		t.Fatal("distinct agg ranges keyed identically")
+	}
+}
+
+// TestCanonicalKeyExcludesMetadata asserts the key covers only the
+// semantic payload: IDs, SLO class, level and deadline never split it.
+func TestCanonicalKeyExcludesMetadata(t *testing.T) {
+	mk := func(id, seq uint64, slo uint8, minAcc float64, level int16, deadline int64, subset int32) []byte {
+		return AppendCanonicalKey(nil, &Request{
+			ID: id, Seq: seq, SLO: slo, MinAccuracy: minAcc, Level: level,
+			Deadline: deadline, Subset: subset,
+			Kind: KindAgg, Agg: &AggRequest{Op: 2, Lo: 1, Hi: 5},
+		})
+	}
+	want := mk(1, 2, SLOExact, 0, NoLevel, 0, -1)
+	if !bytes.Equal(want, mk(99, 7, SLOBounded, 0.9, 3, 12345, 4)) {
+		t.Fatal("per-request metadata leaked into the canonical key")
+	}
+}
+
+// TestCanonicalizeRoundTrip: permuted requests, after Canonicalize,
+// must produce byte-identical frame encodings (the full satellite
+// round trip: canonicalize -> encode -> same bytes).
+func TestCanonicalizeRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(11)
+	ratings := []Rating{{Item: 4, Score: 5}, {Item: 2, Score: 3}, {Item: 8, Score: 1}}
+	targets := []int32{9, 1, 5, 1}
+	base := &Request{ID: 1, Kind: KindCF, SLO: SLONone, Level: NoLevel,
+		CF: &CFRequest{Ratings: ratings, Targets: targets}}
+	want := AppendRequestFrame(nil, Canonicalize(base))
+	for i := 0; i < 20; i++ {
+		req := &Request{ID: 1, Kind: KindCF, SLO: SLONone, Level: NoLevel,
+			CF: &CFRequest{Ratings: permute(rng, ratings), Targets: permute(rng, targets)}}
+		got := AppendRequestFrame(nil, Canonicalize(req))
+		if !bytes.Equal(want, got) {
+			t.Fatalf("canonicalized permutation %d encodes differently", i)
+		}
+		// The input must never be mutated.
+		if req.CF.Ratings[0] == (Rating{}) {
+			t.Fatal("Canonicalize mutated its input")
+		}
+	}
+
+	sBase := &Request{ID: 2, Kind: KindSearch, SLO: SLONone, Level: NoLevel,
+		Search: &SearchRequest{Query: "Go tail Latency tail", K: 5}}
+	sWant := AppendRequestFrame(nil, Canonicalize(sBase))
+	sPerm := &Request{ID: 2, Kind: KindSearch, SLO: SLONone, Level: NoLevel,
+		Search: &SearchRequest{Query: "tail latency GO, tail", K: 5}}
+	if !bytes.Equal(sWant, AppendRequestFrame(nil, Canonicalize(sPerm))) {
+		t.Fatal("canonicalized search permutation encodes differently")
+	}
+	// Canonical form is a fixed point.
+	canon := Canonicalize(sBase)
+	if !bytes.Equal(sWant, AppendRequestFrame(nil, Canonicalize(canon))) {
+		t.Fatal("Canonicalize is not idempotent")
+	}
+
+	// A canonicalized request still decodes cleanly.
+	b, err := ReadFrame(bytes.NewReader(want), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.CF.Targets) != 3 { // 1 deduplicated
+		t.Fatalf("canonical targets = %v", dec.CF.Targets)
+	}
+}

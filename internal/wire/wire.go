@@ -9,8 +9,8 @@ import (
 
 // Version is the protocol version stamped into every frame. A peer
 // speaking a different version is rejected at decode time instead of
-// being misparsed.
-const Version = 1
+// being misparsed. Version 2 added the composed reply's Cached byte.
+const Version = 2
 
 // Frame kinds: what a frame body contains.
 const (
@@ -187,7 +187,11 @@ type Reply struct {
 	SLO         uint8
 	MinAccuracy float64
 	Degraded    bool
-	Level       int16
+	// Cached reports that the reply was served from the front server's
+	// accuracy-aware result cache rather than a fresh fan-out; the
+	// entry's recorded accuracy cleared this request's floor.
+	Cached bool
+	Level  int16
 	// SubStatus holds one Status* byte per subset, in subset order.
 	SubStatus []uint8
 
@@ -482,6 +486,11 @@ func AppendReplyFrame(dst []byte, rep *Reply) []byte {
 		degraded = 1
 	}
 	dst = append(dst, degraded)
+	cached := byte(0)
+	if rep.Cached {
+		cached = 1
+	}
+	dst = append(dst, cached)
 	dst = appendU16(dst, uint16(rep.Level))
 	dst = appendU32(dst, uint32(len(rep.SubStatus)))
 	dst = append(dst, rep.SubStatus...)
@@ -506,6 +515,7 @@ func DecodeReply(body []byte) (*Reply, error) {
 	rep.SLO = r.u8("slo")
 	rep.MinAccuracy = r.f64("minAccuracy")
 	rep.Degraded = r.u8("degraded") != 0
+	rep.Cached = r.u8("cached") != 0
 	rep.Level = int16(r.u16("level"))
 	if n := r.count(1, "substatus"); r.err == nil && n > 0 {
 		rep.SubStatus = append([]uint8(nil), r.take(n, "substatus")...)

@@ -95,6 +95,7 @@ func randReply(rng *stats.RNG) *Reply {
 		SLO:         []uint8{SLOExact, SLOBounded, SLOBestEffort, SLONone}[rng.Intn(4)],
 		MinAccuracy: rng.Float64(),
 		Degraded:    rng.Intn(2) == 0,
+		Cached:      rng.Intn(2) == 0,
 		Level:       int16(rng.Intn(6)) - 1,
 	}
 	for i := 0; i < rng.Intn(8); i++ {
