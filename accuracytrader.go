@@ -56,6 +56,7 @@ import (
 	"accuracytrader/internal/core"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/netsvc"
+	"accuracytrader/internal/obs"
 	"accuracytrader/internal/rescache"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/svd"
@@ -457,3 +458,60 @@ func WireCacheKey(req *WireRequest) uint64 {
 // payload fields in canonical order (and CF targets sorted/deduped, so
 // apply it before sending — replies are positional).
 func CanonicalizeWireRequest(req *WireRequest) *WireRequest { return wire.Canonicalize(req) }
+
+// The observability plane (internal/obs): a unified metrics registry,
+// per-request decision traces that stitch across the wire, and the
+// admin HTTP plane serving both. Tracing is strictly opt-in — a nil
+// recorder (or an untraced request) makes every recording call a
+// zero-allocation no-op, so the serving path pays nothing when
+// observability is off.
+
+// MetricsRegistry is the unified metrics registry: sharded counters,
+// gauges and fixed-bucket histograms with Prometheus-text exposition.
+// Wire it into a frontend via FrontendOptions.Metrics and serve it via
+// NewAdminPlane.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// TraceRecorder holds the most recent n request traces in a
+// preallocated ring. Pass it as NetServerOptions.Tracer to trace a
+// NetFrontServer's requests end to end.
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder returns a recorder keeping the last n traces, each
+// capped at maxSpans spans.
+func NewTraceRecorder(n, maxSpans int) *TraceRecorder { return obs.NewRecorder(n, maxSpans) }
+
+// RequestTrace is one request's decision trace. All methods are
+// nil-receiver safe: code records unconditionally and pays nothing
+// when the request is untraced.
+type RequestTrace = obs.Trace
+
+// TraceView is an immutable snapshot of one recorded trace.
+type TraceView = obs.TraceView
+
+// RequestTraceFrom returns the trace recording the current request, or
+// nil (safe to use) when the request is untraced.
+func RequestTraceFrom(ctx context.Context) *RequestTrace { return obs.TraceFrom(ctx) }
+
+// TraceSummary aggregates recorded traces into a per-SLO-class
+// deadline-budget breakdown table (its Render method).
+type TraceSummary = obs.Summary
+
+// SummarizeTraces builds the per-SLO-class breakdown over a recorder
+// snapshot.
+func SummarizeTraces(views []TraceView) *TraceSummary { return obs.Summarize(views) }
+
+// AdminPlane is the operational HTTP endpoint set: /metrics (the
+// registry in Prometheus text), /traces (recent decision traces as
+// JSON), /healthz (readiness, flipped during graceful shutdown) and
+// /debug/pprof.
+type AdminPlane = obs.Admin
+
+// NewAdminPlane serves reg and rec (either may be nil); call its
+// Listen method with a loopback address, Close when done.
+func NewAdminPlane(reg *MetricsRegistry, rec *TraceRecorder) *AdminPlane {
+	return obs.NewAdmin(reg, rec)
+}

@@ -57,6 +57,7 @@ func main() {
 		listen   = flag.String("listen", "", "listen address (component server, or aggregator front server)")
 		peers    = flag.String("peers", "", "comma-separated component addresses (aggregator)")
 		rate     = flag.Float64("rate", 40, "aggregator measurement: open-loop request rate per second")
+		admin    = flag.String("admin", "", "admin plane listen address for -serve roles (/metrics, /healthz, /traces, /debug/pprof; also enables request tracing on the front server)")
 	)
 	flag.Parse()
 
@@ -82,7 +83,7 @@ func main() {
 
 	var err error
 	if *serve != "" {
-		err = runServe(*serve, *workload, *listen, *peers, *rate, sc)
+		err = runServe(*serve, *workload, *listen, *peers, *admin, *rate, sc)
 	} else {
 		err = run(os.Stdout, *exp, sc, *repeats, *requests)
 	}
@@ -115,6 +116,7 @@ var runners = map[string]runner{
 	"aggcompare":   func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
 	"netcompare":   func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
 	"cachecompare": func(sc experiments.Scale, _, _ int) error { return runCacheCompare(sc) },
+	"tracecompare": func(sc experiments.Scale, _, _ int) error { return runTraceCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -313,6 +315,20 @@ func runCacheCompare(sc experiments.Scale) error {
 			return err
 		}
 		fmt.Println(res.Render())
+		return nil
+	})
+}
+
+func runTraceCompare(sc experiments.Scale) error {
+	return timed("Decision tracing (stitching, budget accounting, zero-cost-off)", func() error {
+		res, err := experiments.RunTraceCompare(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if !res.OK() {
+			return fmt.Errorf("tracecompare contracts violated (see report above)")
+		}
 		return nil
 	})
 }

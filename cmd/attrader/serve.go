@@ -14,10 +14,31 @@ import (
 	"accuracytrader/internal/experiments"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/netsvc"
+	"accuracytrader/internal/obs"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/stats"
 	"accuracytrader/internal/wire"
 )
+
+// drainTimeout bounds the graceful drain on SIGINT/SIGTERM: queued and
+// in-flight requests get this long to finish before the hard close.
+const drainTimeout = 10 * time.Second
+
+// startAdmin stands up the admin plane when an address was given:
+// /metrics (reg), /traces (rec), /healthz, /debug/pprof. Returns nil
+// when addr is empty — every call site is nil-safe.
+func startAdmin(addr string, reg *obs.Registry, rec *obs.Recorder) (*obs.Admin, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ad := obs.NewAdmin(reg, rec)
+	got, err := ad.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin plane: %w", err)
+	}
+	fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /debug/pprof)\n", got)
+	return ad, nil
+}
 
 // netService is one workload prepared for network serving: the
 // component handler over the deterministically built shards, plus
@@ -89,24 +110,28 @@ func buildNetService(workload string, sc experiments.Scale) (*netService, error)
 }
 
 // runServe dispatches the -serve role.
-func runServe(role, workload, listen, peers string, rate float64, sc experiments.Scale) error {
+func runServe(role, workload, listen, peers, admin string, rate float64, sc experiments.Scale) error {
 	switch role {
 	case "component":
-		return serveComponent(workload, listen, sc)
+		return serveComponent(workload, listen, admin, sc)
 	case "aggregator":
-		return serveAggregator(workload, listen, peers, rate, sc)
+		return serveAggregator(workload, listen, peers, admin, rate, sc)
 	default:
 		return fmt.Errorf("unknown -serve role %q (component|aggregator)", role)
 	}
 }
 
 // serveComponent builds the workload and answers sub-operations on
-// listen until interrupted.
-func serveComponent(workload, listen string, sc experiments.Scale) error {
+// listen until interrupted; SIGINT/SIGTERM drains gracefully.
+func serveComponent(workload, listen, admin string, sc experiments.Scale) error {
 	if listen == "" {
 		return fmt.Errorf("-serve component requires -listen")
 	}
 	ns, err := buildNetService(workload, sc)
+	if err != nil {
+		return err
+	}
+	ad, err := startAdmin(admin, obs.NewRegistry(), nil)
 	if err != nil {
 		return err
 	}
@@ -118,10 +143,18 @@ func serveComponent(workload, listen string, sc experiments.Scale) error {
 	case err := <-errCh:
 		return err
 	case <-interrupted():
-		srv.Close()
+		// Graceful: flip /healthz unready, stop accepting, drain queued
+		// and in-flight requests, then close.
+		if ad != nil {
+			ad.SetReady(false)
+		}
+		drained := srv.Shutdown(drainTimeout)
 		st := srv.Stats()
-		fmt.Printf("component server: served %d requests (%d abandoned past deadline, %d shed busy)\n",
-			st.Requests, st.Abandoned, st.Shed)
+		fmt.Printf("component server: served %d requests (%d abandoned past deadline, %d shed busy, drained=%v)\n",
+			st.Requests, st.Abandoned, st.Shed, drained)
+		if ad != nil {
+			ad.Close()
+		}
 		return nil
 	}
 }
@@ -129,7 +162,7 @@ func serveComponent(workload, listen string, sc experiments.Scale) error {
 // serveAggregator connects to the component peers, verifies one
 // round-trip, then either serves composed replies on listen (until
 // interrupted) or drives an open-loop measurement session and exits.
-func serveAggregator(workload, listen, peers string, rate float64, sc experiments.Scale) error {
+func serveAggregator(workload, listen, peers, admin string, rate float64, sc experiments.Scale) error {
 	addrs := strings.Split(peers, ",")
 	if peers == "" || len(addrs) == 0 {
 		return fmt.Errorf("-serve aggregator requires -peers host:port[,host:port...]")
@@ -165,7 +198,7 @@ func serveAggregator(workload, listen, peers string, rate float64, sc experiment
 	fmt.Printf("aggregator: %d components answered the %s probe\n", len(subs), workload)
 
 	if listen != "" {
-		return serveFront(ns, agr, listen)
+		return serveFront(ns, agr, listen, admin)
 	}
 	return measure(ns, agr, rate, time.Duration(sc.SessionSeconds*float64(time.Second)))
 }
@@ -173,7 +206,16 @@ func serveAggregator(workload, listen, peers string, rate float64, sc experiment
 // serveFront runs the client-facing composed-reply server, with the
 // accuracy-aware frontend pipeline when the workload has a calibrated
 // ladder.
-func serveFront(ns *netService, agr *netsvc.Aggregator, listen string) error {
+func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string) error {
+	// The admin plane also switches on request tracing and the unified
+	// metrics registry: the frontend's counters land in /metrics, every
+	// request gets a decision trace served at /traces.
+	var reg *obs.Registry
+	var rec *obs.Recorder
+	if admin != "" {
+		reg = obs.NewRegistry()
+		rec = obs.NewRecorder(512, 64)
+	}
 	var fe *frontend.Frontend
 	if len(ns.levelAcc) > 0 {
 		ctrl, err := frontend.NewController(frontend.ControllerConfig{
@@ -192,20 +234,37 @@ func serveFront(ns *netService, agr *netsvc.Aggregator, listen string) error {
 				frontend.NewQueueWatermark(0.35, 0.85),
 			},
 			Controller: ctrl,
+			Metrics:    reg,
 		})
 		if err != nil {
 			return err
 		}
 	}
-	fs := netsvc.NewFrontServer(agr, fe, netsvc.ServerOptions{})
+	ad, err := startAdmin(admin, reg, rec)
+	if err != nil {
+		return err
+	}
+	fs := netsvc.NewFrontServer(agr, fe, netsvc.ServerOptions{Tracer: rec})
 	errCh := make(chan error, 1)
 	go func() { errCh <- fs.ListenAndServe(listen) }()
-	fmt.Printf("aggregator: serving composed replies on %s (frontend: %v)\n", listen, fe != nil)
+	fmt.Printf("aggregator: serving composed replies on %s (frontend: %v, tracing: %v)\n", listen, fe != nil, rec != nil)
 	select {
 	case err := <-errCh:
 		return err
 	case <-interrupted():
-		fs.Close()
+		if ad != nil {
+			ad.SetReady(false)
+		}
+		drained := fs.Shutdown(drainTimeout)
+		fmt.Printf("aggregator: drained=%v\n", drained)
+		if rec != nil {
+			if sum := obs.Summarize(rec.Snapshot(0)); sum.Traces > 0 {
+				fmt.Println(sum.Render())
+			}
+		}
+		if ad != nil {
+			ad.Close()
+		}
 		return nil
 	}
 }

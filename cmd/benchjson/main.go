@@ -18,6 +18,14 @@
 // benchmark must match — a renamed benchmark fails the guard instead of
 // silently skipping it. CI uses this to pin the result cache's
 // zero-allocation hit path.
+//
+// With -assert-max-regress <pct> (plus -regress-base and
+// -regress-subject regexps), benchjson compares two benchmark groups
+// from the same run: the mean ns/op of the subject group must not
+// exceed the base group's by more than pct percent. Both patterns must
+// match at least one benchmark — a renamed benchmark fails the guard.
+// CI uses this to bound the request-tracing overhead: the traced
+// serving-path benchmark against its untraced twin.
 package main
 
 import (
@@ -54,19 +62,38 @@ type Report struct {
 // cpuSuffix strips the -GOMAXPROCS suffix go test appends to names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
+// regressGuard is the -assert-max-regress configuration: subject
+// benchmarks may be at most MaxPct percent slower (mean ns/op) than
+// base benchmarks.
+type regressGuard struct {
+	MaxPct  float64
+	Base    string // regexp over benchmark names
+	Subject string // regexp over benchmark names
+}
+
 func main() {
 	assertZero := flag.String("assert-zero-allocs", "",
 		"fail unless every matching benchmark reports 0 allocs/op (and at least one matches)")
+	maxRegress := flag.Float64("assert-max-regress", 0,
+		"fail if the -regress-subject benchmarks' mean ns/op exceeds the -regress-base mean by more than this percentage")
+	regressBase := flag.String("regress-base", "",
+		"baseline benchmark name regexp for -assert-max-regress")
+	regressSubject := flag.String("regress-subject", "",
+		"subject benchmark name regexp for -assert-max-regress")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *assertZero); err != nil {
+	var guard *regressGuard
+	if *maxRegress > 0 || *regressBase != "" || *regressSubject != "" {
+		guard = &regressGuard{MaxPct: *maxRegress, Base: *regressBase, Subject: *regressSubject}
+	}
+	if err := run(os.Stdin, os.Stdout, *assertZero, guard); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
 // run converts bench output from r to JSON on w, applying the optional
-// zero-alloc guard.
-func run(r io.Reader, w io.Writer, assertZero string) error {
+// guards.
+func run(r io.Reader, w io.Writer, assertZero string, guard *regressGuard) error {
 	var rep Report
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -98,6 +125,11 @@ func run(r io.Reader, w io.Writer, assertZero string) error {
 			return err
 		}
 	}
+	if guard != nil {
+		if err := assertMaxRegress(rep, guard); err != nil {
+			return err
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -124,6 +156,54 @@ func assertZeroAllocs(rep Report, pattern string) error {
 		return fmt.Errorf("no benchmark matches %q (renamed? run with -benchmem?)", pattern)
 	}
 	return nil
+}
+
+// assertMaxRegress enforces the bounded-regression guard: the mean
+// ns/op over benchmarks matching guard.Subject must not exceed the
+// mean over guard.Base by more than guard.MaxPct percent. Both
+// patterns must match at least one benchmark, so a renamed benchmark
+// fails instead of vacuously passing.
+func assertMaxRegress(rep Report, guard *regressGuard) error {
+	if guard.MaxPct <= 0 {
+		return fmt.Errorf("-assert-max-regress requires a positive percentage")
+	}
+	if guard.Base == "" || guard.Subject == "" {
+		return fmt.Errorf("-assert-max-regress requires both -regress-base and -regress-subject")
+	}
+	baseMean, baseN, err := meanNsPerOp(rep, guard.Base, "-regress-base")
+	if err != nil {
+		return err
+	}
+	subjMean, subjN, err := meanNsPerOp(rep, guard.Subject, "-regress-subject")
+	if err != nil {
+		return err
+	}
+	limit := baseMean * (1 + guard.MaxPct/100)
+	if subjMean > limit {
+		return fmt.Errorf("regression: subject %.1f ns/op (%d benchmarks) exceeds base %.1f ns/op (%d benchmarks) by more than %.1f%% (limit %.1f ns/op)",
+			subjMean, subjN, baseMean, baseN, guard.MaxPct, limit)
+	}
+	return nil
+}
+
+// meanNsPerOp averages ns/op over benchmarks matching pattern,
+// erroring when the pattern is invalid or matches nothing.
+func meanNsPerOp(rep Report, pattern, flagName string) (float64, int, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad %s pattern: %w", flagName, err)
+	}
+	sum, n := 0.0, 0
+	for _, b := range rep.Benchmarks {
+		if re.MatchString(b.Name) {
+			sum += b.NsPerOp
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("no benchmark matches %s %q (renamed?)", flagName, pattern)
+	}
+	return sum / float64(n), n, nil
 }
 
 // parseLine parses one "BenchmarkName  N  v unit  v unit ..." line.

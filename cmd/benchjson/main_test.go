@@ -16,7 +16,7 @@ PASS
 
 func TestRunEmitsJSON(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader(benchOutput), &out, ""); err != nil {
+	if err := run(strings.NewReader(benchOutput), &out, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{`"BenchmarkCacheHit"`, `"ns_per_op": 37.5`, `"allocs_per_op": 3`} {
@@ -29,29 +29,86 @@ func TestRunEmitsJSON(t *testing.T) {
 func TestAssertZeroAllocsGuard(t *testing.T) {
 	var out strings.Builder
 	// Matching zero-alloc benchmarks pass.
-	if err := run(strings.NewReader(benchOutput), &out, "CacheHit|CacheMiss"); err != nil {
+	if err := run(strings.NewReader(benchOutput), &out, "CacheHit|CacheMiss", nil); err != nil {
 		t.Fatalf("clean benchmarks failed the guard: %v", err)
 	}
 	// An allocating benchmark in the match set fails.
-	if err := run(strings.NewReader(benchOutput), &out, "Leaky"); err == nil ||
+	if err := run(strings.NewReader(benchOutput), &out, "Leaky", nil); err == nil ||
 		!strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("allocating benchmark passed the guard: %v", err)
 	}
 	// A pattern matching nothing fails loudly — a renamed benchmark
 	// must not silently disable the guard.
-	if err := run(strings.NewReader(benchOutput), &out, "NoSuchBench"); err == nil ||
+	if err := run(strings.NewReader(benchOutput), &out, "NoSuchBench", nil); err == nil ||
 		!strings.Contains(err.Error(), "no benchmark matches") {
 		t.Fatalf("empty match set passed the guard: %v", err)
 	}
 	// A bad pattern is an error, not a panic.
-	if err := run(strings.NewReader(benchOutput), &out, "("); err == nil {
+	if err := run(strings.NewReader(benchOutput), &out, "(", nil); err == nil {
 		t.Fatal("invalid pattern accepted")
+	}
+}
+
+// tracePairOutput is a traced/untraced serving-path benchmark pair as
+// emitted by internal/netsvc — the shape the CI obs-smoke job feeds
+// through -assert-max-regress.
+const tracePairOutput = `goos: linux
+goarch: amd64
+pkg: accuracytrader/internal/netsvc
+BenchmarkServeUntraced-8   	    5000	    200000 ns/op	    2048 B/op	      24 allocs/op
+BenchmarkServeTraced-8     	    5000	    210000 ns/op	    2304 B/op	      27 allocs/op
+PASS
+`
+
+func TestAssertMaxRegressGuard(t *testing.T) {
+	var out strings.Builder
+	guard := func(pct float64, base, subj string) *regressGuard {
+		return &regressGuard{MaxPct: pct, Base: base, Subject: subj}
+	}
+	// 5% measured regression passes a 10% budget.
+	if err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(10, "ServeUntraced", "ServeTraced")); err != nil {
+		t.Fatalf("5%% regression failed a 10%% budget: %v", err)
+	}
+	// ... and fails a 2% budget, naming both means.
+	err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(2, "ServeUntraced", "ServeTraced"))
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("5%% regression passed a 2%% budget: %v", err)
+	}
+	if !strings.Contains(err.Error(), "210000.0") || !strings.Contains(err.Error(), "200000.0") {
+		t.Fatalf("regression error does not report both means: %v", err)
+	}
+	// A pattern matching nothing fails loudly — a renamed benchmark
+	// must not silently disable the guard.
+	if err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(10, "NoSuchBase", "ServeTraced")); err == nil ||
+		!strings.Contains(err.Error(), "no benchmark matches") {
+		t.Fatalf("empty base match set passed the guard: %v", err)
+	}
+	if err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(10, "ServeUntraced", "NoSuchSubject")); err == nil ||
+		!strings.Contains(err.Error(), "no benchmark matches") {
+		t.Fatalf("empty subject match set passed the guard: %v", err)
+	}
+	// Misconfiguration is an error, not a vacuous pass.
+	if err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(0, "ServeUntraced", "ServeTraced")); err == nil {
+		t.Fatal("non-positive percentage accepted")
+	}
+	if err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(10, "", "ServeTraced")); err == nil {
+		t.Fatal("missing -regress-base accepted")
+	}
+	if err := run(strings.NewReader(tracePairOutput), &out,
+		"", guard(10, "(", "ServeTraced")); err == nil {
+		t.Fatal("invalid base pattern accepted")
 	}
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader("unrelated text\n"), &out, ""); err == nil {
+	if err := run(strings.NewReader("unrelated text\n"), &out, "", nil); err == nil {
 		t.Fatal("input with no benchmarks accepted")
 	}
 }

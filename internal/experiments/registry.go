@@ -29,6 +29,7 @@ func Registry() []ExperimentInfo {
 		{Name: "aggcompare", Artifact: "extension", About: "aggregation workload: ladder accuracy/latency + frontend overload"},
 		{Name: "netcompare", Artifact: "extension", About: "networked serving layer over loopback TCP vs the in-process runtime"},
 		{Name: "cachecompare", Artifact: "extension", About: "accuracy-aware result cache vs no-cache frontend under Zipf load"},
+		{Name: "tracecompare", Artifact: "extension", About: "end-to-end decision tracing: cross-process stitching, budget accounting, zero-cost-off"},
 	}
 }
 

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceCompareQuick runs the tracing validation at test scale and
+// asserts all three contracts hold: cross-process span stitching,
+// critical-path budget accounting within tolerance, and a
+// zero-allocation disabled path.
+func TestTraceCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback serving run")
+	}
+	sc := QuickScale()
+	sc.Shards = 3
+	tc, err := RunTraceCompare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.ZeroAllocOK {
+		t.Errorf("disabled tracing path allocates %.1f allocs/op, want 0", tc.DisabledAllocs)
+	}
+	if !tc.StitchOK {
+		t.Errorf("stitching: %d of %d fan-out traces complete", tc.Stitched, tc.FanOuts)
+	}
+	if !tc.CoverageOK {
+		t.Errorf("accounting: mean span coverage %.2f outside [%.2f, %.2f]",
+			tc.CoverageMean, traceCoverageFloor, traceCoverageCeil)
+	}
+	if tc.Answered == 0 || tc.FanOuts == 0 {
+		t.Fatalf("no answered fan-outs recorded: answered=%d fanouts=%d", tc.Answered, tc.FanOuts)
+	}
+	out := tc.Render()
+	for _, want := range []string{"TRACECOMPARE", "stitching", "accounting", "disabled", "TRACE SUMMARY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tc.Summary == nil || tc.Summary.Answered == 0 {
+		t.Fatal("summary empty")
+	}
+}

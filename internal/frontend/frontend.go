@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/obs"
 	"accuracytrader/internal/rescache"
 	"accuracytrader/internal/service"
 )
@@ -80,6 +81,11 @@ type Options struct {
 	// refreshes lose to foreground traffic under overload — and
 	// upgrades the entry to accuracy 1.
 	CacheRefresh bool
+	// Metrics is the observability registry the frontend's counters live
+	// in (frontend_admitted_total, frontend_degraded_total,
+	// frontend_rejected_total, frontend_cache_hits_total). Nil uses a
+	// private registry; Stats() is unaffected either way.
+	Metrics *obs.Registry
 }
 
 // Stats counts frontend outcomes.
@@ -125,10 +131,10 @@ type Frontend struct {
 	rmap  ReplicaMap
 	start time.Time
 
-	admitted  atomic.Int64
-	degraded  atomic.Int64
-	rejected  atomic.Int64
-	cacheHits atomic.Int64
+	admitted  *obs.Counter
+	degraded  *obs.Counter
+	rejected  *obs.Counter
+	cacheHits *obs.Counter
 	// inflightNow reserves a request's in-flight slot at admission
 	// time: the cluster's own counter only rises once Call reaches it,
 	// which would let a concurrent burst race past MaxInflight.
@@ -158,12 +164,21 @@ func New(cl Backend, opts Options) (*Frontend, error) {
 	if opts.CacheRefresh && opts.Cache == nil {
 		return nil, fmt.Errorf("frontend: Options.CacheRefresh requires Options.Cache")
 	}
-	f := &Frontend{
-		cl:    cl,
-		opts:  opts,
-		rmap:  NewReplicaMap(cl.Components(), opts.Replicas),
-		start: time.Now(),
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	f := &Frontend{
+		cl:        cl,
+		opts:      opts,
+		rmap:      NewReplicaMap(cl.Components(), opts.Replicas),
+		start:     time.Now(),
+		admitted:  reg.Counter("frontend_admitted_total"),
+		degraded:  reg.Counter("frontend_degraded_total"),
+		rejected:  reg.Counter("frontend_rejected_total"),
+		cacheHits: reg.Counter("frontend_cache_hits_total"),
+	}
+	reg.GaugeFunc("frontend_inflight", func() float64 { return float64(f.inflightNow.Load()) })
 	cl.SetRouter(func(subset, n int, queueDepth func(int) int) int {
 		return f.opts.Router.Pick(subset, f.rmap.Replicas(subset), queueDepth)
 	})
@@ -283,7 +298,12 @@ func (f *Frontend) callCached(ctx context.Context, key uint64, payload interface
 		// controller's smoothed load.
 		f.opts.Cache.SetLoad(f.opts.Controller.Load())
 	}
-	v, acc, shared, err := f.opts.Cache.Do(ctx, key, f.cacheFloor(slo),
+	tr := obs.TraceFrom(ctx)
+	var cacheT0 time.Time
+	if tr != nil {
+		cacheT0 = time.Now()
+	}
+	v, acc, outcome, err := f.opts.Cache.DoWith(ctx, key, f.cacheFloor(slo),
 		func() (interface{}, float64, error) {
 			// Capture the epoch before computing: if a synopsis update
 			// bumps it mid-flight, the entry is born stale rather than
@@ -303,18 +323,30 @@ func (f *Frontend) callCached(ctx context.Context, key uint64, payload interface
 	if errors.Is(err, errPartialResult) {
 		// This caller's own partial computation: answer it (the errors
 		// live in Sub), just never share or store it.
+		tr.SetCacheOutcome(obs.CacheMiss)
 		return v.(*Result), nil
 	}
 	if err != nil {
 		return nil, err
 	}
 	res := v.(*Result)
-	if !shared {
-		return res, nil // this caller's own computation
+	if outcome == rescache.OutcomeMiss {
+		// This caller's own computation: the cost lives in callMiss's
+		// spans, so no cache span — it would double-count the fan-out.
+		tr.SetCacheOutcome(obs.CacheMiss)
+		return res, nil
 	}
 	// Cache hit or coalesced share: the stored/shared result is
 	// immutable, so hand out a copy stamped with this request's class.
-	f.cacheHits.Add(1)
+	f.cacheHits.Inc()
+	if tr != nil {
+		out := int64(obs.CacheHit)
+		if outcome == rescache.OutcomeCoalesced {
+			out = obs.CacheCoalesced
+		}
+		tr.SetCacheOutcome(uint8(out))
+		tr.Add(obs.SpanCache, -1, cacheT0, time.Since(cacheT0), out)
+	}
 	out := *res
 	out.SLO = slo
 	out.EstimatedAccuracy = acc
@@ -332,6 +364,11 @@ func (f *Frontend) callMiss(ctx context.Context, payload interface{}, slo SLO) (
 	// this function returns — immediately for rejected requests).
 	reserved := f.inflightNow.Add(1)
 	defer f.inflightNow.Add(-1)
+	tr := obs.TraceFrom(ctx)
+	var admitT0 time.Time
+	if tr != nil {
+		admitT0 = time.Now()
+	}
 	load := f.Snapshot()
 	load.Inflight = int(reserved - 1)
 	if f.opts.Controller != nil {
@@ -341,7 +378,11 @@ func (f *Frontend) callMiss(ctx context.Context, payload interface{}, slo SLO) (
 	degraded := false
 	switch Chain(nowMs, load, f.opts.Admission) {
 	case Reject:
-		f.rejected.Add(1)
+		f.rejected.Inc()
+		if tr != nil {
+			tr.SetDecision(obs.VerdictRejected, uint8(slo.Kind), -1)
+			tr.Add(obs.SpanAdmission, -1, admitT0, time.Since(admitT0), obs.VerdictRejected)
+		}
 		return nil, ErrRejected
 	case Degrade:
 		// Only Bounded requests actually lose their class: Exact keeps
@@ -349,10 +390,10 @@ func (f *Frontend) callMiss(ctx context.Context, payload interface{}, slo SLO) (
 		if slo.Kind == Bounded {
 			slo = BestEffortSLO()
 			degraded = true
-			f.degraded.Add(1)
+			f.degraded.Inc()
 		}
 	}
-	f.admitted.Add(1)
+	f.admitted.Inc()
 	level, estAcc := -1, 1.0
 	callCtx := WithSLO(ctx, slo)
 	if f.opts.Controller != nil {
@@ -364,6 +405,14 @@ func (f *Frontend) callMiss(ctx context.Context, payload interface{}, slo SLO) (
 			// delivered accuracy is 1 regardless of the level estimate.
 			estAcc = 1
 		}
+	}
+	if tr != nil {
+		verdict := uint8(obs.VerdictAdmitted)
+		if degraded {
+			verdict = obs.VerdictDegraded
+		}
+		tr.SetDecision(verdict, uint8(slo.Kind), int16(level))
+		tr.Add(obs.SpanAdmission, -1, admitT0, time.Since(admitT0), int64(verdict))
 	}
 	sub, err := f.cl.Call(callCtx, payload)
 	if err != nil {
@@ -378,13 +427,15 @@ func (f *Frontend) callMiss(ctx context.Context, payload interface{}, slo SLO) (
 	}, nil
 }
 
-// Stats returns the admission counters.
+// Stats returns the admission counters. The counters live in the
+// Options.Metrics registry (or a private one), so the same numbers are
+// one Prometheus scrape away; this snapshot API is unchanged.
 func (f *Frontend) Stats() Stats {
 	return Stats{
-		Admitted:  f.admitted.Load(),
-		Degraded:  f.degraded.Load(),
-		Rejected:  f.rejected.Load(),
-		CacheHits: f.cacheHits.Load(),
+		Admitted:  f.admitted.Value(),
+		Degraded:  f.degraded.Value(),
+		Rejected:  f.rejected.Value(),
+		CacheHits: f.cacheHits.Value(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/obs"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/stats"
 	"accuracytrader/internal/wire"
@@ -260,6 +261,10 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 	if s, ok := frontend.SLOFrom(ctx); ok {
 		slo, minAcc = uint8(s.Kind), s.MinAccuracy
 	}
+	// The active trace (nil when untraced) is threaded to every dispatch
+	// so the CAS-winning delivery records its sub-operation span and
+	// stitches the server-side spans off the wire.
+	tr := obs.TraceFrom(ctx)
 
 	n := len(a.peers)
 	reply := make(chan service.SubResult, 2*n)
@@ -279,6 +284,7 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 		}
 		sub.Level = level
 		sub.SLO, sub.MinAccuracy = slo, minAcc
+		sub.Trace = tr.ID() // nil-safe: 0 propagates "untraced"
 		target := i
 		if route != nil {
 			if t := route(i, n, a.QueueDepth); t >= 0 && t < n {
@@ -286,9 +292,9 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 			}
 		}
 		hedged := &atomic.Bool{}
-		a.dispatch(target, &sub, dones[i], hedged, reply, true)
+		a.dispatch(tr, target, &sub, dones[i], hedged, reply, true)
 		if a.opts.Policy == service.Hedged {
-			timers = append(timers, a.armHedge(sub, target, dones[i], hedged, reply))
+			timers = append(timers, a.armHedge(tr, sub, target, dones[i], hedged, reply))
 		}
 	}
 	defer func() {
@@ -342,7 +348,7 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 // are always delivered (first-wins); hedge outcomes are delivered only
 // when the replica actually answered OK, so a failed or shed replica
 // can never displace the primary's pending reply.
-func (a *Aggregator) dispatch(target int, sub *wire.Request, done, hedged *atomic.Bool, reply chan<- service.SubResult, primary bool) {
+func (a *Aggregator) dispatch(tr *obs.Trace, target int, sub *wire.Request, done, hedged *atomic.Bool, reply chan<- service.SubResult, primary bool) {
 	p := a.peers[target]
 	subset := int(sub.Subset)
 	deliverErr := func(err error, skipped bool) {
@@ -370,6 +376,20 @@ func (a *Aggregator) dispatch(target int, sub *wire.Request, done, hedged *atomi
 		switch rep.Status {
 		case wire.StatusOK:
 			if done.CompareAndSwap(false, true) {
+				if tr != nil {
+					// Only the winning delivery records: one SpanSubOp per
+					// subset, even when a hedge raced the primary. The
+					// server-side queue/exec spans that travelled back in
+					// the sub-reply are stitched under the same subset.
+					tr.Add(obs.SpanSubOp, int32(subset), start, lat, int64(target))
+					for _, sp := range rep.Spans {
+						kind := obs.SpanServerQueue
+						if sp.Kind == wire.SpanExec {
+							kind = obs.SpanServerExec
+						}
+						tr.AddRemote(kind, int32(subset), sp.Start, sp.Dur)
+					}
+				}
 				reply <- service.SubResult{Subset: subset, Value: rep, Latency: lat, Hedged: hedged.Load()}
 			}
 		case wire.StatusSkipped:
@@ -392,7 +412,7 @@ func (a *Aggregator) dispatch(target int, sub *wire.Request, done, hedged *atomi
 }
 
 // armHedge schedules the reissue check for one sub-operation.
-func (a *Aggregator) armHedge(sub wire.Request, target int, done, hedged *atomic.Bool, reply chan<- service.SubResult) *time.Timer {
+func (a *Aggregator) armHedge(tr *obs.Trace, sub wire.Request, target int, done, hedged *atomic.Bool, reply chan<- service.SubResult) *time.Timer {
 	return time.AfterFunc(a.EstimatedP95(), func() {
 		if done.Load() {
 			return
@@ -409,7 +429,8 @@ func (a *Aggregator) armHedge(sub wire.Request, target int, done, hedged *atomic
 		clone := sub
 		clone.ID = a.nextID.Add(1)
 		a.hedges.Add(1)
-		a.dispatch(rc, &clone, done, hedged, reply, false)
+		tr.Add(obs.SpanHedge, sub.Subset, time.Now(), 0, int64(rc))
+		a.dispatch(tr, rc, &clone, done, hedged, reply, false)
 	})
 }
 

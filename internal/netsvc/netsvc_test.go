@@ -19,7 +19,7 @@ import (
 )
 
 // startServer runs a component server on an ephemeral loopback port.
-func startServer(t *testing.T, h Handler, opts ServerOptions) (*Server, string) {
+func startServer(t testing.TB, h Handler, opts ServerOptions) (*Server, string) {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -41,7 +41,7 @@ func aggReq(op agg.Op, lo, hi float64) *wire.Request {
 }
 
 // buildAggComps generates n fact-table shards and their ladders.
-func buildAggComps(t *testing.T, n int) []*agg.Component {
+func buildAggComps(t testing.TB, n int) []*agg.Component {
 	t.Helper()
 	cfg := workload.DefaultFactsConfig()
 	cfg.RowsPerSubset = 600

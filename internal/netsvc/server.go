@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/obs"
 	"accuracytrader/internal/rescache"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/wire"
@@ -33,6 +34,11 @@ type ServerOptions struct {
 	QueueLen int
 	// MaxFrame bounds accepted frame sizes (default wire.MaxFrame).
 	MaxFrame int
+	// Tracer, when non-nil on a FrontServer, records a decision trace
+	// per whole-service request (propagating the client's trace ID, or
+	// minting one). Component Servers need no recorder: they attach
+	// queue/exec spans to traced sub-replies on the wire instead.
+	Tracer *obs.Recorder
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -75,6 +81,7 @@ func (sc *srvConn) write(frame []byte) {
 type srvJob struct {
 	req  *wire.Request
 	conn *srvConn
+	enq  time.Time // when the request entered the worker queue
 }
 
 // srvCore is the shared listener/worker machinery of Server and
@@ -82,9 +89,10 @@ type srvJob struct {
 type srvCore struct {
 	opts ServerOptions
 	// respond handles one live request and returns the encoded reply
-	// frame; expired answers a request whose deadline has already
-	// passed; busy answers a request shed at the queue bound.
-	respond func(ctx context.Context, req *wire.Request) []byte
+	// frame (enq is when the request entered the worker queue, for
+	// queue-wait spans); expired answers a request whose deadline has
+	// already passed; busy answers a request shed at the queue bound.
+	respond func(ctx context.Context, req *wire.Request, enq time.Time) []byte
 	expired func(req *wire.Request) []byte
 	busy    func(req *wire.Request) []byte
 
@@ -99,10 +107,11 @@ type srvCore struct {
 	queue chan srvJob
 	quit  chan struct{}
 
-	mu     sync.Mutex
-	lns    []net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	lns      []net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
 
 	workers sync.WaitGroup
 	readers sync.WaitGroup
@@ -110,6 +119,7 @@ type srvCore struct {
 	requests  atomic.Int64
 	abandoned atomic.Int64
 	shed      atomic.Int64
+	pending   atomic.Int64 // queued + in-flight requests (drain signal)
 }
 
 func newSrvCore(opts ServerOptions) *srvCore {
@@ -142,9 +152,9 @@ func (s *srvCore) Serve(l net.Listener) error {
 		c, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
@@ -185,9 +195,13 @@ func (s *srvCore) readConn(c net.Conn) {
 		if err != nil {
 			return
 		}
+		// pending is raised before the enqueue so a drain never observes
+		// zero while a just-enqueued job is still unserved.
+		s.pending.Add(1)
 		select {
-		case s.queue <- srvJob{req: req, conn: sc}:
+		case s.queue <- srvJob{req: req, conn: sc, enq: time.Now()}:
 		default:
+			s.pending.Add(-1)
 			s.shed.Add(1)
 			sc.write(s.busy(req))
 		}
@@ -202,6 +216,7 @@ func (s *srvCore) worker() {
 			return
 		case j := <-s.queue:
 			s.serveJob(j)
+			s.pending.Add(-1)
 		}
 	}
 }
@@ -227,7 +242,7 @@ func (s *srvCore) serveJob(j srvJob) {
 		ctx, cancel = context.WithDeadline(ctx, dl)
 		defer cancel()
 	}
-	j.conn.write(s.respond(ctx, j.req))
+	j.conn.write(s.respond(ctx, j.req, j.enq))
 }
 
 // Stats returns the server's request counters.
@@ -237,6 +252,41 @@ func (s *srvCore) Stats() ServerStats {
 		Abandoned: s.abandoned.Load(),
 		Shed:      s.shed.Load(),
 	}
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, waits up to timeout for every queued and in-flight
+// request to be answered, then closes. It reports whether the drain
+// completed before the deadline (false means remaining work was cut
+// off by the final Close). Safe to call more than once; Close after
+// Shutdown is a no-op.
+func (s *srvCore) Shutdown(timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
+	s.draining = true
+	lns := s.lns
+	s.lns = nil
+	s.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	drained := false
+	for {
+		if s.pending.Load() == 0 {
+			drained = true
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	return drained
 }
 
 // Close stops accepting, closes open connections, and stops the
@@ -276,9 +326,19 @@ type Server struct {
 func NewServer(h Handler, opts ServerOptions) *Server {
 	s := &Server{h: h}
 	s.srvCore = newSrvCore(opts)
-	s.srvCore.respond = func(ctx context.Context, req *wire.Request) []byte {
+	s.srvCore.respond = func(ctx context.Context, req *wire.Request, enq time.Time) []byte {
+		exec0 := time.Now()
 		rep := h(ctx, req)
 		rep.ID, rep.Subset, rep.Kind = req.ID, req.Subset, req.Kind
+		if req.Trace != 0 {
+			// Traced request: ship the server-side queue wait and handler
+			// execution back as wire spans for the aggregator to stitch.
+			// Untraced requests pay nothing, not even the two time stamps'
+			// encoding.
+			rep.Spans = append(rep.Spans,
+				wire.Span{Kind: wire.SpanQueue, Start: enq.UnixNano(), Dur: int64(exec0.Sub(enq))},
+				wire.Span{Kind: wire.SpanExec, Start: exec0.UnixNano(), Dur: int64(time.Since(exec0))})
+		}
 		return wire.AppendSubReplyFrame(nil, rep)
 	}
 	s.srvCore.expired = func(req *wire.Request) []byte {
@@ -311,9 +371,10 @@ func (s *Server) ListenAndServe(addr string) error {
 // and, with EnableCache, through the accuracy-tagged result cache.
 type FrontServer struct {
 	*srvCore
-	agg   *Aggregator
-	fe    *frontend.Frontend
-	cache *rescache.Cache
+	agg    *Aggregator
+	fe     *frontend.Frontend
+	cache  *rescache.Cache
+	tracer *obs.Recorder
 
 	// keyBufs pools canonical-key scratch buffers so the cache lookup
 	// path does not allocate per request.
@@ -330,11 +391,11 @@ func NewFrontServer(agg *Aggregator, fe *frontend.Frontend, opts ServerOptions) 
 	if opts.Workers <= 0 {
 		opts.Workers = 64
 	}
-	s := &FrontServer{agg: agg, fe: fe}
+	s := &FrontServer{agg: agg, fe: fe, tracer: opts.Tracer}
 	s.srvCore = newSrvCore(opts)
 	s.srvCore.graceful = true
-	s.srvCore.respond = func(ctx context.Context, req *wire.Request) []byte {
-		return wire.AppendReplyFrame(nil, s.serve(ctx, req))
+	s.srvCore.respond = func(ctx context.Context, req *wire.Request, enq time.Time) []byte {
+		return wire.AppendReplyFrame(nil, s.serve(ctx, req, enq))
 	}
 	s.srvCore.expired = func(req *wire.Request) []byte {
 		return wire.AppendReplyFrame(nil, &wire.Reply{
@@ -418,9 +479,35 @@ func (s *FrontServer) cacheFloorOf(req *wire.Request) float64 {
 // reply itself still travels back to the caller alongside it.
 var errUncacheable = errors.New("netsvc: reply not cacheable")
 
-// serve answers one whole-service request, through the result cache
+// Tracer returns the decision-trace recorder (nil when tracing is
+// disabled) — the admin plane serves its snapshots at /traces.
+func (s *FrontServer) Tracer() *obs.Recorder { return s.tracer }
+
+// serve wraps one whole-service request in a decision trace (when a
+// Tracer is configured) and answers it. The client's propagated trace
+// ID is adopted so the client can correlate; an untraced server does
+// no extra work beyond two nil checks.
+func (s *FrontServer) serve(ctx context.Context, req *wire.Request, enq time.Time) *wire.Reply {
+	start := time.Now()
+	tr := s.tracer.Start(req.Trace, start) // nil recorder -> nil trace
+	if tr != nil {
+		tr.SetRequest(uint8(req.Kind), req.SLO, req.MinAccuracy, req.Deadline)
+		if !enq.IsZero() {
+			// The front server's own queue wait, before any pipeline
+			// stage ran. Comp -1: not tied to a subset.
+			tr.Add(obs.SpanServerQueue, -1, enq, start.Sub(enq), 0)
+		}
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	rep := s.answer(ctx, req)
+	rep.Trace = tr.ID() // nil-safe: 0 when untraced
+	tr.Finish(time.Since(start))
+	return rep
+}
+
+// answer resolves one whole-service request, through the result cache
 // when one is enabled.
-func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply {
+func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply {
 	if s.cache == nil {
 		rep, _ := s.serveMiss(ctx, req)
 		return rep
@@ -428,8 +515,13 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply 
 	if ctrl := s.fe.Controller(); ctrl != nil {
 		s.cache.SetLoad(ctrl.Load())
 	}
+	tr := obs.TraceFrom(ctx)
+	var cacheT0 time.Time
+	if tr != nil {
+		cacheT0 = time.Now()
+	}
 	key := s.cacheKey(req)
-	v, _, shared, err := s.cache.Do(ctx, key, s.cacheFloorOf(req),
+	v, _, outcome, err := s.cache.DoWith(ctx, key, s.cacheFloorOf(req),
 		func() (interface{}, float64, error) {
 			// Capture the epoch before computing so an entry whose
 			// fan-out straddles a data update is born stale.
@@ -443,6 +535,21 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply 
 			s.cache.StoreAt(key, req, &stored, acc, epoch)
 			return rep, acc, nil
 		})
+	if tr != nil {
+		switch outcome {
+		case rescache.OutcomeHit:
+			tr.SetCacheOutcome(obs.CacheHit)
+			tr.Add(obs.SpanCache, -1, cacheT0, time.Since(cacheT0), obs.CacheHit)
+		case rescache.OutcomeCoalesced:
+			tr.SetCacheOutcome(obs.CacheCoalesced)
+			tr.Add(obs.SpanCache, -1, cacheT0, time.Since(cacheT0), obs.CacheCoalesced)
+		default:
+			// Miss: the cost is the fan-out itself, already covered by its
+			// own admission/sub-op/merge spans — a SpanCache here would
+			// double-count the whole request.
+			tr.SetCacheOutcome(obs.CacheMiss)
+		}
+	}
 	rep, ok := v.(*wire.Reply)
 	if !ok {
 		// Only possible when the wait for a shared result was cut short
@@ -454,7 +561,7 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request) *wire.Reply 
 		return &wire.Reply{ID: req.ID, Kind: req.Kind, Status: wire.ReplyErr,
 			Err: msg, SLO: req.SLO, MinAccuracy: req.MinAccuracy, Level: wire.NoLevel}
 	}
-	if !shared {
+	if outcome == rescache.OutcomeMiss {
 		return rep // this request's own computation, already stamped
 	}
 	// Cache hit or coalesced share: the stored reply is immutable —
@@ -490,7 +597,17 @@ func (s *FrontServer) refreshToExact(_ uint64, payload interface{}) (interface{}
 	exact.Level, exact.Deadline = wire.NoLevel, 0
 	ctx, cancel := context.WithTimeout(context.Background(), 2*s.agg.Deadline())
 	defer cancel()
+	// Refreshes get their own trace (CacheRefresh outcome) so background
+	// recomputation load is visible alongside foreground requests.
+	start := time.Now()
+	tr := s.tracer.Start(0, start)
+	if tr != nil {
+		tr.SetRequest(uint8(exact.Kind), exact.SLO, exact.MinAccuracy, 0)
+		tr.SetCacheOutcome(obs.CacheRefresh)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
 	rep, acc := s.serveMiss(ctx, &exact)
+	tr.Finish(time.Since(start))
 	if rep.Status != wire.ReplyOK || !allOK(rep.SubStatus) {
 		return nil, 0, false
 	}
@@ -539,6 +656,11 @@ func (s *FrontServer) serveMiss(ctx context.Context, req *wire.Request) (*wire.R
 	}
 	rep.Status = wire.ReplyOK
 	rep.SubStatus = SubStatuses(subs)
+	tr := obs.TraceFrom(ctx)
+	var mergeT0 time.Time
+	if tr != nil {
+		mergeT0 = time.Now()
+	}
 	switch req.Kind {
 	case wire.KindCF:
 		rep.CF = ComposeCF(subs)
@@ -550,6 +672,9 @@ func (s *FrontServer) serveMiss(ctx context.Context, req *wire.Request) (*wire.R
 		rep.Search = ComposeSearch(subs, k)
 	case wire.KindAgg:
 		rep.Agg = ComposeAgg(subs)
+	}
+	if tr != nil {
+		tr.Add(obs.SpanMerge, -1, mergeT0, time.Since(mergeT0), 0)
 	}
 	return rep, acc
 }

@@ -1,0 +1,262 @@
+package netsvc
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/obs"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/wire"
+)
+
+// startTracedStack stands up n component servers, an aggregator, a
+// frontend, and a traced FrontServer on loopback, returning the
+// recorder and a connected client.
+func startTracedStack(t *testing.T, n int) (*obs.Recorder, *Client) {
+	t.Helper()
+	comps := buildAggComps(t, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		_, addrs[i] = startServer(t, NewAggBackend(comps, BackendOptions{}), ServerOptions{})
+	}
+	a, err := NewAggregator(addrs, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	ctrl, err := frontend.NewController(frontend.ControllerConfig{
+		Levels:        comps[0].Syn.Levels(),
+		LevelAccuracy: []float64{0.8, 0.97},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := frontend.New(a, frontend.Options{Controller: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(16, 64)
+	fs := NewFrontServer(a, fe, ServerOptions{Tracer: rec})
+	go fs.Serve(fl)
+	t.Cleanup(fs.Close)
+	cl, err := DialClient(fl.Addr().String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return rec, cl
+}
+
+// TestTraceStitchesAcrossWire is the cross-process tracing contract: a
+// client-stamped trace ID is adopted by the front server, propagated
+// to every component, and the server-side queue/exec spans travel back
+// in the sub-replies to be stitched into one span tree.
+func TestTraceStitchesAcrossWire(t *testing.T) {
+	const n = 2
+	rec, cl := startTracedStack(t, n)
+
+	req := aggReq(agg.Sum, 0, math.Inf(1))
+	req.SLO = wire.SLOBestEffort
+	req.Trace = 0x5eed
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rep, err := cl.Call(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != wire.ReplyOK {
+		t.Fatalf("reply status %d err %q", rep.Status, rep.Err)
+	}
+	if rep.Trace != 0x5eed {
+		t.Fatalf("reply echoes trace %#x, want the client's %#x", rep.Trace, 0x5eed)
+	}
+
+	views := rec.Snapshot(0)
+	if len(views) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", len(views))
+	}
+	tv := views[0]
+	if tv.ID != 0x5eed || !tv.Done {
+		t.Fatalf("trace = id %#x done %v, want id 0x5eed done", tv.ID, tv.Done)
+	}
+	if tv.DurNs <= 0 {
+		t.Fatalf("finished trace has non-positive duration %d", tv.DurNs)
+	}
+	var subOps, remoteQueue, remoteExec, admission, merge int
+	for _, sp := range tv.Spans {
+		switch sp.Kind {
+		case obs.SpanSubOp:
+			subOps++
+		case obs.SpanServerQueue:
+			if sp.Remote {
+				remoteQueue++
+			}
+		case obs.SpanServerExec:
+			if sp.Remote {
+				remoteExec++
+			}
+		case obs.SpanAdmission:
+			admission++
+		case obs.SpanMerge:
+			merge++
+		}
+	}
+	if subOps != n {
+		t.Fatalf("trace holds %d sub-op spans, want one per subset (%d)", subOps, n)
+	}
+	if remoteQueue != n || remoteExec != n {
+		t.Fatalf("stitched remote spans: %d queue + %d exec, want %d of each", remoteQueue, remoteExec, n)
+	}
+	if admission == 0 {
+		t.Fatal("frontend admission span missing from the stitched tree")
+	}
+	if merge != 1 {
+		t.Fatalf("trace holds %d merge spans, want 1", merge)
+	}
+	if acc := obs.Accounted(tv); acc <= 0 {
+		t.Fatalf("accounted time %.3fms, want > 0", acc)
+	}
+	if bd := obs.Breakdown(tv); bd.ExecMs <= 0 {
+		t.Fatalf("critical-path breakdown found no server exec time: %+v", bd)
+	}
+}
+
+// TestTraceMintsIDWhenAbsent asserts an untraced client request still
+// gets a server-minted trace ID echoed back when the server traces.
+func TestTraceMintsIDWhenAbsent(t *testing.T) {
+	_, cl := startTracedStack(t, 1)
+	req := aggReq(agg.Sum, 0, math.Inf(1))
+	req.SLO = wire.SLOBestEffort
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rep, err := cl.Call(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == 0 {
+		t.Fatal("tracing server answered with trace ID 0")
+	}
+}
+
+// TestUntracedServerStaysSilent asserts a FrontServer without a
+// Tracer answers with trace ID 0 and no component spans are requested
+// (the propagated trace ID stays 0 end to end).
+func TestUntracedServerStaysSilent(t *testing.T) {
+	comps := buildAggComps(t, 1)
+	var sawTraced atomic.Int64
+	inner := NewAggBackend(comps, BackendOptions{})
+	h := func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		if req.Trace != 0 {
+			sawTraced.Add(1)
+		}
+		return inner(ctx, req)
+	}
+	_, addr := startServer(t, h, ServerOptions{})
+	a, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFrontServer(a, nil, ServerOptions{})
+	go fs.Serve(fl)
+	t.Cleanup(fs.Close)
+	cl, err := DialClient(fl.Addr().String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rep, err := cl.Call(ctx, aggReq(agg.Sum, 0, math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != wire.ReplyOK || rep.Trace != 0 {
+		t.Fatalf("untraced reply: status %d trace %#x, want OK and 0", rep.Status, rep.Trace)
+	}
+	if sawTraced.Load() != 0 {
+		t.Fatalf("%d component requests carried a trace ID on an untraced server", sawTraced.Load())
+	}
+}
+
+// TestGracefulShutdownDrains is the drain contract: Shutdown stops
+// accepting, but a request already in flight is answered before the
+// server closes, and Shutdown reports the drain completed.
+func TestGracefulShutdownDrains(t *testing.T) {
+	comps := buildAggComps(t, 1)
+	inner := NewAggBackend(comps, BackendOptions{})
+	started := make(chan struct{})
+	h := func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		close(started)
+		time.Sleep(50 * time.Millisecond)
+		return inner(ctx, req)
+	}
+	srv, addr := startServer(t, h, ServerOptions{})
+	a, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	type result struct {
+		subs []service.SubResult
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		subs, err := a.Call(ctx, aggReq(agg.Sum, 0, math.Inf(1)))
+		done <- result{subs, err}
+	}()
+	<-started // the request is mid-handler: Shutdown must wait for it
+
+	if !srv.Shutdown(2 * time.Second) {
+		t.Fatal("Shutdown reported an incomplete drain")
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.subs[0].Err != nil || r.subs[0].Skipped {
+		t.Fatalf("in-flight request was cut off by shutdown: %+v", r.subs[0])
+	}
+	if _, ok := r.subs[0].Value.(*wire.SubReply); !ok {
+		t.Fatalf("in-flight request lost its reply: %+v", r.subs[0])
+	}
+
+	// The listener is gone: new connections are refused.
+	if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestShutdownIdempotent asserts Shutdown after Close (and a second
+// Shutdown) return immediately and report drained.
+func TestShutdownIdempotent(t *testing.T) {
+	srv, _ := startServer(t, func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		return &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
+	}, ServerOptions{})
+	if !srv.Shutdown(time.Second) {
+		t.Fatal("first Shutdown on an idle server did not drain")
+	}
+	if !srv.Shutdown(time.Second) {
+		t.Fatal("second Shutdown did not report drained")
+	}
+	srv.Close() // must be a no-op, not a panic
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Admin is the serving stack's HTTP admin plane. It exposes:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        200 "ok" when ready, 503 "draining" when not
+//	/traces?n=K     the K most recent finished traces as JSON
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Readiness starts true and is flipped by SetReady — graceful shutdown
+// flips it false first so load balancers stop routing before the
+// listeners close.
+type Admin struct {
+	reg   *Registry
+	rec   *Recorder
+	ready atomic.Bool
+	srv   *http.Server
+	ln    net.Listener
+}
+
+// NewAdmin returns an admin plane over the given registry and recorder.
+// Either may be nil: /metrics serves an empty exposition, /traces an
+// empty list.
+func NewAdmin(reg *Registry, rec *Recorder) *Admin {
+	a := &Admin{reg: reg, rec: rec}
+	a.ready.Store(true)
+	return a
+}
+
+// SetReady flips the /healthz readiness answer.
+func (a *Admin) SetReady(ready bool) { a.ready.Store(ready) }
+
+// Ready reports the current readiness answer.
+func (a *Admin) Ready() bool { return a.ready.Load() }
+
+// Handler returns the admin mux.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/traces", a.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if a.reg != nil {
+		a.reg.WritePrometheus(w)
+	}
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.ready.Load() {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "draining")
+}
+
+func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "obs: bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	views := a.rec.Snapshot(n)
+	if views == nil {
+		views = []TraceView{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Traces []TraceView `json:"traces"`
+	}{views})
+}
+
+// Listen binds the admin plane to addr and serves it on a background
+// goroutine. It returns the bound address (useful with ":0").
+func (a *Admin) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen: %w", err)
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close shuts the admin listener down, waiting briefly for in-flight
+// scrapes.
+func (a *Admin) Close() error {
+	if a.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestAdmin(t *testing.T) (*Admin, *Registry, *Recorder) {
+	t.Helper()
+	reg := NewRegistry()
+	rec := NewRecorder(8, 8)
+	return NewAdmin(reg, rec), reg, rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestAdminMetrics(t *testing.T) {
+	a, reg, _ := newTestAdmin(t)
+	reg.Counter("reqs_total").Add(5)
+	w := get(t, a.Handler(), "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "reqs_total 5") {
+		t.Fatalf("metrics body:\n%s", w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+}
+
+func TestAdminHealthzFlips(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	if w := get(t, a.Handler(), "/healthz"); w.Code != 200 || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("ready healthz: %d %q", w.Code, w.Body.String())
+	}
+	a.SetReady(false)
+	if a.Ready() {
+		t.Fatal("Ready() should be false")
+	}
+	if w := get(t, a.Handler(), "/healthz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("draining healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestAdminTraces(t *testing.T) {
+	a, _, rec := newTestAdmin(t)
+	for i := 0; i < 3; i++ {
+		tr := rec.Start(0, time.Now())
+		tr.Add(SpanMerge, -1, time.Now(), time.Millisecond, 0)
+		tr.Finish(2 * time.Millisecond)
+	}
+	w := get(t, a.Handler(), "/traces?n=2")
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var body struct {
+		Traces []TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body.String())
+	}
+	if len(body.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(body.Traces))
+	}
+	if len(body.Traces[0].Spans) != 1 {
+		t.Fatalf("spans lost in JSON: %+v", body.Traces[0])
+	}
+	if w := get(t, a.Handler(), "/traces?n=bogus"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad n: status = %d", w.Code)
+	}
+}
+
+func TestAdminTracesNilRecorder(t *testing.T) {
+	a := NewAdmin(NewRegistry(), nil)
+	w := get(t, a.Handler(), "/traces")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), `"traces": []`) {
+		t.Fatalf("nil recorder: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestAdminPprofIndex(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	w := get(t, a.Handler(), "/debug/pprof/")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: %d", w.Code)
+	}
+}
+
+func TestAdminListenServesOverTCP(t *testing.T) {
+	a, reg, _ := newTestAdmin(t)
+	reg.Counter("live_total").Inc()
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "live_total 1") {
+		t.Fatalf("scrape over TCP: %d %q", resp.StatusCode, body)
+	}
+}

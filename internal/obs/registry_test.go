@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSumsShards(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(24)
+	if got := c.Value(); got != 1024 {
+		t.Fatalf("Value = %d, want 1024", got)
+	}
+}
+
+func TestGaugeRoundTrips(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero gauge = %g, want 0", got)
+	}
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Value = %g, want 3.5", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5) // bucket <=1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // bucket <=100
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if want := 90*0.5 + 10*50.0; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), want)
+	}
+	if q := h.Quantile(0.5); q < 0 || q > 1 {
+		t.Fatalf("p50 = %g, want within (0, 1]", q)
+	}
+	if q := h.Quantile(0.99); q <= 10 || q > 100 {
+		t.Fatalf("p99 = %g, want within (10, 100]", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_ms", DefaultLatencyBuckets())
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %g, want NaN", q)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total")
+	b := r.Counter("requests_total")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counter did not observe the increment")
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "sp ace", "dash-ed", "unclosed{label=\"x\""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: want panic", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+	// Labelled names are fine.
+	r.Counter(`requests_total{slo="exact"}`).Inc()
+}
+
+func TestHistogramBoundConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_ms", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on re-registration with different bounds")
+		}
+	}()
+	r.Histogram("h_ms", []float64{1, 3})
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total").Add(7)
+	r.Counter(`reqs_total{slo="exact"}`).Add(3)
+	r.Gauge("queue_depth").Set(4)
+	r.GaugeFunc("live_conns", func() float64 { return 2 })
+	h := r.Histogram(`lat_ms{stage="merge"}`, []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		"reqs_total 7",
+		`reqs_total{slo="exact"} 3`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 4",
+		"live_conns 2",
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{stage="merge",le="1"} 1`,
+		`lat_ms_bucket{stage="merge",le="10"} 2`,
+		`lat_ms_bucket{stage="merge",le="+Inf"} 3`,
+		`lat_ms_sum{stage="merge"} 55.5`,
+		`lat_ms_count{stage="merge"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE reqs_total counter"); n != 1 {
+		t.Errorf("TYPE line for reqs_total emitted %d times, want 1", n)
+	}
+}
+
+// TestCounterScrapeRace exercises registry counter increments racing a
+// Prometheus-text scrape; run with -race (the ISSUE 6 satellite).
+func TestCounterScrapeRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total")
+	h := r.Histogram("race_ms", DefaultLatencyBuckets())
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "race_total") {
+			t.Fatal("scrape lost the counter")
+		}
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4*perG {
+		t.Fatalf("Value = %d, want %d", got, 4*perG)
+	}
+	if got := h.Count(); got != 4*perG {
+		t.Fatalf("histogram Count = %d, want %d", got, 4*perG)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_ms", DefaultLatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(3.7)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkTrace builds a finished TraceView with the canonical span shape:
+// admission, cache, two subops (one with stitched server spans), merge.
+func mkTrace(slo uint8, verdict uint8, totalMs float64) TraceView {
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	start := time.Unix(0, 1_000_000_000)
+	tv := TraceView{
+		ID:         1,
+		Start:      start.UnixNano(),
+		DurNs:      int64(ms(totalMs)),
+		SLO:        slo,
+		Level:      2,
+		Verdict:    verdict,
+		DeadlineNs: start.Add(50 * time.Millisecond).UnixNano(),
+		Done:       true,
+	}
+	if verdict == VerdictRejected {
+		return tv
+	}
+	tv.CacheOutcome = CacheMiss
+	tv.Spans = []Span{
+		{Kind: SpanAdmission, Comp: -1, Dur: ms(0.2)},
+		{Kind: SpanCache, Comp: -1, Dur: ms(0.3)},
+		{Kind: SpanSubOp, Comp: 0, Dur: ms(4)},
+		{Kind: SpanSubOp, Comp: 1, Dur: ms(6)}, // critical
+		{Kind: SpanServerQueue, Comp: 1, Remote: true, Dur: ms(1)},
+		{Kind: SpanServerExec, Comp: 1, Remote: true, Dur: ms(4)},
+		{Kind: SpanMerge, Comp: -1, Dur: ms(0.5)},
+	}
+	return tv
+}
+
+func TestBreakdownCriticalPath(t *testing.T) {
+	sb := Breakdown(mkTrace(1, VerdictAdmitted, 8))
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(sb.AdmissionMs, 0.2) || !approx(sb.CacheMs, 0.3) || !approx(sb.MergeMs, 0.5) {
+		t.Fatalf("front/back stages wrong: %+v", sb)
+	}
+	// Critical subop is comp 1 (6ms): 1ms queue + 4ms exec + 1ms net.
+	if !approx(sb.QueueMs, 1) || !approx(sb.ExecMs, 4) || !approx(sb.NetMs, 1) {
+		t.Fatalf("server stages wrong: %+v", sb)
+	}
+	// Accounted = 0.2+0.3+6+0.5 = 7; total 8 → other 1.
+	if !approx(sb.OtherMs, 1) {
+		t.Fatalf("OtherMs = %g, want 1", sb.OtherMs)
+	}
+}
+
+func TestAccounted(t *testing.T) {
+	got := Accounted(mkTrace(0, VerdictAdmitted, 8))
+	if math.Abs(got-7) > 1e-9 {
+		t.Fatalf("Accounted = %g, want 7", got)
+	}
+}
+
+func TestSummarizeClasses(t *testing.T) {
+	traces := []TraceView{
+		mkTrace(0, VerdictAdmitted, 8),
+		mkTrace(0, VerdictAdmitted, 10),
+		mkTrace(1, VerdictDegraded, 6),
+		mkTrace(2, VerdictRejected, 0.1),
+		{Done: false}, // in-flight: skipped
+	}
+	s := Summarize(traces)
+	if s.Traces != 4 || s.Answered != 3 {
+		t.Fatalf("Traces=%d Answered=%d, want 4/3", s.Traces, s.Answered)
+	}
+	if len(s.Classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(s.Classes))
+	}
+	// Sorted by class byte: Exact, Bounded, BestEffort.
+	if s.Classes[0].Label != "Exact" || s.Classes[1].Label != "Bounded" || s.Classes[2].Label != "BestEffort" {
+		t.Fatalf("class order wrong: %+v", s.Classes)
+	}
+	ex := s.Classes[0]
+	if ex.Count != 2 || math.Abs(ex.MeanTotalMs-9) > 1e-9 {
+		t.Fatalf("Exact: count=%d mean=%g, want 2/9", ex.Count, ex.MeanTotalMs)
+	}
+	if math.Abs(ex.MeanBudgetMs-50) > 1e-6 {
+		t.Fatalf("Exact budget = %g, want 50", ex.MeanBudgetMs)
+	}
+	bd := s.Classes[1]
+	if bd.Degraded != 1 {
+		t.Fatalf("Bounded degraded = %d, want 1", bd.Degraded)
+	}
+	be := s.Classes[2]
+	if be.Rejected != 1 || be.Count != 1 {
+		t.Fatalf("BestEffort: %+v", be)
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	s := Summarize([]TraceView{
+		mkTrace(0, VerdictAdmitted, 8),
+		mkTrace(1, VerdictDegraded, 6),
+	})
+	out := s.Render()
+	for _, want := range []string{"TRACE SUMMARY: 2 traces", "Exact", "Bounded", "admission", "budget", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 4 {
+		t.Fatalf("Render too short (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestClassLabel(t *testing.T) {
+	if ClassLabel(0) != "Exact" || ClassLabel(1) != "Bounded" || ClassLabel(2) != "BestEffort" || ClassLabel(0xff) != "None" {
+		t.Fatal("ClassLabel mapping wrong")
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	// Every method must be callable on nil.
+	tr.SetRequest(1, 0, 0.95, 0)
+	tr.SetDecision(VerdictDegraded, 1, 3)
+	tr.SetCacheOutcome(CacheMiss)
+	tr.Add(SpanAdmission, -1, time.Now(), time.Millisecond, 0)
+	tr.AddRemote(SpanServerExec, 2, time.Now().UnixNano(), 1000)
+	tr.Finish(time.Millisecond)
+	if tr.ID() != 0 {
+		t.Fatal("nil trace ID should be 0")
+	}
+	if !tr.Begin().IsZero() {
+		t.Fatal("nil trace Begin should be zero")
+	}
+	ctx := ContextWithTrace(context.Background(), nil)
+	if TraceFrom(ctx) != nil {
+		t.Fatal("nil trace attached to context")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	rec := NewRecorder(4, 8)
+	tr := rec.Start(0, time.Now())
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("bare context should carry no trace")
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	rec := NewRecorder(4, 8)
+	start := time.Now()
+	tr := rec.Start(0, start)
+	if tr.ID() == 0 {
+		t.Fatal("minted ID is zero")
+	}
+	tr.SetRequest(2, 1, 0.9, start.Add(50*time.Millisecond).UnixNano())
+	tr.SetDecision(VerdictDegraded, 1, 4)
+	tr.SetCacheOutcome(CacheMiss)
+	tr.Add(SpanAdmission, -1, start, 100*time.Microsecond, VerdictDegraded)
+	tr.Add(SpanSubOp, 0, start.Add(time.Millisecond), 5*time.Millisecond, 0)
+	tr.AddRemote(SpanServerExec, 0, start.Add(2*time.Millisecond).UnixNano(), int64(3*time.Millisecond))
+	tr.Finish(7 * time.Millisecond)
+
+	views := rec.Snapshot(0)
+	if len(views) != 1 {
+		t.Fatalf("Snapshot = %d traces, want 1", len(views))
+	}
+	v := views[0]
+	if v.ID != tr.ID() || !v.Done || v.DurNs != int64(7*time.Millisecond) {
+		t.Fatalf("bad view: %+v", v)
+	}
+	if v.SLO != 1 || v.Level != 4 || v.Verdict != VerdictDegraded || v.CacheOutcome != CacheMiss {
+		t.Fatalf("decision fields lost: %+v", v)
+	}
+	if len(v.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(v.Spans))
+	}
+	var remote *Span
+	for i := range v.Spans {
+		if v.Spans[i].Remote {
+			remote = &v.Spans[i]
+		}
+	}
+	if remote == nil || remote.Kind != SpanServerExec {
+		t.Fatal("remote span not stitched")
+	}
+	if remote.Start < time.Millisecond || remote.Start > 3*time.Millisecond {
+		t.Fatalf("remote span offset = %v, want ~2ms", remote.Start)
+	}
+}
+
+func TestRecorderPropagatedID(t *testing.T) {
+	rec := NewRecorder(4, 8)
+	tr := rec.Start(0xdeadbeef, time.Now())
+	if tr.ID() != 0xdeadbeef {
+		t.Fatalf("ID = %#x, want 0xdeadbeef", tr.ID())
+	}
+}
+
+func TestRecorderReusesOldestFinishedSlot(t *testing.T) {
+	rec := NewRecorder(2, 4)
+	a := rec.Start(1, time.Now())
+	aID := a.ID() // the *Trace aliases the ring slot; capture before reuse
+	a.Finish(time.Millisecond)
+	b := rec.Start(2, time.Now())
+	b.Finish(time.Millisecond)
+	c := rec.Start(3, time.Now())
+	c.Finish(time.Millisecond)
+	views := rec.Snapshot(0)
+	if len(views) != 2 {
+		t.Fatalf("Snapshot = %d, want 2 (ring size)", len(views))
+	}
+	// Most recent first.
+	if views[0].ID != 3 {
+		t.Fatalf("first snapshot ID = %#x, want most recent 3", views[0].ID)
+	}
+	for _, v := range views {
+		if v.ID == aID {
+			t.Fatal("oldest trace should have been evicted")
+		}
+	}
+}
+
+func TestRecorderOverflowsDetached(t *testing.T) {
+	rec := NewRecorder(1, 4)
+	a := rec.Start(0, time.Now()) // occupies the only slot, stays in flight
+	b := rec.Start(0, time.Now()) // must detach
+	if rec.Overflowed() != 1 {
+		t.Fatalf("Overflowed = %d, want 1", rec.Overflowed())
+	}
+	b.Add(SpanMerge, -1, time.Now(), time.Millisecond, 0)
+	b.Finish(time.Millisecond)
+	if got := len(rec.Snapshot(0)); got != 0 {
+		t.Fatalf("detached trace appeared in snapshot (%d views)", got)
+	}
+	a.Finish(time.Millisecond)
+	if got := len(rec.Snapshot(0)); got != 1 {
+		t.Fatalf("Snapshot = %d, want 1", got)
+	}
+}
+
+func TestTraceDropsSpansPastCap(t *testing.T) {
+	rec := NewRecorder(1, 2)
+	tr := rec.Start(0, time.Now())
+	for i := 0; i < 5; i++ {
+		tr.Add(SpanSubOp, int32(i), time.Now(), time.Millisecond, 0)
+	}
+	tr.Finish(time.Millisecond)
+	v := rec.Snapshot(1)[0]
+	if len(v.Spans) != 2 || v.Dropped != 3 {
+		t.Fatalf("spans=%d dropped=%d, want 2/3", len(v.Spans), v.Dropped)
+	}
+}
+
+// TestRecorderSnapshotRace races span recording and trace turnover
+// against /traces-style snapshots; run with -race (ISSUE 6 satellite).
+func TestRecorderSnapshotRace(t *testing.T) {
+	rec := NewRecorder(8, 16)
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr := rec.Start(0, time.Now())
+				for s := 0; s < 4; s++ {
+					tr.Add(SpanSubOp, int32(s), time.Now(), time.Microsecond, 0)
+				}
+				tr.SetDecision(VerdictAdmitted, 2, 1)
+				tr.Finish(time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		for _, v := range rec.Snapshot(4) {
+			if !v.Done {
+				t.Error("snapshot returned unfinished trace")
+			}
+		}
+	}
+	wg.Wait()
+	if got := rec.Started(); got != 4*perG {
+		t.Fatalf("Started = %d, want %d", got, 4*perG)
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	kinds := []SpanKind{SpanAdmission, SpanCache, SpanSubOp, SpanHedge,
+		SpanServerQueue, SpanServerExec, SpanMerge, SpanKind(99)}
+	want := []string{"admission", "cache", "subop", "hedge",
+		"srvqueue", "srvexec", "merge", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("SpanKind(%d).String() = %q, want %q", k, k.String(), want[i])
+		}
+	}
+}
+
+// BenchmarkTraceDisabled is the CI-guarded zero-alloc check for the
+// tracing-disabled hot path: TraceFrom on an untraced context plus the
+// nil-receiver recording calls a request would make.
+func BenchmarkTraceDisabled(b *testing.B) {
+	ctx := context.Background()
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := TraceFrom(ctx)
+		tr.SetDecision(VerdictAdmitted, 0, 1)
+		tr.SetCacheOutcome(CacheMiss)
+		tr.Add(SpanSubOp, 0, now, time.Millisecond, 0)
+		tr.Finish(time.Millisecond)
+	}
+}
+
+// BenchmarkTraceEnabled measures the full per-request recording cost:
+// slot claim, typical span volume, finish.
+func BenchmarkTraceEnabled(b *testing.B) {
+	rec := NewRecorder(256, 16)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := rec.Start(0, now)
+		tr.SetRequest(1, 0, 0.95, 0)
+		tr.SetDecision(VerdictAdmitted, 0, 1)
+		tr.SetCacheOutcome(CacheMiss)
+		tr.Add(SpanAdmission, -1, now, time.Microsecond, 0)
+		tr.Add(SpanCache, -1, now, time.Microsecond, 0)
+		tr.Add(SpanSubOp, 0, now, time.Millisecond, 0)
+		tr.Add(SpanMerge, -1, now, time.Microsecond, 0)
+		tr.Finish(time.Millisecond)
+	}
+}

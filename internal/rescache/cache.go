@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"accuracytrader/internal/obs"
 )
 
 // Config configures a Cache.
@@ -36,6 +38,10 @@ type Config struct {
 	// RefreshQueue bounds the pending-refresh queue (default 256). A
 	// full queue drops the candidate; the next hit re-enqueues it.
 	RefreshQueue int
+	// Metrics is the observability registry the cache's counters live in
+	// (rescache_hits_total, rescache_misses_total, …). Nil uses a
+	// private registry; Stats() is unaffected either way.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -180,10 +186,10 @@ type Cache struct {
 	workerDone chan struct{}
 	started    bool
 
-	hits, misses, coalesced atomic.Int64
-	stored, evictions       atomic.Int64
-	stale, floorRejects     atomic.Int64
-	refreshes               atomic.Int64
+	hits, misses, coalesced *obs.Counter
+	stored, evictions       *obs.Counter
+	stale, floorRejects     *obs.Counter
+	refreshes               *obs.Counter
 }
 
 // New returns an empty cache.
@@ -201,16 +207,29 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("rescache: accuracy floors must be in [0,1], got BestEffortFloor=%g RefreshBelow=%g",
 			cfg.BestEffortFloor, cfg.RefreshBelow)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	c := &Cache{
-		cfg:     cfg,
-		shards:  make([]shard, shards),
-		mask:    uint64(shards - 1),
-		flights: map[uint64]*flight{},
-		quit:    make(chan struct{}),
+		cfg:          cfg,
+		shards:       make([]shard, shards),
+		mask:         uint64(shards - 1),
+		flights:      map[uint64]*flight{},
+		quit:         make(chan struct{}),
+		hits:         reg.Counter("rescache_hits_total"),
+		misses:       reg.Counter("rescache_misses_total"),
+		coalesced:    reg.Counter("rescache_coalesced_total"),
+		stored:       reg.Counter("rescache_stored_total"),
+		evictions:    reg.Counter("rescache_evictions_total"),
+		stale:        reg.Counter("rescache_stale_total"),
+		floorRejects: reg.Counter("rescache_floor_rejects_total"),
+		refreshes:    reg.Counter("rescache_refreshes_total"),
 	}
 	for i := range c.shards {
 		c.shards[i].init(perShard)
 	}
+	reg.GaugeFunc("rescache_entries", func() float64 { return float64(c.Len()) })
 	return c, nil
 }
 
@@ -269,7 +288,7 @@ func (c *Cache) Get(key uint64, floor float64) (value interface{}, accuracy floa
 	i, present := s.idx[key]
 	if !present {
 		s.mu.Unlock()
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, 0, false
 	}
 	e := &s.slab[i]
@@ -280,14 +299,14 @@ func (c *Cache) Get(key uint64, floor float64) (value interface{}, accuracy floa
 		delete(s.idx, key)
 		s.release(i)
 		s.mu.Unlock()
-		c.stale.Add(1)
-		c.misses.Add(1)
+		c.stale.Inc()
+		c.misses.Inc()
 		return nil, 0, false
 	}
 	if e.acc < floor {
 		s.mu.Unlock()
-		c.floorRejects.Add(1)
-		c.misses.Add(1)
+		c.floorRejects.Inc()
+		c.misses.Inc()
 		return nil, 0, false
 	}
 	s.toFront(i)
@@ -305,7 +324,7 @@ func (c *Cache) Get(key uint64, floor float64) (value interface{}, accuracy floa
 			c.clearQueued(key)
 		}
 	}
-	c.hits.Add(1)
+	c.hits.Inc()
 	return value, accuracy, true
 }
 
@@ -341,7 +360,7 @@ func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64
 		e.queued = false
 		s.toFront(i)
 		s.mu.Unlock()
-		c.stored.Add(1)
+		c.stored.Inc()
 		return
 	}
 	i := s.free
@@ -352,7 +371,7 @@ func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64
 		s.unlink(i)
 		s.release(i)
 		i = s.free
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 	s.free = s.slab[i].next
 	e := &s.slab[i]
@@ -360,7 +379,7 @@ func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64
 	s.idx[key] = i
 	s.pushFront(i)
 	s.mu.Unlock()
-	c.stored.Add(1)
+	c.stored.Inc()
 }
 
 // Invalidate removes one key (for targeted invalidation; whole-dataset
@@ -392,14 +411,14 @@ func (c *Cache) Len() int {
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		Coalesced:    c.coalesced.Load(),
-		Stored:       c.stored.Load(),
-		Evictions:    c.evictions.Load(),
-		Stale:        c.stale.Load(),
-		FloorRejects: c.floorRejects.Load(),
-		Refreshes:    c.refreshes.Load(),
+		Hits:         c.hits.Value(),
+		Misses:       c.misses.Value(),
+		Coalesced:    c.coalesced.Value(),
+		Stored:       c.stored.Value(),
+		Evictions:    c.evictions.Value(),
+		Stale:        c.stale.Value(),
+		FloorRejects: c.floorRejects.Value(),
+		Refreshes:    c.refreshes.Value(),
 	}
 }
 

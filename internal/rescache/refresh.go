@@ -89,5 +89,5 @@ func (c *Cache) refreshOne(key uint64) {
 		return
 	}
 	c.StoreAt(key, payload, v, acc, epoch)
-	c.refreshes.Add(1)
+	c.refreshes.Inc()
 }

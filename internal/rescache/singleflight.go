@@ -2,6 +2,19 @@ package rescache
 
 import "context"
 
+// Outcome classifies how DoWith resolved a lookup.
+type Outcome uint8
+
+// DoWith outcomes.
+const (
+	// OutcomeMiss: this caller ran compute() itself.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served from a stored entry.
+	OutcomeHit
+	// OutcomeCoalesced: shared another caller's in-flight computation.
+	OutcomeCoalesced
+)
+
 // flight is one in-progress computation that concurrent identical
 // misses coalesce onto.
 type flight struct {
@@ -36,9 +49,19 @@ type flight struct {
 // own context.
 func (c *Cache) Do(ctx context.Context, key uint64, floor float64,
 	compute func() (value interface{}, accuracy float64, err error)) (value interface{}, accuracy float64, shared bool, err error) {
+	v, acc, out, err := c.DoWith(ctx, key, floor, compute)
+	return v, acc, out != OutcomeMiss, err
+}
+
+// DoWith is Do reporting the precise Outcome — whether the value came
+// from a stored entry (OutcomeHit), another caller's in-flight
+// computation (OutcomeCoalesced), or this caller's own compute()
+// (OutcomeMiss) — so tracing callers can record which one happened.
+func (c *Cache) DoWith(ctx context.Context, key uint64, floor float64,
+	compute func() (value interface{}, accuracy float64, err error)) (value interface{}, accuracy float64, outcome Outcome, err error) {
 	for {
 		if v, acc, ok := c.Get(key, floor); ok {
-			return v, acc, true, nil
+			return v, acc, OutcomeHit, nil
 		}
 		c.fmu.Lock()
 		fl, inFlight := c.flights[key]
@@ -51,17 +74,17 @@ func (c *Cache) Do(ctx context.Context, key uint64, floor float64,
 			delete(c.flights, key)
 			c.fmu.Unlock()
 			close(fl.done)
-			return fl.v, fl.acc, false, fl.err
+			return fl.v, fl.acc, OutcomeMiss, fl.err
 		}
 		c.fmu.Unlock()
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
-			return nil, 0, false, ctx.Err()
+			return nil, 0, OutcomeMiss, ctx.Err()
 		}
 		if fl.err == nil && fl.acc >= floor {
-			c.coalesced.Add(1)
-			return fl.v, fl.acc, true, nil
+			c.coalesced.Inc()
+			return fl.v, fl.acc, OutcomeCoalesced, nil
 		}
 		// The shared result cannot serve this caller (winner failed, or
 		// its accuracy misses our floor): loop — each round elects one

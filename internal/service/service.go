@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/obs"
 	"accuracytrader/internal/stats"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	// ReplicaOf maps a subset to the component that executes its hedged
 	// replica (default: next component).
 	ReplicaOf func(subset, n int) int
+	// Metrics is the observability registry the cluster's counters live
+	// in (service_subops_total, service_hedges_total, and the
+	// service_subop_latency_ms histogram). Nil uses a private registry;
+	// Stats() is unaffected either way.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -151,11 +157,15 @@ type Cluster struct {
 
 	// Streaming quantile estimators keep the runtime's memory constant no
 	// matter how long the cluster serves (P², see internal/stats).
-	mu       sync.Mutex
-	p95est   *stats.P2Quantile
-	p999est  *stats.P2Quantile
+	mu      sync.Mutex
+	p95est  *stats.P2Quantile
+	p999est *stats.P2Quantile
+	// subOps stays a plain in-lock int: the hedge-estimate cadence
+	// (stats.HedgeEstimateDue) needs the exact count at Add time.
 	subOps   int
-	hedges   int64
+	hedges   *obs.Counter
+	subOpsC  *obs.Counter
+	latMs    *obs.Histogram
 	closed   bool
 	route    RouteFunc
 	quit     chan struct{}
@@ -172,6 +182,10 @@ func New(handlers []Handler, policy Policy, opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("service: no handlers")
 	}
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	cl := &Cluster{
 		handlers: handlers,
 		opts:     opts,
@@ -179,7 +193,11 @@ func New(handlers []Handler, policy Policy, opts Options) (*Cluster, error) {
 		p95est:   stats.NewP2Quantile(0.95),
 		p999est:  stats.NewP2Quantile(0.999),
 		quit:     make(chan struct{}),
+		hedges:   reg.Counter("service_hedges_total"),
+		subOpsC:  reg.Counter("service_subops_total"),
+		latMs:    reg.Histogram("service_subop_latency_ms", obs.DefaultLatencyBuckets()),
 	}
+	reg.GaugeFunc("service_inflight", func() float64 { return float64(cl.inflight.Load()) })
 	cl.p95ms.Store(uint64(opts.HedgeFloor / time.Microsecond))
 	for i := range handlers {
 		c := &component{mailbox: make(chan job, opts.QueueLen), idx: i}
@@ -208,6 +226,11 @@ func (cl *Cluster) worker(c *component) {
 			lat := time.Since(j.enqueued)
 			if j.done.CompareAndSwap(false, true) {
 				cl.recordLatency(lat)
+				// Only the winning replica records the sub-op span, so a
+				// trace carries one per subset.
+				if tr := obs.TraceFrom(j.ctx); tr != nil {
+					tr.Add(obs.SpanSubOp, int32(j.subset), j.enqueued, lat, int64(c.idx))
+				}
 				hedged := j.hedged != nil && j.hedged.Load()
 				j.reply <- SubResult{Subset: j.subset, Value: v, Err: err, Latency: lat, Hedged: hedged}
 			}
@@ -217,6 +240,8 @@ func (cl *Cluster) worker(c *component) {
 
 func (cl *Cluster) recordLatency(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
+	cl.subOpsC.Inc()
+	cl.latMs.Observe(ms)
 	cl.mu.Lock()
 	cl.subOps++
 	cl.p95est.Add(ms)
@@ -285,11 +310,13 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the recorded sub-operation statistics.
-// P999Ms is a streaming P² estimate, not an exact percentile.
+// P999Ms is a streaming P² estimate, not an exact percentile. The
+// counters live in the Options.Metrics registry (or a private one), so
+// the same numbers are one Prometheus scrape away.
 func (cl *Cluster) Stats() Stats {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	st := Stats{SubOps: cl.subOps, Hedges: atomic.LoadInt64(&cl.hedges)}
+	st := Stats{SubOps: cl.subOps, Hedges: cl.hedges.Value()}
 	if st.SubOps > 0 {
 		st.P999Ms = cl.p999est.Value()
 	}
@@ -423,7 +450,10 @@ func (cl *Cluster) armHedge(j job) *time.Timer {
 		// immediately) already observes the flag.
 		j.hedged.Store(true)
 		if cl.enqueue(rc, j) {
-			atomic.AddInt64(&cl.hedges, 1)
+			cl.hedges.Inc()
+			if tr := obs.TraceFrom(j.ctx); tr != nil {
+				tr.Add(obs.SpanHedge, int32(j.subset), time.Now(), 0, int64(rc))
+			}
 		} else {
 			j.hedged.Store(false)
 		}

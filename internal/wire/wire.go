@@ -8,9 +8,22 @@ import (
 )
 
 // Version is the protocol version stamped into every frame. A peer
-// speaking a different version is rejected at decode time instead of
-// being misparsed. Version 2 added the composed reply's Cached byte.
-const Version = 2
+// speaking a different version is rejected at decode time with a typed
+// *VersionError instead of being misparsed. Version 2 added the
+// composed reply's Cached byte; version 3 added the propagated trace ID
+// (Request.Trace, Reply.Trace) and server-side spans (SubReply.Spans).
+const Version = 3
+
+// VersionError reports a frame stamped with a different protocol
+// version — a v2 (or future) peer on the other end of the connection.
+type VersionError struct {
+	Got, Want uint8
+}
+
+// Error describes the mismatch.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version %d, want %d", e.Got, e.Want)
+}
 
 // Frame kinds: what a frame body contains.
 const (
@@ -151,6 +164,11 @@ type Request struct {
 	// none). Every hop computes its remaining budget from it and
 	// abandons work once the budget is exhausted.
 	Deadline int64
+	// Trace is the request's 64-bit trace ID (0 = untraced). The
+	// aggregator stamps it onto every sub-request so component servers
+	// record server-side spans under the same tree; when it is 0 servers
+	// skip span bookkeeping entirely.
+	Trace uint64
 
 	CF     *CFRequest
 	Search *SearchRequest
@@ -170,6 +188,10 @@ type SubReply struct {
 	// SetsProcessed counts Algorithm 1 improvement steps — the accuracy
 	// proxy reported back to the aggregator.
 	SetsProcessed uint32
+	// Spans are the server-side trace spans (queue wait, handler
+	// execution) for a traced request, stitched into the aggregator's
+	// tree. Empty when the request carried no trace ID.
+	Spans []Span
 
 	CF     *CFResult
 	Search *SearchResult
@@ -192,6 +214,9 @@ type Reply struct {
 	// entry's recorded accuracy cleared this request's floor.
 	Cached bool
 	Level  int16
+	// Trace echoes the request's trace ID (0 = untraced) so clients can
+	// correlate the reply with the trace they minted.
+	Trace uint64
 	// SubStatus holds one Status* byte per subset, in subset order.
 	SubStatus []uint8
 
@@ -199,6 +224,24 @@ type Reply struct {
 	Search *SearchResult
 	Agg    *AggResult
 }
+
+// Span kinds carried in SubReply.Spans.
+const (
+	SpanQueue = 0 // time the sub-operation waited in the server queue
+	SpanExec  = 1 // time the handler ran
+)
+
+// Span is one server-side trace span: what kind of time it was, when
+// it started (server wall clock, Unix nanoseconds) and how long it
+// lasted. The aggregator converts Start into its trace's time base.
+type Span struct {
+	Kind  uint8
+	Start int64
+	Dur   int64
+}
+
+// spanWireSize is a Span's encoded size, used for count validation.
+const spanWireSize = 1 + 8 + 8
 
 // MaxFrame is the default bound on accepted frame sizes; a corrupt
 // length prefix fails fast instead of attempting a huge allocation.
@@ -362,6 +405,7 @@ func AppendRequestFrame(dst []byte, req *Request) []byte {
 	dst = appendF64(dst, req.MinAccuracy)
 	dst = appendU16(dst, uint16(req.Level))
 	dst = appendU64(dst, uint64(req.Deadline))
+	dst = appendU64(dst, req.Trace)
 	switch req.Kind {
 	case KindCF:
 		dst = appendU32(dst, uint32(len(req.CF.Ratings)))
@@ -397,6 +441,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 	req.MinAccuracy = r.f64("minAccuracy")
 	req.Level = int16(r.u16("level"))
 	req.Deadline = int64(r.u64("deadline"))
+	req.Trace = r.u64("trace")
 	switch req.Kind {
 	case KindCF:
 		cf := &CFRequest{}
@@ -435,6 +480,12 @@ func AppendSubReplyFrame(dst []byte, rep *SubReply) []byte {
 	dst = append(dst, byte(rep.Kind))
 	dst = appendU16(dst, uint16(rep.Level))
 	dst = appendU32(dst, rep.SetsProcessed)
+	dst = appendU32(dst, uint32(len(rep.Spans)))
+	for _, sp := range rep.Spans {
+		dst = append(dst, sp.Kind)
+		dst = appendU64(dst, uint64(sp.Start))
+		dst = appendU64(dst, uint64(sp.Dur))
+	}
 	if rep.Status == StatusOK {
 		dst = appendResultPayload(dst, rep.Kind, rep.CF, rep.Search, rep.Agg)
 	}
@@ -456,6 +507,14 @@ func DecodeSubReply(body []byte) (*SubReply, error) {
 	rep.Kind = Kind(r.u8("kind"))
 	rep.Level = int16(r.u16("level"))
 	rep.SetsProcessed = r.u32("sets")
+	if n := r.count(spanWireSize, "spans"); r.err == nil && n > 0 {
+		rep.Spans = make([]Span, n)
+		for i := range rep.Spans {
+			rep.Spans[i].Kind = r.u8("span kind")
+			rep.Spans[i].Start = int64(r.u64("span start"))
+			rep.Spans[i].Dur = int64(r.u64("span dur"))
+		}
+	}
 	if rep.Status == StatusOK {
 		var err error
 		rep.CF, rep.Search, rep.Agg, err = decodeResultPayload(r, rep.Kind)
@@ -492,6 +551,7 @@ func AppendReplyFrame(dst []byte, rep *Reply) []byte {
 	}
 	dst = append(dst, cached)
 	dst = appendU16(dst, uint16(rep.Level))
+	dst = appendU64(dst, rep.Trace)
 	dst = appendU32(dst, uint32(len(rep.SubStatus)))
 	dst = append(dst, rep.SubStatus...)
 	if rep.Status == ReplyOK {
@@ -517,6 +577,7 @@ func DecodeReply(body []byte) (*Reply, error) {
 	rep.Degraded = r.u8("degraded") != 0
 	rep.Cached = r.u8("cached") != 0
 	rep.Level = int16(r.u16("level"))
+	rep.Trace = r.u64("trace")
 	if n := r.count(1, "substatus"); r.err == nil && n > 0 {
 		rep.SubStatus = append([]uint8(nil), r.take(n, "substatus")...)
 	}
@@ -588,7 +649,7 @@ func checkHeader(r *reader, wantFrame byte, what string) error {
 		return r.err
 	}
 	if v != Version {
-		return fmt.Errorf("wire: version %d, want %d", v, Version)
+		return &VersionError{Got: v, Want: Version}
 	}
 	if fk != wantFrame {
 		return fmt.Errorf("wire: frame kind %d, want %s (%d)", fk, what, wantFrame)
@@ -602,7 +663,7 @@ func FrameKind(body []byte) (byte, error) {
 		return 0, fmt.Errorf("wire: frame too short for header")
 	}
 	if body[0] != Version {
-		return 0, fmt.Errorf("wire: version %d, want %d", body[0], Version)
+		return 0, &VersionError{Got: body[0], Want: Version}
 	}
 	return body[1], nil
 }

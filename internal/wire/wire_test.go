@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"reflect"
 	"strings"
@@ -20,6 +22,7 @@ func randRequest(rng *stats.RNG) *Request {
 		MinAccuracy: rng.Float64(),
 		Level:       int16(rng.Intn(6)) - 1,
 		Deadline:    int64(rng.Uint64() >> 1),
+		Trace:       rng.Uint64() >> uint(rng.Intn(64)), // often small, sometimes 0
 	}
 	switch Kind(rng.Intn(3)) {
 	case KindCF:
@@ -66,6 +69,13 @@ func randSubReply(rng *stats.RNG) *SubReply {
 	if rep.Status == StatusErr {
 		rep.Err = "component exploded"
 	}
+	for i := 0; i < rng.Intn(3); i++ {
+		rep.Spans = append(rep.Spans, Span{
+			Kind:  uint8(rng.Intn(2)),
+			Start: int64(rng.Uint64() >> 1),
+			Dur:   int64(rng.Intn(1_000_000_000)),
+		})
+	}
 	if rep.Status == StatusOK {
 		n := 1 + rng.Intn(6)
 		switch rep.Kind {
@@ -97,6 +107,7 @@ func randReply(rng *stats.RNG) *Reply {
 		Degraded:    rng.Intn(2) == 0,
 		Cached:      rng.Intn(2) == 0,
 		Level:       int16(rng.Intn(6)) - 1,
+		Trace:       rng.Uint64() >> uint(rng.Intn(64)),
 	}
 	for i := 0; i < rng.Intn(8); i++ {
 		rep.SubStatus = append(rep.SubStatus, uint8(rng.Intn(4)))
@@ -232,8 +243,10 @@ func TestCorruptFramesError(t *testing.T) {
 	// fail the count validation, not attempt the allocation.
 	cfReq := &Request{Kind: KindCF, CF: &CFRequest{Targets: []int32{1}}}
 	cfBody := body(t, AppendRequestFrame(nil, cfReq))
-	// ratings count sits right after the fixed request header.
-	hdr := 2 + 8 + 8 + 1 + 4 + 1 + 8 + 2 + 8
+	// ratings count sits right after the fixed request header
+	// (version, frame kind, id, seq, kind, subset, slo, minAccuracy,
+	// level, deadline, trace).
+	hdr := 2 + 8 + 8 + 1 + 4 + 1 + 8 + 2 + 8 + 8
 	cp := append([]byte(nil), cfBody...)
 	cp[hdr] = 0xff
 	cp[hdr+1] = 0xff
@@ -257,6 +270,66 @@ func TestCorruptFramesError(t *testing.T) {
 	frame = AppendRequestFrame(nil, req)
 	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]), nil, 0); err != io.ErrUnexpectedEOF {
 		t.Fatalf("mid-body EOF: %v", err)
+	}
+}
+
+// TestVersionMismatchTyped asserts a peer speaking another protocol
+// version yields a *VersionError that survives errors.As through
+// wrapping — the clean signal a v2 peer gets instead of a parse
+// failure.
+func TestVersionMismatchTyped(t *testing.T) {
+	req := &Request{Kind: KindAgg, Agg: &AggRequest{Op: 1, Lo: 0, Hi: 10}}
+	good := body(t, AppendRequestFrame(nil, req))
+	v2 := append([]byte(nil), good...)
+	v2[0] = 2
+	_, err := DecodeRequest(v2)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VersionError, got %v", err)
+	}
+	if ve.Got != 2 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+	wrapped := fmt.Errorf("peer 3: decode sub-reply: %w", err)
+	if !errors.As(wrapped, &ve) {
+		t.Fatal("VersionError lost through wrapping")
+	}
+	if _, err := FrameKind(v2); !errors.As(err, &ve) {
+		t.Fatalf("FrameKind: want *VersionError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "want 3") {
+		t.Fatalf("message: %q", err.Error())
+	}
+}
+
+// TestCorruptSpanFields targets the v3 sub-reply span block: inflated
+// span counts must fail validation without allocating, and every
+// truncation inside the span block must error cleanly.
+func TestCorruptSpanFields(t *testing.T) {
+	rep := &SubReply{
+		ID: 9, Subset: 1, Status: StatusOK, Kind: KindAgg, Level: 2, SetsProcessed: 4,
+		Spans: []Span{{Kind: SpanQueue, Start: 100, Dur: 50}, {Kind: SpanExec, Start: 150, Dur: 75}},
+		Agg:   &AggResult{Sum: []float64{1}, Cnt: []float64{2}, SumVar: []float64{0}, CntVar: []float64{0}},
+	}
+	good := body(t, AppendSubReplyFrame(nil, rep))
+
+	// The span count sits after: version, frame kind, id, subset,
+	// status, err (u32 len, empty), kind, level, sets.
+	off := 2 + 8 + 4 + 1 + 4 + 1 + 2 + 4
+	if got, err := DecodeSubReply(good); err != nil || len(got.Spans) != 2 {
+		t.Fatalf("sanity: %v, spans=%d", err, len(got.Spans))
+	}
+	cp := append([]byte(nil), good...)
+	cp[off] = 0xff
+	cp[off+1] = 0xff
+	if _, err := DecodeSubReply(cp); err == nil || !strings.Contains(err.Error(), "spans") {
+		t.Fatalf("inflated span count: %v", err)
+	}
+	// Truncations through the whole span block.
+	for cut := off; cut < off+4+2*17; cut++ {
+		if _, err := DecodeSubReply(good[:cut]); err == nil {
+			t.Fatalf("span-block prefix of %d bytes decoded without error", cut)
+		}
 	}
 }
 
