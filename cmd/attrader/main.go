@@ -117,6 +117,7 @@ var runners = map[string]runner{
 	"netcompare":   func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
 	"cachecompare": func(sc experiments.Scale, _, _ int) error { return runCacheCompare(sc) },
 	"tracecompare": func(sc experiments.Scale, _, _ int) error { return runTraceCompare(sc) },
+	"faultcompare": func(sc experiments.Scale, _, _ int) error { return runFaultCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -328,6 +329,20 @@ func runTraceCompare(sc experiments.Scale) error {
 		fmt.Println(res.Render())
 		if !res.OK() {
 			return fmt.Errorf("tracecompare contracts violated (see report above)")
+		}
+		return nil
+	})
+}
+
+func runFaultCompare(sc experiments.Scale) error {
+	return timed("Failure-domain hardening (kill/stall/heal sweep)", func() error {
+		res, err := experiments.RunFaultCompare(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if v := res.Violations(); v != 0 || !res.ZeroAllocOK {
+			return fmt.Errorf("faultcompare contracts violated: %d degradation violations, zeroAlloc=%v", v, res.ZeroAllocOK)
 		}
 		return nil
 	})

@@ -171,9 +171,19 @@ func serveAggregator(workload, listen, peers, admin string, rate float64, sc exp
 	if err != nil {
 		return err
 	}
+	// The admin plane also switches on request tracing and the unified
+	// metrics registry: frontend and breaker counters land in /metrics,
+	// every request gets a decision trace served at /traces.
+	var reg *obs.Registry
+	var rec *obs.Recorder
+	if admin != "" {
+		reg = obs.NewRegistry()
+		rec = obs.NewRecorder(512, 64)
+	}
 	agr, err := netsvc.NewAggregator(addrs, netsvc.AggregatorOptions{
 		Policy:   service.WaitAll,
 		Deadline: 2 * time.Second,
+		Metrics:  reg,
 	})
 	if err != nil {
 		return err
@@ -198,7 +208,7 @@ func serveAggregator(workload, listen, peers, admin string, rate float64, sc exp
 	fmt.Printf("aggregator: %d components answered the %s probe\n", len(subs), workload)
 
 	if listen != "" {
-		return serveFront(ns, agr, listen, admin)
+		return serveFront(ns, agr, listen, admin, reg, rec)
 	}
 	return measure(ns, agr, rate, time.Duration(sc.SessionSeconds*float64(time.Second)))
 }
@@ -206,16 +216,7 @@ func serveAggregator(workload, listen, peers, admin string, rate float64, sc exp
 // serveFront runs the client-facing composed-reply server, with the
 // accuracy-aware frontend pipeline when the workload has a calibrated
 // ladder.
-func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string) error {
-	// The admin plane also switches on request tracing and the unified
-	// metrics registry: the frontend's counters land in /metrics, every
-	// request gets a decision trace served at /traces.
-	var reg *obs.Registry
-	var rec *obs.Recorder
-	if admin != "" {
-		reg = obs.NewRegistry()
-		rec = obs.NewRecorder(512, 64)
-	}
+func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, reg *obs.Registry, rec *obs.Recorder) error {
 	var fe *frontend.Frontend
 	if len(ns.levelAcc) > 0 {
 		ctrl, err := frontend.NewController(frontend.ControllerConfig{
@@ -243,6 +244,11 @@ func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string) er
 	ad, err := startAdmin(admin, reg, rec)
 	if err != nil {
 		return err
+	}
+	if ad != nil {
+		// /healthz answers 200 "degraded" (still routable — requests are
+		// served around the failure) whenever any peer breaker is open.
+		ad.SetHealthSource(agr.OpenBreakers)
 	}
 	fs := netsvc.NewFrontServer(agr, fe, netsvc.ServerOptions{Tracer: rec})
 	errCh := make(chan error, 1)

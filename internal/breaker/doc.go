@@ -1,0 +1,23 @@
+// Package breaker implements the per-peer circuit breaker and the
+// capped exponential dial backoff of the failure-domain hardening
+// extension (PR 7) — the machinery that keeps a dead or flapping
+// component from turning into retry storms and head-of-line stalls in
+// the networked serving path.
+//
+// A Breaker is the classic three-state machine: Closed counts
+// consecutive failures and trips Open at a threshold; Open fails every
+// request fast for a cooldown; after the cooldown one half-open probe
+// is admitted, and its outcome decides between re-closing (the peer
+// healed) and re-opening (still down, new cooldown). Both the
+// aggregator's peers (internal/netsvc) and the in-process cluster's
+// components (internal/service) wear one, so the two runtimes keep
+// behavioural parity under component failure.
+//
+// A Backoff produces the capped exponential retry schedule with equal
+// jitter (half deterministic, half seeded-random) that replaces
+// immediate redialing: attempt n waits base·2ⁿ at most Cap, jittered so
+// a fleet of aggregators does not reconnect in lockstep when a shared
+// component heals. The jitter source is a deterministic seeded RNG
+// (internal/stats), so failure scenarios replay bit-identically in
+// tests and experiments.
+package breaker

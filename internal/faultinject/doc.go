@@ -1,0 +1,30 @@
+// Package faultinject is the scriptable fault-injection fabric of the
+// failure-domain hardening extension (PR 7): it wraps the TCP surface
+// of the networked serving path (component-server listeners,
+// aggregator dials) so tests and experiments can crash, stall,
+// partition, slow down or corrupt one component at a precise moment —
+// and heal it again — without touching the code under test.
+//
+// A Script is one target's live fault state. Setting a mode takes
+// effect immediately on every tracked connection:
+//
+//	Crash     existing connections are reset and new ones are cut the
+//	          moment they are accepted (a crashed process behind a
+//	          still-bound port); scripted dialers refuse outright.
+//	Stall     the target stops reading — inbound frames queue in kernel
+//	          buffers while the peer's requests time out.
+//	Partition writes are black-holed (they appear to succeed and go
+//	          nowhere), the asymmetric half-open network failure.
+//	Slow      every write is delayed by a configured latency.
+//	Corrupt   one byte of every written frame body is flipped at a
+//	          deterministically seeded position, so the peer's codec
+//	          rejects the frame and fails the connection.
+//
+// Heal restores pass-through behaviour and wakes stalled readers.
+//
+// A Fabric names Scripts by target (component address), deriving each
+// script's corruption/jitter seed deterministically from the fabric
+// seed and the target name — the same scenario replays identically
+// run after run, which is what makes failure experiments assertable
+// (see the faultcompare experiment).
+package faultinject

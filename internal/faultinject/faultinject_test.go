@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped server-side conn and the raw client conn
+// over loopback TCP.
+func pipePair(t *testing.T, s *Script) (srv net.Conn, cli net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	wrapped := s.WrapListener(ln)
+	done := make(chan net.Conn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		c, err := wrapped.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- c
+	}()
+	cli, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case srv = <-done:
+	case err := <-errc:
+		t.Fatalf("accept: %v", err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+	return srv, cli
+}
+
+func TestPassthroughRoundTrip(t *testing.T) {
+	s := NewScript("a", 1)
+	srv, cli := pipePair(t, s)
+	msg := []byte("hello")
+	if _, err := cli.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(srv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+	if s.Mode() != None {
+		t.Fatalf("mode = %v", s.Mode())
+	}
+}
+
+func TestStallBlocksReadsUntilHeal(t *testing.T) {
+	s := NewScript("a", 1)
+	srv, cli := pipePair(t, s)
+	s.Set(Stall)
+	if _, err := cli.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := io.ReadFull(srv, buf)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Heal()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("read after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not resume after heal")
+	}
+}
+
+func TestPartitionBlackHolesWrites(t *testing.T) {
+	s := NewScript("a", 1)
+	srv, cli := pipePair(t, s)
+	s.Set(Partition)
+	n, err := srv.Write([]byte("vanishes"))
+	if err != nil || n != 8 {
+		t.Fatalf("partitioned write: n=%d err=%v", n, err)
+	}
+	cli.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, err := cli.Read(buf); err == nil {
+		t.Fatal("black-holed bytes arrived")
+	}
+}
+
+func TestSlowDelaysWrites(t *testing.T) {
+	s := NewScript("a", 1)
+	srv, cli := pipePair(t, s)
+	const d = 60 * time.Millisecond
+	s.SetSlow(d)
+	start := time.Now()
+	if _, err := srv.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(cli, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < d {
+		t.Fatalf("slow write took %v, want >= %v", el, d)
+	}
+}
+
+func TestCorruptFlipsOneByte(t *testing.T) {
+	s := NewScript("a", 99)
+	srv, cli := pipePair(t, s)
+	s.Set(Corrupt)
+	msg := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if _, err := srv.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(cli, buf); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	first4 := true
+	for i := range msg {
+		if buf[i] != msg[i] {
+			diff++
+			if i < 4 {
+				first4 = false
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if !first4 {
+		t.Fatal("length prefix (first 4 bytes) was corrupted")
+	}
+}
+
+func TestCrashResetsExistingAndCutsNewConns(t *testing.T) {
+	s := NewScript("a", 1)
+	srv, cli := pipePair(t, s)
+	_ = srv
+	s.Set(Crash)
+	cli.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := cli.Read(buf); err == nil {
+		t.Fatal("read on crashed conn succeeded")
+	}
+	// The server-side wrapper also refuses I/O.
+	if _, err := srv.Write([]byte("x")); err == nil {
+		t.Fatal("write on crashed server conn succeeded")
+	}
+}
+
+func TestCrashCutsFreshAccepts(t *testing.T) {
+	s := NewScript("a", 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	wrapped := s.WrapListener(ln)
+	s.Set(Crash)
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		// Accept loops internally while crashed; it returns only once
+		// the listener closes underneath it.
+		wrapped.Accept()
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("conn to crashed target delivered data")
+	}
+	ln.Close()
+	<-acceptDone
+}
+
+func TestDialerRefusesWhileCrashed(t *testing.T) {
+	s := NewScript("a", 1)
+	dial := s.Dialer(func(addr string, timeout time.Duration) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, timeout)
+	})
+	s.Set(Crash)
+	if _, err := dial("127.0.0.1:1", time.Second); err != ErrInjected {
+		t.Fatalf("dial during crash: err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFabricDeterministicSeeds(t *testing.T) {
+	f1, f2 := NewFabric(7), NewFabric(7)
+	a1, a2 := f1.Script("comp-3"), f2.Script("comp-3")
+	for i := 0; i < 5; i++ {
+		if x, y := a1.corruptAt(100), a2.corruptAt(100); x != y {
+			t.Fatalf("draw %d: %d != %d for same fabric seed and target", i, x, y)
+		}
+	}
+	if f1.Script("comp-3") != a1 {
+		t.Fatal("Script not memoized")
+	}
+	b := f1.Script("comp-4")
+	if b == a1 {
+		t.Fatal("distinct targets share a script")
+	}
+	f1.Script("comp-5").Set(Stall)
+	f1.HealAll()
+	if got := f1.Script("comp-5").Mode(); got != None {
+		t.Fatalf("after HealAll mode = %v", got)
+	}
+	if len(f1.Targets()) != 3 {
+		t.Fatalf("targets = %v", f1.Targets())
+	}
+}

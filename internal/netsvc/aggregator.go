@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/breaker"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/service"
@@ -24,6 +25,13 @@ var ErrClosed = errors.New("netsvc: aggregator closed")
 // component's outstanding-request window was full — the network analog
 // of service.ErrQueueFull.
 var ErrQueueFull = errors.New("netsvc: component outstanding window full")
+
+// ErrPeerDown is reported for a sub-operation refused fast because the
+// target component's circuit breaker is not closed (or its dial
+// backoff window has not elapsed): the peer is known-unhealthy, so the
+// sub-operation fails immediately instead of waiting out a timeout and
+// is eligible for rerouting under the retry budget.
+var ErrPeerDown = errors.New("netsvc: peer circuit open")
 
 // AggregatorOptions configures an Aggregator.
 type AggregatorOptions struct {
@@ -52,6 +60,29 @@ type AggregatorOptions struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds accepted reply frames (default wire.MaxFrame).
 	MaxFrame int
+	// Dial overrides the transport dial (default net.DialTimeout over
+	// TCP) — the seam fault injection and connection tests hook.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Breaker configures the per-peer circuit breakers; zero fields
+	// take the breaker package defaults (trip after 3 consecutive
+	// failures, 200ms cooldown).
+	Breaker breaker.Config
+	// RedialBase and RedialMax bound the capped exponential dial
+	// backoff with jitter that replaces immediate redialing (defaults
+	// 10ms and 500ms). RedialMax also bounds how long a healed peer
+	// waits for its next background probe.
+	RedialBase time.Duration
+	RedialMax  time.Duration
+	// RetryBudget caps how many times one sub-operation may be
+	// re-dispatched onto a healthy peer after a peer-level failure
+	// (dial error, connection failure, open breaker), always within
+	// the propagated deadline. Default 1; negative disables retries.
+	RetryBudget int
+	// Seed drives backoff jitter deterministically (default 1).
+	Seed uint64
+	// Metrics, when set, publishes per-peer breaker state gauges,
+	// breaker transition counters, and retry/fault counters.
+	Metrics *obs.Registry
 }
 
 func (o AggregatorOptions) withDefaults() AggregatorOptions {
@@ -76,15 +107,38 @@ func (o AggregatorOptions) withDefaults() AggregatorOptions {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = wire.MaxFrame
 	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if o.RedialBase <= 0 {
+		o.RedialBase = 10 * time.Millisecond
+	}
+	if o.RedialMax <= 0 {
+		o.RedialMax = 500 * time.Millisecond
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 1
+	}
+	if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
 	return o
 }
 
 // AggregatorStats are the aggregator's scatter/gather counters.
 type AggregatorStats struct {
-	SubOps     int   // sub-replies received
-	Hedges     int64 // replicas issued
-	Reconnects int64 // re-dials after a connection failure
-	P999Ms     float64
+	SubOps       int   // sub-replies received
+	Hedges       int64 // replicas issued
+	Reconnects   int64 // re-dials after a connection failure
+	Retries      int64 // sub-operations re-dispatched after peer failure
+	Faults       int64 // peer-level failures (dial, conn, timeout)
+	BreakerOpens int64 // cumulative breaker trips across peers
+	P999Ms       float64
 }
 
 // Aggregator is the scatter/gather client over n component servers:
@@ -108,7 +162,12 @@ type Aggregator struct {
 	p95us   atomic.Uint64
 
 	hedges   atomic.Int64
+	retries  atomic.Int64
+	faults   atomic.Int64
 	inflight atomic.Int64
+
+	mRetries *obs.Counter
+	mFaults  *obs.Counter
 }
 
 // NewAggregator returns an aggregator over one address per component.
@@ -126,8 +185,50 @@ func NewAggregator(addrs []string, opts AggregatorOptions) (*Aggregator, error) 
 		p999est: stats.NewP2Quantile(0.999),
 	}
 	a.p95us.Store(uint64(opts.HedgeFloor / time.Microsecond))
-	for _, addr := range addrs {
-		a.peers = append(a.peers, &peer{agg: a, addr: addr, slots: make([]*peerConn, opts.ConnsPerPeer)})
+	if opts.Metrics != nil {
+		a.mRetries = opts.Metrics.Counter("netsvc_retries_total")
+		a.mFaults = opts.Metrics.Counter("netsvc_faults_total")
+	}
+	for i, addr := range addrs {
+		p := &peer{
+			agg:     a,
+			addr:    addr,
+			idx:     i,
+			slots:   make([]*peerConn, opts.ConnsPerPeer),
+			backoff: breaker.NewBackoff(opts.RedialBase, opts.RedialMax, opts.Seed+uint64(i)*0x9e3779b97f4a7c15),
+			closeCh: make(chan struct{}),
+		}
+		bcfg := opts.Breaker
+		userHook := bcfg.OnStateChange
+		var transitions [3]*obs.Counter
+		if opts.Metrics != nil {
+			m := opts.Metrics
+			for s, label := range map[breaker.State]string{
+				breaker.Closed: "closed", breaker.Open: "open", breaker.HalfOpen: "half_open",
+			} {
+				transitions[s] = m.Counter(fmt.Sprintf(`netsvc_breaker_transitions_total{peer=%q,state=%q}`, addr, label))
+			}
+			m.GaugeFunc(fmt.Sprintf(`netsvc_breaker_state{peer=%q}`, addr), func() float64 {
+				return float64(p.br.State())
+			})
+		}
+		bcfg.OnStateChange = func(s breaker.State) {
+			if s == breaker.Open {
+				// A tripped breaker starts the background prober even when
+				// the pooled connections are still nominally alive (a
+				// stalled or partitioned peer), so recovery never depends
+				// on fresh request traffic.
+				p.kickReconnector()
+			}
+			if transitions[s] != nil {
+				transitions[s].Inc()
+			}
+			if userHook != nil {
+				userHook(s)
+			}
+		}
+		p.br = breaker.New(bcfg)
+		a.peers = append(a.peers, p)
 	}
 	return a, nil
 }
@@ -186,15 +287,40 @@ func (a *Aggregator) SetRouter(route service.RouteFunc) {
 	a.mu.Unlock()
 }
 
+// OpenBreakers returns the addresses of peers whose circuit breaker is
+// not closed — the degraded-health signal /healthz exposes.
+func (a *Aggregator) OpenBreakers() []string {
+	var open []string
+	for _, p := range a.peers {
+		if p.br.State() != breaker.Closed {
+			open = append(open, p.addr)
+		}
+	}
+	return open
+}
+
+// BreakerState returns one component's breaker state.
+func (a *Aggregator) BreakerState(comp int) breaker.State {
+	return a.peers[comp].br.State()
+}
+
 // Stats returns a snapshot of the aggregator's counters.
 func (a *Aggregator) Stats() AggregatorStats {
-	var reconnects int64
+	var reconnects, opens int64
 	for _, p := range a.peers {
 		reconnects += p.reconnects.Load()
+		opens += p.br.Opens()
 	}
 	a.estMu.Lock()
 	defer a.estMu.Unlock()
-	st := AggregatorStats{SubOps: a.subOps, Hedges: a.hedges.Load(), Reconnects: reconnects}
+	st := AggregatorStats{
+		SubOps:       a.subOps,
+		Hedges:       a.hedges.Load(),
+		Reconnects:   reconnects,
+		Retries:      a.retries.Load(),
+		Faults:       a.faults.Load(),
+		BreakerOpens: opens,
+	}
 	if st.SubOps > 0 {
 		st.P999Ms = a.p999est.Value()
 	}
@@ -222,6 +348,33 @@ func (a *Aggregator) recordLatency(d time.Duration) {
 	a.estMu.Unlock()
 }
 
+// recordFault counts one peer-level failure (dial, connection, or
+// timeout) into the peer's breaker and the fault counters, recording a
+// breaker-trip span when this failure is the one that opened it.
+func (a *Aggregator) recordFault(tr *obs.Trace, target int, subset int32) {
+	a.faults.Add(1)
+	if a.mFaults != nil {
+		a.mFaults.Inc()
+	}
+	if a.peers[target].br.Fail() {
+		tr.Add(obs.SpanBreakerTrip, subset, time.Now(), 0, int64(target))
+	}
+}
+
+// nextHealthy returns the first other component after from (wrapping)
+// whose breaker is closed, or from itself when no other peer is
+// healthy.
+func (a *Aggregator) nextHealthy(from int) int {
+	n := len(a.peers)
+	for k := 1; k < n; k++ {
+		i := (from + k) % n
+		if a.peers[i].healthy() {
+			return i
+		}
+	}
+	return from
+}
+
 // Call fans the request template out to every component and gathers
 // sub-results according to the gather policy. payload must be a
 // *wire.Request with the payload fields set; the aggregator stamps
@@ -230,6 +383,12 @@ func (a *Aggregator) recordLatency(d time.Duration) {
 // from the context via the frontend package's conventions). The
 // returned slice has one entry per subset in subset order; Value holds
 // the *wire.SubReply of answered sub-operations.
+//
+// Failure handling: sub-operations on a peer whose breaker is open
+// fail fast with ErrPeerDown; peer-level failures are re-dispatched to
+// a healthy peer while the retry budget and the propagated deadline
+// allow; what still fails surfaces as an errored SubResult for the
+// compose path's accuracy-aware degradation.
 func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.SubResult, error) {
 	tmpl, ok := payload.(*wire.Request)
 	if !ok {
@@ -269,6 +428,7 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 	n := len(a.peers)
 	reply := make(chan service.SubResult, 2*n)
 	dones := make([]*atomic.Bool, n)
+	targets := make([]int, n)
 	var timers []*time.Timer
 	for i := 0; i < n; i++ {
 		dones[i] = &atomic.Bool{}
@@ -291,6 +451,14 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 				target = t
 			}
 		}
+		// Health-aware routing: an open-breaker peer is evicted from the
+		// route set when any healthy peer exists (every component server
+		// holds all shards, so placement is a latency choice, not a
+		// correctness one).
+		if !a.peers[target].healthy() {
+			target = a.nextHealthy(target)
+		}
+		targets[i] = target
 		hedged := &atomic.Bool{}
 		a.dispatch(tr, target, &sub, dones[i], hedged, reply, true)
 		if a.opts.Policy == service.Hedged {
@@ -329,14 +497,25 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 					dones[i].Store(true)
 					out[i] = service.SubResult{Subset: i, Skipped: true}
 					remaining--
+					// A sub-operation that never answered within the budget
+					// is failure evidence against its target: consecutive
+					// timeouts trip the breaker (a stalled or partitioned
+					// peer produces nothing else).
+					a.recordFault(tr, targets[i], int32(i))
 				}
 			}
 		case <-ctx.Done():
+			expired := errors.Is(ctx.Err(), context.DeadlineExceeded)
 			for i := range got {
 				if !got[i] {
 					dones[i].Store(true)
 					out[i] = service.SubResult{Subset: i, Err: ctx.Err(), Skipped: true}
 					remaining--
+					// Deadline expiry indicts the peer; caller cancellation
+					// does not.
+					if expired {
+						a.recordFault(tr, targets[i], int32(i))
+					}
 				}
 			}
 		}
@@ -349,28 +528,68 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 // when the replica actually answered OK, so a failed or shed replica
 // can never displace the primary's pending reply.
 func (a *Aggregator) dispatch(tr *obs.Trace, target int, sub *wire.Request, done, hedged *atomic.Bool, reply chan<- service.SubResult, primary bool) {
+	a.dispatchAttempt(tr, target, sub, done, hedged, reply, primary, 0)
+}
+
+// dispatchAttempt is one placement of a sub-operation; peer-level
+// failures recurse onto a healthy peer while the retry budget and the
+// propagated deadline allow.
+func (a *Aggregator) dispatchAttempt(tr *obs.Trace, target int, sub *wire.Request, done, hedged *atomic.Bool, reply chan<- service.SubResult, primary bool, attempt int) {
 	p := a.peers[target]
 	subset := int(sub.Subset)
-	deliverErr := func(err error, skipped bool) {
+	// deliverErr resolves this attempt with an error. retryable marks
+	// peer-level failures (dial, connection, open breaker) that another
+	// peer could still answer; shed and server-reported errors are not.
+	deliverErr := func(err error, skipped, retryable bool) {
 		if !primary {
 			return
+		}
+		if retryable && attempt < a.opts.RetryBudget && !done.Load() &&
+			(sub.Deadline == 0 || time.Now().UnixNano() < sub.Deadline) {
+			next := target
+			if !p.healthy() {
+				next = a.nextHealthy(target)
+			}
+			if next != target || p.healthy() {
+				a.retries.Add(1)
+				if a.mRetries != nil {
+					a.mRetries.Inc()
+				}
+				tr.Add(obs.SpanRetry, sub.Subset, time.Now(), 0, int64(next))
+				clone := *sub
+				clone.ID = a.nextID.Add(1)
+				a.dispatchAttempt(tr, next, &clone, done, hedged, reply, primary, attempt+1)
+				return
+			}
 		}
 		if done.CompareAndSwap(false, true) {
 			reply <- service.SubResult{Subset: subset, Err: err, Skipped: skipped, Hedged: hedged.Load()}
 		}
 	}
+	if !p.healthy() {
+		// Fail fast instead of waiting out a timeout against a peer the
+		// breaker already condemned. Recovery is the reconnector's job,
+		// so known-unhealthy peers cost nothing per request.
+		deliverErr(ErrPeerDown, false, true)
+		return
+	}
 	if p.outstanding.Add(1) > int64(a.opts.MaxOutstanding) {
 		p.outstanding.Add(-1)
-		deliverErr(ErrQueueFull, false)
+		deliverErr(ErrQueueFull, false, false)
 		return
 	}
 	start := time.Now()
 	p.send(sub, func(rep *wire.SubReply, err error) {
 		p.outstanding.Add(-1)
 		if err != nil {
-			deliverErr(err, false)
+			if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrPeerDown) {
+				a.recordFault(tr, target, sub.Subset)
+			}
+			deliverErr(err, false, true)
 			return
 		}
+		// Any decoded reply — OK, skipped, or busy — is proof of life.
+		p.br.Success()
 		lat := time.Since(start)
 		a.recordLatency(lat)
 		switch rep.Status {
@@ -404,9 +623,9 @@ func (a *Aggregator) dispatch(tr *obs.Trace, target int, sub *wire.Request, done
 			// aggregator-side outstanding window: report the sentinel so
 			// composed replies classify it StatusBusy, not a generic
 			// error.
-			deliverErr(ErrQueueFull, false)
+			deliverErr(ErrQueueFull, false, false)
 		default:
-			deliverErr(fmt.Errorf("netsvc: component %d: %s", target, rep.Err), false)
+			deliverErr(fmt.Errorf("netsvc: component %d: %s", target, rep.Err), false, false)
 		}
 	})
 }
@@ -418,6 +637,11 @@ func (a *Aggregator) armHedge(tr *obs.Trace, sub wire.Request, target int, done,
 			return
 		}
 		rc := a.opts.ReplicaOf(int(sub.Subset), len(a.peers))
+		if !a.peers[rc].healthy() {
+			// Hedging into an open breaker buys nothing; place the
+			// replica on the next healthy peer instead.
+			rc = a.nextHealthy(rc)
+		}
 		if rc == target {
 			// A replica behind the very sub-operation it hedges would
 			// queue after it — skip, as in the in-process runtime.
@@ -450,44 +674,178 @@ func (a *Aggregator) Close() {
 	}
 }
 
-// peer is the connection pool for one component server.
+// peer is the connection pool plus failure-domain state for one
+// component server: its circuit breaker, dial backoff, and background
+// reconnector.
 type peer struct {
 	agg         *Aggregator
 	addr        string
+	idx         int
 	outstanding atomic.Int64
 	reconnects  atomic.Int64
 
-	mu     sync.Mutex
-	slots  []*peerConn
-	next   int
-	closed bool
+	br           *breaker.Breaker
+	backoff      *breaker.Backoff
+	reconnecting atomic.Bool
+	closeCh      chan struct{}
+
+	mu         sync.Mutex
+	slots      []*peerConn
+	next       int
+	nextDialAt time.Time
+	closed     bool
 }
 
-// conn returns a live pooled connection, dialing (or re-dialing a dead
-// slot) as needed.
-func (p *peer) conn() (*peerConn, error) {
+// healthy reports whether the peer's breaker admits normal traffic.
+func (p *peer) healthy() bool { return p.br.State() == breaker.Closed }
+
+func (p *peer) isClosed() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.closed
+}
+
+// conn returns a live pooled connection, dialing a dead slot as
+// needed. Dials are gated by the peer's capped exponential backoff:
+// inside the backoff window conn fails fast with ErrPeerDown instead
+// of hammering a refusing address once per request.
+func (p *peer) conn() (*peerConn, error) {
+	p.mu.Lock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, ErrClosed
 	}
 	i := p.next
 	p.next = (p.next + 1) % len(p.slots)
 	pc := p.slots[i]
 	if pc != nil && !pc.isDead() {
+		p.mu.Unlock()
 		return pc, nil
+	}
+	// Prefer any other live slot over redialing (the background
+	// reconnector may have installed a fresh connection already).
+	for _, q := range p.slots {
+		if q != nil && !q.isDead() {
+			p.mu.Unlock()
+			return q, nil
+		}
 	}
 	if pc != nil {
 		p.reconnects.Add(1)
 	}
-	c, err := net.DialTimeout("tcp", p.addr, p.agg.opts.DialTimeout)
+	if !p.nextDialAt.IsZero() && time.Now().Before(p.nextDialAt) {
+		p.mu.Unlock()
+		p.kickReconnector()
+		return nil, ErrPeerDown
+	}
+	c, err := p.agg.opts.Dial(p.addr, p.agg.opts.DialTimeout)
 	if err != nil {
+		p.nextDialAt = time.Now().Add(p.backoff.Next())
+		p.mu.Unlock()
+		p.kickReconnector()
 		return nil, err
 	}
-	pc = &peerConn{c: c, pending: map[uint64]func(*wire.SubReply, error){}}
+	p.backoff.Reset()
+	p.nextDialAt = time.Time{}
+	pc = p.newConn(c)
 	p.slots[i] = pc
+	p.mu.Unlock()
 	go pc.readLoop(p.agg.opts.MaxFrame)
 	return pc, nil
+}
+
+// newConn wraps an established transport connection. Caller holds p.mu
+// and must start the read loop after unlocking.
+func (p *peer) newConn(c net.Conn) *peerConn {
+	return &peerConn{
+		c:       c,
+		pending: map[uint64]func(*wire.SubReply, error){},
+		onDead:  p.kickReconnector,
+	}
+}
+
+// kickReconnector starts the background reconnect/probe loop unless it
+// is already running or the peer is closed. It is invoked on every
+// connection death, failed dial, and breaker trip.
+func (p *peer) kickReconnector() {
+	if p.isClosed() {
+		return
+	}
+	if !p.reconnecting.CompareAndSwap(false, true) {
+		return
+	}
+	go p.reconnectLoop()
+}
+
+// reconnectLoop is the traffic-independent recovery path: it redials
+// the peer on the capped backoff schedule, acting as the breaker's
+// half-open prober, until a dial lands (connection installed, breaker
+// closed, backoff reset) or the peer is closed. Dial outcomes feed the
+// breaker, so a dead peer's breaker trips — and a healed peer's
+// breaker re-closes — even with zero request traffic.
+func (p *peer) reconnectLoop() {
+	defer p.reconnecting.Store(false)
+	t := time.NewTimer(0)
+	defer t.Stop()
+	for {
+		d := p.backoff.Next()
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		t.Reset(d)
+		select {
+		case <-p.closeCh:
+			return
+		case <-t.C:
+		}
+		if p.isClosed() {
+			return
+		}
+		if p.br.State() != breaker.Closed && !p.br.Allow() {
+			// Still inside the cooldown; the backoff sleep above keeps
+			// the loop from spinning.
+			continue
+		}
+		c, err := p.agg.opts.Dial(p.addr, p.agg.opts.DialTimeout)
+		if err != nil {
+			p.br.Fail()
+			p.agg.faults.Add(1)
+			if p.agg.mFaults != nil {
+				p.agg.mFaults.Inc()
+			}
+			continue
+		}
+		p.install(c)
+		p.br.Success()
+		p.backoff.Reset()
+		return
+	}
+}
+
+// install pools a successfully probed connection into a dead or empty
+// slot.
+func (p *peer) install(c net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	idx := 0
+	for i, q := range p.slots {
+		if q == nil || q.isDead() {
+			idx = i
+			break
+		}
+	}
+	pc := p.newConn(c)
+	p.slots[idx] = pc
+	p.nextDialAt = time.Time{}
+	p.mu.Unlock()
+	go pc.readLoop(p.agg.opts.MaxFrame)
 }
 
 // send transmits one sub-operation and registers its delivery callback
@@ -522,7 +880,12 @@ func (p *peer) send(sub *wire.Request, deliver func(*wire.SubReply, error)) {
 
 func (p *peer) close() {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
 	p.closed = true
+	close(p.closeCh)
 	slots := append([]*peerConn(nil), p.slots...)
 	p.mu.Unlock()
 	for _, pc := range slots {
@@ -535,8 +898,9 @@ func (p *peer) close() {
 // peerConn is one multiplexed connection: concurrent requests are
 // matched to replies by ID.
 type peerConn struct {
-	c   net.Conn
-	wmu sync.Mutex
+	c      net.Conn
+	onDead func() // kicks the owning peer's reconnector
+	wmu    sync.Mutex
 
 	pmu     sync.Mutex
 	pending map[uint64]func(*wire.SubReply, error)
@@ -599,6 +963,9 @@ func (pc *peerConn) fail(err error) {
 	pc.pending = nil
 	pc.pmu.Unlock()
 	pc.c.Close()
+	if pc.onDead != nil && !errors.Is(err, ErrClosed) {
+		pc.onDead()
+	}
 	for _, deliver := range pending {
 		deliver(nil, fmt.Errorf("netsvc: connection failed: %w", err))
 	}

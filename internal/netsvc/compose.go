@@ -49,6 +49,50 @@ func SubStatuses(subs []service.SubResult) []uint8 {
 	return out
 }
 
+// DegradeStats counts the strata that contributed a payload to the
+// composed reply (StatusOK) against the fan-out width — the inputs to
+// the per-SLO degradation rule.
+func DegradeStats(statuses []uint8) (answered, total int) {
+	for _, st := range statuses {
+		if st == wire.StatusOK {
+			answered++
+		}
+	}
+	return answered, len(statuses)
+}
+
+// DiscountAccuracy discounts an accuracy bound by the answered
+// fraction of the fan-out: each stratum contributes 1/total of the
+// answer, so a reply composed over answered strata cannot promise more
+// than acc·answered/total of it.
+func DiscountAccuracy(acc float64, answered, total int) float64 {
+	if total <= 0 || answered >= total {
+		return acc
+	}
+	return acc * float64(answered) / float64(total)
+}
+
+// ExtrapolateAgg rescales an aggregation answer composed over answered
+// of total strata up to the full population: sums and counts grow by
+// total/answered (unbiased under the uniform sharding of the replays),
+// variances by its square — the CLT bounds honestly widen to cover the
+// unseen strata instead of silently skewing low.
+func ExtrapolateAgg(res *wire.AggResult, answered, total int) {
+	if res == nil || answered <= 0 || answered >= total {
+		return
+	}
+	f := float64(total) / float64(answered)
+	f2 := f * f
+	for i := range res.Sum {
+		res.Sum[i] *= f
+		res.SumVar[i] *= f2
+	}
+	for i := range res.Cnt {
+		res.Cnt[i] *= f
+		res.CntVar[i] *= f2
+	}
+}
+
 // ComposeCF merges CF sub-results additively (the partial-result merge
 // contract of cf.Result): skipped or failed components simply
 // contribute nothing, exactly as in the in-process composition.

@@ -1,0 +1,323 @@
+package netsvc
+
+import (
+	"context"
+	"math"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/breaker"
+	"accuracytrader/internal/obs"
+	"accuracytrader/internal/service"
+	"accuracytrader/internal/wire"
+)
+
+// leakCheck snapshots the goroutine count and returns a func asserting
+// the count settles back near the snapshot.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+2 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+	}
+}
+
+// refusedAddr returns a loopback address with nothing listening on it.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestDialBackoffLimitsRedialStorm drives many calls against a
+// refusing listener and asserts dial attempts follow the capped
+// backoff schedule instead of one-dial-per-request.
+func TestDialBackoffLimitsRedialStorm(t *testing.T) {
+	addr := refusedAddr(t)
+	var dials atomic.Int64
+	a, err := NewAggregator([]string{addr}, AggregatorOptions{
+		Policy:     service.WaitAll,
+		Deadline:   50 * time.Millisecond,
+		RedialBase: 25 * time.Millisecond,
+		RedialMax:  200 * time.Millisecond,
+		Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	const calls = 60
+	for i := 0; i < calls; i++ {
+		subs, err := a.Call(context.Background(), aggReq(agg.Sum, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if subs[0].Err == nil {
+			t.Fatal("call against a refusing listener answered OK")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// 60 calls over ~300ms. Without backoff every call (plus its retry)
+	// dials: >= 60 attempts. With the 25ms-base/200ms-cap schedule the
+	// call path and the background prober together fit in a small
+	// logarithmic budget.
+	if got := dials.Load(); got == 0 || got > 15 {
+		t.Fatalf("dial attempts = %d, want in [1, 15] under backoff", got)
+	}
+	if a.Stats().Faults == 0 {
+		t.Fatal("fault counter must move")
+	}
+}
+
+// TestBreakerEvictsReroutesAndRecloses is the breaker lifecycle over a
+// real kill/heal cycle: trips open on a killed peer, evicts it from
+// routing (the healthy peer answers every subset), publishes its state
+// to metrics, and re-closes via the background prober after heal with
+// no request traffic at all.
+func TestBreakerEvictsReroutesAndRecloses(t *testing.T) {
+	comps := buildAggComps(t, 2)
+	h := NewAggBackend(comps, BackendOptions{})
+
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr0 := l0.Addr().String()
+	srv0 := NewServer(h, ServerOptions{})
+	go srv0.Serve(l0)
+	_, addr1 := startServer(t, h, ServerOptions{})
+
+	reg := obs.NewRegistry()
+	a, err := NewAggregator([]string{addr0, addr1}, AggregatorOptions{
+		Policy:     service.WaitAll,
+		Deadline:   300 * time.Millisecond,
+		RedialBase: 10 * time.Millisecond,
+		RedialMax:  80 * time.Millisecond,
+		Breaker:    breaker.Config{FailThreshold: 3, Cooldown: 50 * time.Millisecond},
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill component 0.
+	srv0.Close()
+
+	// Calls keep succeeding end to end: once the breaker opens, subset 0
+	// is rerouted to the healthy peer (every server holds all shards).
+	deadline := time.Now().Add(5 * time.Second)
+	healthyCall := false
+	for time.Now().Before(deadline) && !healthyCall {
+		subs, err := a.Call(context.Background(), aggReq(agg.Sum, 0, math.Inf(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthyCall = true
+		for _, sr := range subs {
+			if sr.Err != nil || sr.Skipped {
+				healthyCall = false
+			}
+		}
+	}
+	if !healthyCall {
+		t.Fatal("calls never recovered via rerouting after component kill")
+	}
+	if st := a.BreakerState(0); st != breaker.Open && st != breaker.HalfOpen {
+		t.Fatalf("killed peer breaker state = %v, want open/half-open", st)
+	}
+	open := a.OpenBreakers()
+	if len(open) != 1 || open[0] != addr0 {
+		t.Fatalf("OpenBreakers() = %v, want [%s]", open, addr0)
+	}
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "netsvc_breaker_state{peer=") {
+		t.Fatal("breaker state gauge missing from metrics")
+	}
+	if !strings.Contains(prom.String(), `state="open"`) {
+		t.Fatal("breaker open transition counter missing from metrics")
+	}
+
+	// Heal: new server on the same address. The background prober must
+	// re-close the breaker without any further calls.
+	l0b, err := net.Listen("tcp", addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv0b := NewServer(h, ServerOptions{})
+	go srv0b.Serve(l0b)
+	t.Cleanup(srv0b.Close)
+
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && a.BreakerState(0) != breaker.Closed {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := a.BreakerState(0); st != breaker.Closed {
+		t.Fatalf("breaker did not re-close after heal: %v", st)
+	}
+	if got := a.OpenBreakers(); got != nil {
+		t.Fatalf("OpenBreakers() after heal = %v, want none", got)
+	}
+
+	// And traffic lands on the healed peer again.
+	subs, err := a.Call(context.Background(), aggReq(agg.Sum, 0, math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range subs {
+		if sr.Err != nil || sr.Skipped {
+			t.Fatalf("post-heal sub %d: %+v", i, sr)
+		}
+	}
+}
+
+// TestCallCancellationReleasesInflight cancels the caller's context
+// while every sub-operation is parked in a stalled handler and asserts
+// Call returns promptly and the dispatch/hedge machinery unwinds
+// without goroutine leaks.
+func TestCallCancellationReleasesInflight(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	release := make(chan struct{})
+	h := func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel,
+			Agg: &wire.AggResult{Sum: []float64{1}, Cnt: []float64{1}, SumVar: []float64{0}, CntVar: []float64{0}}}
+	}
+	srv1, addr1 := startServer(t, h, ServerOptions{})
+	srv2, addr2 := startServer(t, h, ServerOptions{})
+	a, err := NewAggregator([]string{addr1, addr2}, AggregatorOptions{
+		Policy:   service.Hedged,
+		Deadline: 30 * time.Second, // far away: only cancellation can release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		subs, err := a.Call(ctx, aggReq(agg.Sum, 0, 1))
+		if err == nil {
+			for _, sr := range subs {
+				if sr.Err == nil && !sr.Skipped {
+					done <- nil
+					return
+				}
+			}
+		}
+		done <- ctx.Err()
+	}()
+	time.Sleep(50 * time.Millisecond) // let the sub-ops reach the handlers
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Call did not return after context cancellation")
+	}
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("Inflight = %d after cancelled Call returned", got)
+	}
+	close(release)
+	a.Close()
+	srv1.Close()
+	srv2.Close()
+	checkLeaks()
+}
+
+// TestMidFlightKillEveryCallReturns kills a component server while N
+// calls are in flight and asserts every Call returns (an answered,
+// errored, or skipped sub-result — never a hang) with no goroutine
+// leaks. Run under -race this doubles as the abrupt-close race test.
+func TestMidFlightKillEveryCallReturns(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	comps := buildAggComps(t, 2)
+	inner := NewAggBackend(comps, BackendOptions{})
+	h := func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		time.Sleep(20 * time.Millisecond) // hold replies so the kill lands mid-flight
+		return inner(ctx, req)
+	}
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv0 := NewServer(h, ServerOptions{})
+	go srv0.Serve(l0)
+	srv1, addr1 := startServer(t, h, ServerOptions{})
+
+	a, err := NewAggregator([]string{l0.Addr().String(), addr1}, AggregatorOptions{
+		Policy:   service.WaitAll,
+		Deadline: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 24
+	var wg sync.WaitGroup
+	var returned atomic.Int64
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if _, err := a.Call(ctx, aggReq(agg.Sum, 0, math.Inf(1))); err != nil {
+				t.Errorf("Call error: %v", err)
+				return
+			}
+			returned.Add(1)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // calls dispatched, replies pending
+	srv0.Close()                      // abrupt kill: connections reset mid-flight
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("calls hung after mid-flight server kill")
+	}
+	if got := returned.Load(); got != inflight {
+		t.Fatalf("%d of %d calls returned", got, inflight)
+	}
+	a.Close()
+	srv1.Close()
+	checkLeaks()
+}

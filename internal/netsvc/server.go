@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -562,7 +563,12 @@ func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply
 			Err: msg, SLO: req.SLO, MinAccuracy: req.MinAccuracy, Level: wire.NoLevel}
 	}
 	if outcome == rescache.OutcomeMiss {
-		return rep // this request's own computation, already stamped
+		// This request's own computation, already stamped — but the
+		// same object was handed to any coalesced waiters, who copy it
+		// concurrently. Return a private copy so serve's trace-ID stamp
+		// never races those reads.
+		out := *rep
+		return &out
 	}
 	// Cache hit or coalesced share: the stored reply is immutable —
 	// copy it and stamp this request's identity and class.
@@ -656,6 +662,34 @@ func (s *FrontServer) serveMiss(ctx context.Context, req *wire.Request) (*wire.R
 	}
 	rep.Status = wire.ReplyOK
 	rep.SubStatus = SubStatuses(subs)
+	answered, total := DegradeStats(rep.SubStatus)
+	if answered < total {
+		// Some strata are absent (dead component, tripped breaker, shed
+		// queue, expired budget). Discount the accuracy by the lost
+		// contribution and apply the per-SLO rule instead of silently
+		// composing a skewed answer.
+		base := acc
+		if s.fe == nil {
+			// Without a frontend the components run at full fidelity; the
+			// only accuracy loss is the missing strata themselves.
+			base = 1
+		}
+		disc := DiscountAccuracy(base, answered, total)
+		switch {
+		case rep.SLO == wire.SLOExact:
+			rep.Status = wire.ReplyUnavailable
+			rep.Err = fmt.Sprintf("exact answer unavailable: %d of %d strata answered", answered, total)
+			return rep, 0
+		case rep.SLO == wire.SLOBounded && disc < rep.MinAccuracy:
+			rep.Status = wire.ReplyUnavailable
+			rep.Err = fmt.Sprintf("accuracy floor %.3f unreachable: %d of %d strata answered (discounted accuracy %.3f)",
+				rep.MinAccuracy, answered, total, disc)
+			return rep, 0
+		}
+		rep.Status = wire.ReplyDegraded
+		rep.Degraded = true
+		acc = disc
+	}
 	tr := obs.TraceFrom(ctx)
 	var mergeT0 time.Time
 	if tr != nil {
@@ -672,6 +706,9 @@ func (s *FrontServer) serveMiss(ctx context.Context, req *wire.Request) (*wire.R
 		rep.Search = ComposeSearch(subs, k)
 	case wire.KindAgg:
 		rep.Agg = ComposeAgg(subs)
+		if rep.Status == wire.ReplyDegraded {
+			ExtrapolateAgg(rep.Agg, answered, total)
+		}
 	}
 	if tr != nil {
 		tr.Add(obs.SpanMerge, -1, mergeT0, time.Since(mergeT0), 0)

@@ -15,19 +15,25 @@ import (
 // Admin is the serving stack's HTTP admin plane. It exposes:
 //
 //	/metrics        Prometheus text exposition of the registry
-//	/healthz        200 "ok" when ready, 503 "draining" when not
+//	/healthz        200 "ok" when ready, 200 "degraded" + the open
+//	                breakers when serving around failed components,
+//	                503 "draining" when not ready
 //	/traces?n=K     the K most recent finished traces as JSON
 //	/debug/pprof/*  the standard runtime profiles
 //
 // Readiness starts true and is flipped by SetReady — graceful shutdown
 // flips it false first so load balancers stop routing before the
-// listeners close.
+// listeners close. Degraded is deliberately still a 200: the process
+// keeps answering (rerouted, possibly at degraded accuracy), so load
+// balancers must not evict it — but operators and probes can see which
+// failure domains are open.
 type Admin struct {
-	reg   *Registry
-	rec   *Recorder
-	ready atomic.Bool
-	srv   *http.Server
-	ln    net.Listener
+	reg    *Registry
+	rec    *Recorder
+	ready  atomic.Bool
+	health atomic.Value // func() []string: open-breaker source
+	srv    *http.Server
+	ln     net.Listener
 }
 
 // NewAdmin returns an admin plane over the given registry and recorder.
@@ -44,6 +50,15 @@ func (a *Admin) SetReady(ready bool) { a.ready.Store(ready) }
 
 // Ready reports the current readiness answer.
 func (a *Admin) Ready() bool { return a.ready.Load() }
+
+// SetHealthSource installs the degradation probe: a function returning
+// the identifiers (peer addresses, component indices) whose circuit
+// breakers are currently open. A non-empty answer turns /healthz into
+// 200 "degraded" listing them; nil or an empty answer keeps plain
+// "ok".
+func (a *Admin) SetHealthSource(openBreakers func() []string) {
+	a.health.Store(openBreakers)
+}
 
 // Handler returns the admin mux.
 func (a *Admin) Handler() http.Handler {
@@ -68,12 +83,21 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if a.ready.Load() {
-		fmt.Fprintln(w, "ok")
+	if !a.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
 		return
 	}
-	w.WriteHeader(http.StatusServiceUnavailable)
-	fmt.Fprintln(w, "draining")
+	if src, _ := a.health.Load().(func() []string); src != nil {
+		if open := src(); len(open) > 0 {
+			fmt.Fprintln(w, "degraded")
+			for _, b := range open {
+				fmt.Fprintf(w, "open-breaker %s\n", b)
+			}
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {

@@ -54,6 +54,48 @@ func TestAdminHealthzFlips(t *testing.T) {
 	}
 }
 
+// TestAdminHealthzThreeStates pins the health surface's distinction
+// between healthy (200 ok), serving-around-failures (200 degraded,
+// listing the open breakers so probes can see which domains are down
+// without evicting the process) and draining (503).
+func TestAdminHealthzThreeStates(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	var open []string
+	a.SetHealthSource(func() []string { return open })
+
+	if w := get(t, a.Handler(), "/healthz"); w.Code != 200 || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healthy: %d %q", w.Code, w.Body.String())
+	}
+
+	open = []string{"127.0.0.1:9001", "127.0.0.1:9003"}
+	w := get(t, a.Handler(), "/healthz")
+	if w.Code != 200 {
+		t.Fatalf("degraded must stay routable (200), got %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "degraded") || strings.Contains(body, "ok\n") {
+		t.Fatalf("degraded body: %q", body)
+	}
+	for _, b := range open {
+		if !strings.Contains(body, "open-breaker "+b) {
+			t.Fatalf("degraded body does not list %s: %q", b, body)
+		}
+	}
+
+	// Draining wins over degraded: a stopping process must be evicted.
+	a.SetReady(false)
+	if w := get(t, a.Handler(), "/healthz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("draining: %d %q", w.Code, w.Body.String())
+	}
+
+	// Healed: back to plain ok.
+	a.SetReady(true)
+	open = nil
+	if w := get(t, a.Handler(), "/healthz"); w.Code != 200 || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healed: %d %q", w.Code, w.Body.String())
+	}
+}
+
 func TestAdminTraces(t *testing.T) {
 	a, _, rec := newTestAdmin(t)
 	for i := 0; i < 3; i++ {

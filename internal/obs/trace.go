@@ -34,6 +34,13 @@ const (
 	// SpanMerge is the aggregator-side composition of sub-replies into
 	// the whole-service answer.
 	SpanMerge
+	// SpanRetry marks a sub-operation re-dispatched to another
+	// component after a peer-level failure (Note: the new component).
+	// Its Start is the retry time; Dur is zero.
+	SpanRetry
+	// SpanBreakerTrip marks the failure that tripped a peer's circuit
+	// breaker open (Note: the tripped component).
+	SpanBreakerTrip
 )
 
 // String returns the span kind's summary-table label.
@@ -53,6 +60,10 @@ func (k SpanKind) String() string {
 		return "srvexec"
 	case SpanMerge:
 		return "merge"
+	case SpanRetry:
+		return "retry"
+	case SpanBreakerTrip:
+		return "brktrip"
 	default:
 		return "unknown"
 	}

@@ -181,9 +181,10 @@ func TestRecorderSnapshotRace(t *testing.T) {
 
 func TestSpanKindString(t *testing.T) {
 	kinds := []SpanKind{SpanAdmission, SpanCache, SpanSubOp, SpanHedge,
-		SpanServerQueue, SpanServerExec, SpanMerge, SpanKind(99)}
+		SpanServerQueue, SpanServerExec, SpanMerge, SpanRetry,
+		SpanBreakerTrip, SpanKind(99)}
 	want := []string{"admission", "cache", "subop", "hedge",
-		"srvqueue", "srvexec", "merge", "unknown"}
+		"srvqueue", "srvexec", "merge", "retry", "brktrip", "unknown"}
 	for i, k := range kinds {
 		if k.String() != want[i] {
 			t.Errorf("SpanKind(%d).String() = %q, want %q", k, k.String(), want[i])

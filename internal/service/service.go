@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/breaker"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/stats"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	// service_subop_latency_ms histogram). Nil uses a private registry;
 	// Stats() is unaffected either way.
 	Metrics *obs.Registry
+	// Breaker configures the per-component circuit breakers — the
+	// in-process mirror of the aggregator's per-peer breakers, fed by
+	// the outcome of every executed sub-operation on that component.
+	// Zero fields take the breaker package defaults.
+	Breaker breaker.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +115,12 @@ type RouteFunc func(subset, n int, queueDepth func(comp int) int) int
 // was full at enqueue time.
 var ErrQueueFull = errors.New("service: component queue full")
 
+// ErrComponentDown is reported for a sub-operation refused fast because
+// the target component's circuit breaker is open and no healthy
+// component could take the placement — the in-process mirror of
+// netsvc.ErrPeerDown.
+var ErrComponentDown = errors.New("service: component circuit open")
+
 // ErrClosed is returned by Call after Close.
 var ErrClosed = errors.New("service: cluster closed")
 
@@ -152,6 +164,7 @@ func ComponentFrom(ctx context.Context) (comp int, ok bool) {
 type Cluster struct {
 	handlers []Handler
 	comps    []*component
+	brs      []*breaker.Breaker // per-component, indexed like comps
 	opts     Options
 	policy   Policy
 
@@ -202,6 +215,25 @@ func New(handlers []Handler, policy Policy, opts Options) (*Cluster, error) {
 	for i := range handlers {
 		c := &component{mailbox: make(chan job, opts.QueueLen), idx: i}
 		cl.comps = append(cl.comps, c)
+		bcfg := opts.Breaker
+		userHook := bcfg.OnStateChange
+		var transitions [3]*obs.Counter
+		for s, label := range map[breaker.State]string{
+			breaker.Closed: "closed", breaker.Open: "open", breaker.HalfOpen: "half_open",
+		} {
+			transitions[s] = reg.Counter(fmt.Sprintf(`service_breaker_transitions_total{comp="%d",state=%q}`, i, label))
+		}
+		bcfg.OnStateChange = func(s breaker.State) {
+			transitions[s].Inc()
+			if userHook != nil {
+				userHook(s)
+			}
+		}
+		br := breaker.New(bcfg)
+		cl.brs = append(cl.brs, br)
+		reg.GaugeFunc(fmt.Sprintf(`service_breaker_state{comp="%d"}`, i), func() float64 {
+			return float64(br.State())
+		})
 		cl.wg.Add(1)
 		go cl.worker(c)
 	}
@@ -223,6 +255,18 @@ func (cl *Cluster) worker(c *component) {
 			c.busy.Store(true)
 			v, err := j.handler(context.WithValue(j.ctx, compKey{}, c.idx), j.payload)
 			c.busy.Store(false)
+			// Every executed sub-operation is breaker evidence for the
+			// component that ran it (under hedging that may not be the
+			// subset's home): consecutive handler failures trip it open.
+			if err != nil {
+				if cl.brs[c.idx].Fail() {
+					if tr := obs.TraceFrom(j.ctx); tr != nil {
+						tr.Add(obs.SpanBreakerTrip, int32(j.subset), time.Now(), 0, int64(c.idx))
+					}
+				}
+			} else {
+				cl.brs[c.idx].Success()
+			}
 			lat := time.Since(j.enqueued)
 			if j.done.CompareAndSwap(false, true) {
 				cl.recordLatency(lat)
@@ -302,11 +346,53 @@ func (cl *Cluster) EstimatedP95() time.Duration { return cl.hedgeDelay() }
 // Deadline returns the configured call deadline (Options.Deadline).
 func (cl *Cluster) Deadline() time.Duration { return cl.opts.Deadline }
 
+// BreakerState returns one component's circuit-breaker state.
+func (cl *Cluster) BreakerState(comp int) breaker.State { return cl.brs[comp].State() }
+
+// OpenBreakers returns the indices of components whose breaker is not
+// closed — the degraded-health signal.
+func (cl *Cluster) OpenBreakers() []int {
+	var open []int
+	for i, b := range cl.brs {
+		if b.State() != breaker.Closed {
+			open = append(open, i)
+		}
+	}
+	return open
+}
+
+// nextHealthy returns the first other component after from (wrapping)
+// whose breaker is closed, or from itself when no other is healthy.
+func (cl *Cluster) nextHealthy(from int) int {
+	n := len(cl.brs)
+	for k := 1; k < n; k++ {
+		i := (from + k) % n
+		if cl.brs[i].State() == breaker.Closed {
+			return i
+		}
+	}
+	return from
+}
+
+// admit asks a component's breaker to accept one sub-operation. probe
+// reports that the admission claimed a half-open probe slot, whose
+// outcome must reach the breaker.
+func (cl *Cluster) admit(comp int) (admitted, probe bool) {
+	if cl.brs[comp].State() == breaker.Closed {
+		return true, false
+	}
+	if cl.brs[comp].Allow() {
+		return true, true
+	}
+	return false, false
+}
+
 // Stats reports cluster-level counters.
 type Stats struct {
-	SubOps int
-	Hedges int64
-	P999Ms float64
+	SubOps       int
+	Hedges       int64
+	BreakerOpens int64 // cumulative breaker trips across components
+	P999Ms       float64
 }
 
 // Stats returns a snapshot of the recorded sub-operation statistics.
@@ -314,9 +400,13 @@ type Stats struct {
 // counters live in the Options.Metrics registry (or a private one), so
 // the same numbers are one Prometheus scrape away.
 func (cl *Cluster) Stats() Stats {
+	var opens int64
+	for _, b := range cl.brs {
+		opens += b.Opens()
+	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	st := Stats{SubOps: cl.subOps, Hedges: cl.hedges.Value()}
+	st := Stats{SubOps: cl.subOps, Hedges: cl.hedges.Value(), BreakerOpens: opens}
 	if st.SubOps > 0 {
 		st.P999Ms = cl.p999est.Value()
 	}
@@ -367,8 +457,29 @@ func (cl *Cluster) Call(ctx context.Context, payload interface{}) ([]SubResult, 
 				target = t
 			}
 		}
+		// Health-aware placement: an open-breaker component is evicted
+		// from the route set when a healthy one exists (handlers are safe
+		// to run on any worker); a cooled-down breaker admits the
+		// sub-operation as its half-open probe.
+		admitted, probe := cl.admit(target)
+		if !admitted {
+			if alt := cl.nextHealthy(target); alt != target {
+				target = alt
+				admitted, probe = cl.admit(target)
+			}
+		}
 		j.target = target
+		if !admitted {
+			dones[i].Store(true)
+			reply <- SubResult{Subset: i, Err: ErrComponentDown}
+			continue
+		}
 		if !cl.enqueue(target, j) {
+			if probe {
+				// The probe never ran; resolve it so the breaker is not
+				// wedged half-open.
+				cl.brs[target].Fail()
+			}
 			dones[i].Store(true)
 			reply <- SubResult{Subset: i, Err: ErrQueueFull}
 			continue
@@ -443,6 +554,14 @@ func (cl *Cluster) armHedge(j job) *time.Timer {
 		// router may have placed it away from its home) would queue
 		// behind the very sub-operation it is meant to hedge — skip.
 		rc := cl.opts.ReplicaOf(j.subset, len(cl.comps))
+		if cl.brs[rc].State() != breaker.Closed {
+			// Hedging into an open breaker buys nothing; place the replica
+			// on the next healthy component instead.
+			rc = cl.nextHealthy(rc)
+			if cl.brs[rc].State() != breaker.Closed {
+				return
+			}
+		}
 		if rc == j.target {
 			return
 		}

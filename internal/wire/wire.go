@@ -11,8 +11,11 @@ import (
 // speaking a different version is rejected at decode time with a typed
 // *VersionError instead of being misparsed. Version 2 added the
 // composed reply's Cached byte; version 3 added the propagated trace ID
-// (Request.Trace, Reply.Trace) and server-side spans (SubReply.Spans).
-const Version = 3
+// (Request.Trace, Reply.Trace) and server-side spans (SubReply.Spans);
+// version 4 added the degraded/unavailable composed-reply statuses
+// (ReplyDegraded carries a payload, so the payload-presence rule
+// changed).
+const Version = 4
 
 // VersionError reports a frame stamped with a different protocol
 // version — a v2 (or future) peer on the other end of the connection.
@@ -76,7 +79,24 @@ const (
 	ReplyOK       = 0
 	ReplyRejected = 1 // shed by frontend admission
 	ReplyErr      = 2
+	// ReplyDegraded is a served answer composed over missing strata:
+	// the payload is present, its bounds were widened for the absent
+	// components, and the reported accuracy still cleared the request's
+	// floor (trivially so for BestEffort).
+	ReplyDegraded = 3
+	// ReplyUnavailable is the typed rejection of a Bounded request
+	// whose discounted accuracy under component failure could no longer
+	// clear MinAccuracy (or an Exact request that lost a component):
+	// the honest refusal instead of a silently skewed answer.
+	ReplyUnavailable = 4
 )
+
+// ReplyCarriesPayload reports whether a composed reply with the given
+// status encodes a result payload (OK and Degraded do; the rejection
+// and error statuses do not).
+func ReplyCarriesPayload(status uint8) bool {
+	return status == ReplyOK || status == ReplyDegraded
+}
 
 // NoLevel is the Level value of a request that carries no ladder level
 // (handlers serve their finest synopsis).
@@ -554,7 +574,7 @@ func AppendReplyFrame(dst []byte, rep *Reply) []byte {
 	dst = appendU64(dst, rep.Trace)
 	dst = appendU32(dst, uint32(len(rep.SubStatus)))
 	dst = append(dst, rep.SubStatus...)
-	if rep.Status == ReplyOK {
+	if ReplyCarriesPayload(rep.Status) {
 		dst = appendResultPayload(dst, rep.Kind, rep.CF, rep.Search, rep.Agg)
 	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
@@ -581,7 +601,7 @@ func DecodeReply(body []byte) (*Reply, error) {
 	if n := r.count(1, "substatus"); r.err == nil && n > 0 {
 		rep.SubStatus = append([]uint8(nil), r.take(n, "substatus")...)
 	}
-	if rep.Status == ReplyOK {
+	if ReplyCarriesPayload(rep.Status) {
 		var err error
 		rep.CF, rep.Search, rep.Agg, err = decodeResultPayload(r, rep.Kind)
 		if err != nil {

@@ -100,7 +100,7 @@ func randSubReply(rng *stats.RNG) *SubReply {
 func randReply(rng *stats.RNG) *Reply {
 	rep := &Reply{
 		ID:          rng.Uint64(),
-		Status:      uint8(rng.Intn(3)),
+		Status:      uint8(rng.Intn(5)),
 		Kind:        Kind(rng.Intn(3)),
 		SLO:         []uint8{SLOExact, SLOBounded, SLOBestEffort, SLONone}[rng.Intn(4)],
 		MinAccuracy: rng.Float64(),
@@ -115,7 +115,10 @@ func randReply(rng *stats.RNG) *Reply {
 	if rep.Status == ReplyErr {
 		rep.Err = "compose failed"
 	}
-	if rep.Status == ReplyOK {
+	if rep.Status == ReplyUnavailable {
+		rep.Err = "accuracy floor unreachable"
+	}
+	if ReplyCarriesPayload(rep.Status) {
 		n := 1 + rng.Intn(6)
 		switch rep.Kind {
 		case KindCF:
@@ -297,7 +300,7 @@ func TestVersionMismatchTyped(t *testing.T) {
 	if _, err := FrameKind(v2); !errors.As(err, &ve) {
 		t.Fatalf("FrameKind: want *VersionError, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "want 3") {
+	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "want 4") {
 		t.Fatalf("message: %q", err.Error())
 	}
 }
