@@ -55,6 +55,7 @@ import (
 	"accuracytrader/internal/cf"
 	"accuracytrader/internal/core"
 	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/ingest"
 	"accuracytrader/internal/netsvc"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/rescache"
@@ -514,4 +515,63 @@ type AdminPlane = obs.Admin
 // Listen method with a loopback address, Close when done.
 func NewAdminPlane(reg *MetricsRegistry, rec *TraceRecorder) *AdminPlane {
 	return obs.NewAdmin(reg, rec)
+}
+
+// Live synopsis updates (internal/ingest): components accept appended
+// rows while serving. A live store layers an append-only,
+// exactly-scanned delta segment over a frozen synopsis base behind an
+// epoch-swapped snapshot — readers stay lock- and allocation-free, the
+// delta fold can only tighten estimates, and a compacted store is
+// bit-identical to an offline rebuild over the same rows. A merge
+// worker publishes staged rows each interval and periodically
+// compacts; appends travel the wire as protocol-v5 batches
+// (NetClient.Ingest), and NetFrontServer.EnableIngest bumps the
+// result-cache epoch and re-warms hot entries on every swap.
+
+// AggLiveStore is the aggregation workload's live synopsis store.
+type AggLiveStore = ingest.AggLive
+
+// NewAggLiveStore returns an empty live store over a numKeys-group
+// domain; seed it with Append + Compact before serving.
+func NewAggLiveStore(numKeys int, cfg AggConfig) *AggLiveStore {
+	return ingest.NewAggLive(numKeys, cfg)
+}
+
+// IngestWorker drives one live store's publish/compact cycle in the
+// background; Close drains with a final publish.
+type IngestWorker = ingest.Worker
+
+// IngestWorkerOptions configures an IngestWorker.
+type IngestWorkerOptions = ingest.WorkerOptions
+
+// NewIngestWorker starts a worker over any live store.
+func NewIngestWorker(s ingest.Store, opts IngestWorkerOptions) *IngestWorker {
+	return ingest.NewWorker(s, opts)
+}
+
+// WireIngestRequest is a protocol-v5 append batch: atomic (all rows or
+// none), routed to one home shard, acknowledged with its staging
+// epoch.
+type WireIngestRequest = wire.IngestRequest
+
+// WireIngestReply acknowledges an append batch; the rows are visible
+// to queries at any epoch strictly greater than Epoch.
+type WireIngestReply = wire.IngestReply
+
+// NetLiveStores bundles the live stores a component server ingests
+// into, one slice entry per locally-served shard.
+type NetLiveStores = netsvc.LiveStores
+
+// NewNetLiveAggBackend answers aggregation queries from live-store
+// snapshots — the live-data twin of NewNetAggBackend. Pair it with
+// NetComponentServer.SetIngest(NewNetLiveIngestHandler(...)) to accept
+// appends on the same connections.
+func NewNetLiveAggBackend(lives []*AggLiveStore, opts NetBackendOptions) NetHandler {
+	return netsvc.NewLiveAggBackend(lives, opts)
+}
+
+// NewNetLiveIngestHandler stages protocol-v5 append batches into the
+// bundled live stores.
+func NewNetLiveIngestHandler(stores NetLiveStores) netsvc.IngestHandler {
+	return netsvc.NewLiveIngestHandler(stores)
 }

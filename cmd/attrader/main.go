@@ -102,22 +102,23 @@ type runner func(sc experiments.Scale, repeats, requests int) error
 // versa). Aliases that share one run (table1/table2, fig5/fig6,
 // fig7/fig8) map to the same function and are deduplicated by `all`.
 var runners = map[string]runner{
-	"creation":     func(sc experiments.Scale, _, _ int) error { return runCreation(sc) },
-	"fig3":         func(sc experiments.Scale, repeats, _ int) error { return runFig3(sc, repeats) },
-	"fig4":         func(sc experiments.Scale, _, requests int) error { return runFig4(sc, requests) },
-	"table1":       func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
-	"table2":       func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
-	"fig5":         func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
-	"fig6":         func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
-	"fig7":         func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
-	"fig8":         func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
-	"headline":     func(sc experiments.Scale, _, _ int) error { return runHeadline(sc) },
-	"overload":     func(sc experiments.Scale, _, _ int) error { return runOverload(sc) },
-	"aggcompare":   func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
-	"netcompare":   func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
-	"cachecompare": func(sc experiments.Scale, _, _ int) error { return runCacheCompare(sc) },
-	"tracecompare": func(sc experiments.Scale, _, _ int) error { return runTraceCompare(sc) },
-	"faultcompare": func(sc experiments.Scale, _, _ int) error { return runFaultCompare(sc) },
+	"creation":      func(sc experiments.Scale, _, _ int) error { return runCreation(sc) },
+	"fig3":          func(sc experiments.Scale, repeats, _ int) error { return runFig3(sc, repeats) },
+	"fig4":          func(sc experiments.Scale, _, requests int) error { return runFig4(sc, requests) },
+	"table1":        func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
+	"table2":        func(sc experiments.Scale, _, _ int) error { return runTables(sc) },
+	"fig5":          func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
+	"fig6":          func(sc experiments.Scale, _, _ int) error { return runHours(sc) },
+	"fig7":          func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
+	"fig8":          func(sc experiments.Scale, _, _ int) error { _, err := runDay(sc, true); return err },
+	"headline":      func(sc experiments.Scale, _, _ int) error { return runHeadline(sc) },
+	"overload":      func(sc experiments.Scale, _, _ int) error { return runOverload(sc) },
+	"aggcompare":    func(sc experiments.Scale, _, _ int) error { return runAggCompare(sc) },
+	"netcompare":    func(sc experiments.Scale, _, _ int) error { return runNetCompare(sc) },
+	"cachecompare":  func(sc experiments.Scale, _, _ int) error { return runCacheCompare(sc) },
+	"tracecompare":  func(sc experiments.Scale, _, _ int) error { return runTraceCompare(sc) },
+	"faultcompare":  func(sc experiments.Scale, _, _ int) error { return runFaultCompare(sc) },
+	"ingestcompare": func(sc experiments.Scale, _, _ int) error { return runIngestCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -343,6 +344,21 @@ func runFaultCompare(sc experiments.Scale) error {
 		fmt.Println(res.Render())
 		if v := res.Violations(); v != 0 || !res.ZeroAllocOK {
 			return fmt.Errorf("faultcompare contracts violated: %d degradation violations, zeroAlloc=%v", v, res.ZeroAllocOK)
+		}
+		return nil
+	})
+}
+
+func runIngestCompare(sc experiments.Scale) error {
+	return timed("Live synopsis updates (streaming ingestion sweep)", func() error {
+		res, err := experiments.RunIngestCompare(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if v := res.Violations(); v != 0 || !res.ZeroAllocOK || !res.WireOK {
+			return fmt.Errorf("ingestcompare contracts violated: %d violations, zeroAlloc=%v, wire=%v",
+				v, res.ZeroAllocOK, res.WireOK)
 		}
 		return nil
 	})

@@ -13,6 +13,7 @@ import (
 	"accuracytrader/internal/agg"
 	"accuracytrader/internal/experiments"
 	"accuracytrader/internal/frontend"
+	"accuracytrader/internal/ingest"
 	"accuracytrader/internal/netsvc"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/service"
@@ -51,6 +52,9 @@ type netService struct {
 	// levelAcc is the measured per-ladder-level accuracy (aggregation
 	// workload only) used to calibrate the front server's controller.
 	levelAcc []float64
+	// ingest, when non-nil, makes component servers accept v5 append
+	// batches (agglive workload) and front servers forward them.
+	ingest netsvc.IngestHandler
 }
 
 // buildNetService constructs the workload's shards from the scale —
@@ -65,6 +69,46 @@ func buildNetService(workload string, sc experiments.Scale) (*netService, error)
 			return nil, err
 		}
 		ns.handler = netsvc.NewAggBackend(svc.Comps, netsvc.BackendOptions{})
+		queries := svc.Data.SampleAggQueries(sc.Seed^0x51, 16)
+		for _, q := range queries {
+			ns.templates = append(ns.templates, &wire.Request{
+				Kind: wire.KindAgg, Subset: -1, SLO: wire.SLONone, Level: wire.NoLevel,
+				Agg: &wire.AggRequest{Op: uint8(q.Op), Lo: q.Lo, Hi: q.Hi},
+			})
+		}
+		for l := 0; l < svc.Comps[0].Syn.Levels(); l++ {
+			ns.levelAcc = append(ns.levelAcc, agg.MeasureLevelAccuracy(svc.Comps, queries, l))
+		}
+	case "agglive":
+		// Same deterministic fact shards as "agg", but served from live
+		// epoch-swapped stores: the initial rows are staged and compacted
+		// into each shard's base synopsis, a merge worker keeps folding
+		// later appends, and the server accepts v5 append batches.
+		svc, err := experiments.BuildAggService(sc)
+		if err != nil {
+			return nil, err
+		}
+		lives := make([]*ingest.AggLive, len(svc.Data.Subsets))
+		for i, tab := range svc.Data.Subsets {
+			keys := make([]int32, tab.NumRows())
+			vals := make([]float64, tab.NumRows())
+			for r := 0; r < tab.NumRows(); r++ {
+				keys[r], vals[r] = tab.Key(r), tab.Value(r)
+			}
+			l := ingest.NewAggLive(tab.NumKeys(), sc.AggConfig())
+			if _, err := l.Append(keys, vals); err != nil {
+				return nil, err
+			}
+			if _, _, _, err := l.Compact(); err != nil {
+				return nil, err
+			}
+			lives[i] = l
+			// Process-lifetime merge worker: publishes staged appends as
+			// fresh epochs and periodically folds them into the base.
+			ingest.NewWorker(l, ingest.WorkerOptions{Interval: 5 * time.Millisecond, CompactEvery: 64})
+		}
+		ns.handler = netsvc.NewLiveAggBackend(lives, netsvc.BackendOptions{})
+		ns.ingest = netsvc.NewLiveIngestHandler(netsvc.LiveStores{Agg: lives})
 		queries := svc.Data.SampleAggQueries(sc.Seed^0x51, 16)
 		for _, q := range queries {
 			ns.templates = append(ns.templates, &wire.Request{
@@ -104,7 +148,7 @@ func buildNetService(workload string, sc experiments.Scale) (*netService, error)
 			})
 		}
 	default:
-		return nil, fmt.Errorf("unknown workload %q (agg|cf|search)", workload)
+		return nil, fmt.Errorf("unknown workload %q (agg|agglive|cf|search)", workload)
 	}
 	return ns, nil
 }
@@ -136,6 +180,9 @@ func serveComponent(workload, listen, admin string, sc experiments.Scale) error 
 		return err
 	}
 	srv := netsvc.NewServer(ns.handler, netsvc.ServerOptions{Workers: 2, QueueLen: 1024})
+	if ns.ingest != nil {
+		srv.SetIngest(ns.ingest)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(listen) }()
 	fmt.Printf("component server: workload=%s shards=%d listening on %s\n", workload, ns.shards, listen)
@@ -251,6 +298,9 @@ func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, re
 		ad.SetHealthSource(agr.OpenBreakers)
 	}
 	fs := netsvc.NewFrontServer(agr, fe, netsvc.ServerOptions{Tracer: rec})
+	// Forward append batches to their owning component; after each
+	// observed epoch swap, re-warm up to 32 hot cache entries.
+	fs.EnableIngest(32)
 	errCh := make(chan error, 1)
 	go func() { errCh <- fs.ListenAndServe(listen) }()
 	fmt.Printf("aggregator: serving composed replies on %s (frontend: %v, tracing: %v)\n", listen, fe != nil, rec != nil)

@@ -1,0 +1,28 @@
+package cf
+
+// DeltaScorer folds users that are not (yet) in a component's matrix —
+// streaming-ingest delta users awaiting compaction — into a partial
+// Result with exactly the reference kernel's per-user contribution:
+// Pearson weight against the active ratings, then the epoch-stamped
+// target-lookup accumulation ExactResultInto performs for every matrix
+// user. Scoring delta users through the same kernel keeps a live
+// snapshot's exact path bit-identical to rebuilding the matrix with the
+// delta users appended. A DeltaScorer is reusable across requests
+// (Bind re-stamps the lookup in O(targets)) and allocation-free once
+// its buffers have grown to the working set.
+type DeltaScorer struct {
+	lookup targetLookup
+}
+
+// Bind prepares the scorer for one request's targets over an item
+// space of nItems items.
+func (d *DeltaScorer) Bind(nItems int, targets []int32) {
+	d.lookup.build(nItems, targets)
+}
+
+// Add accumulates one delta user — ratings sorted by item, mean
+// precomputed as Matrix.SetUser computes it — into res.
+func (d *DeltaScorer) Add(res Result, active []Rating, rs []Rating, mean float64) {
+	w := Weight(active, rs)
+	d.lookup.contribute(res, w, rs, mean, +1)
+}

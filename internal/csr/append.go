@@ -1,0 +1,17 @@
+package csr
+
+// AppendElem appends v at the end of row r in O(1) amortized time: the
+// building block of append-friendly delta segments, where new elements
+// only ever arrive at row tails. Equivalent to InsertAt(r, Len(r), v)
+// but without the tail shift bookkeeping.
+func (s *Store[T]) AppendElem(r int, v T) {
+	sp := &s.rows[r]
+	if sp.n == sp.cap {
+		s.relocate(r, int32(growCap(int(sp.n)+1)), true)
+		sp = &s.rows[r]
+	}
+	s.flat[sp.off+sp.n] = v
+	sp.n++
+	s.live++
+	s.maybeCompact()
+}

@@ -1,0 +1,41 @@
+package csr
+
+import "testing"
+
+// TestAppendElem pins AppendElem against the InsertAt-at-tail semantics
+// it shortcuts, across relocations and interleaved rows.
+func TestAppendElem(t *testing.T) {
+	var a, b Store[int]
+	for r := 0; r < 3; r++ {
+		a.AddRow(nil)
+		b.AddRow(nil)
+	}
+	for i := 0; i < 200; i++ {
+		r := i % 3
+		a.AppendElem(r, i)
+		b.InsertAt(r, b.Len(r), i)
+	}
+	if a.TotalLen() != 200 || b.TotalLen() != 200 {
+		t.Fatalf("TotalLen = %d/%d, want 200", a.TotalLen(), b.TotalLen())
+	}
+	for r := 0; r < 3; r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		if len(ra) != len(rb) {
+			t.Fatalf("row %d: len %d vs %d", r, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d[%d]: %d vs %d", r, i, ra[i], rb[i])
+			}
+		}
+	}
+	// Tail appends after a SetRow shrink must not clobber neighbours.
+	a.SetRow(1, []int{7})
+	a.AppendElem(1, 8)
+	if got := a.Row(1); len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("row 1 after shrink+append = %v", got)
+	}
+	if a.Len(0) != 67 || a.Len(2) != 66 {
+		t.Fatalf("neighbour rows disturbed: %d/%d", a.Len(0), a.Len(2))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector randomizes sync.Pool reuse, so pooled-path zero-allocation
+// assertions are informational-only under -race.
+const raceEnabled = true

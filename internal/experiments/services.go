@@ -116,6 +116,11 @@ func (s Scale) aggConfig() agg.Config {
 	}
 }
 
+// AggConfig exposes the scale's synopsis-ladder configuration so live
+// (streaming-ingest) shards compact with the same ladder the frozen
+// builds use.
+func (s Scale) AggConfig() agg.Config { return s.aggConfig() }
+
 // AggService bundles the aggregation workload's real fact-table shards
 // with the work models the cluster simulator needs.
 type AggService struct {

@@ -1,0 +1,12 @@
+// Package ingest is the online update path of the reproduction: it
+// layers append-friendly delta segments (new fact rows, ratings and
+// documents) over the frozen per-workload synopsis bases and publishes
+// epoch-swapped read-mostly snapshots behind a single atomic pointer,
+// so the pooled zero-alloc query engines stay lock-free on the hot
+// path while a periodic merge worker compacts deltas into a new base.
+// For the aggregation ladder the compaction step performs per-stratum
+// reservoir maintenance — strata stay ordered by a deterministic
+// sampling priority, so every ladder level's prefix remains a uniform
+// bottom-k sample whose rate (and therefore its CLT bounds) stays
+// statistically honest as strata grow.
+package ingest

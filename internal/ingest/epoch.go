@@ -1,0 +1,55 @@
+package ingest
+
+import "sync/atomic"
+
+// versioned pairs one immutable snapshot with its epoch number.
+type versioned[T any] struct {
+	snap  *T
+	epoch uint64
+}
+
+// Epochs publishes immutable snapshots behind a single atomic pointer:
+// readers acquire the current (snapshot, epoch) pair with one load and
+// no allocation, writers swap in a fresh pair. Superseded snapshots are
+// not recycled — the garbage collector keeps an epoch alive for as long
+// as any in-flight query still holds it, which is what lets queries
+// finish on their pinned epoch with no reference counting at all.
+//
+// Publish must be called from a single writer (the owning live store
+// serializes it under its mutex); Acquire and Epoch are safe from any
+// goroutine.
+type Epochs[T any] struct {
+	cur atomic.Pointer[versioned[T]]
+}
+
+// Publish installs snap as the current snapshot and returns its epoch
+// (monotonically increasing from 1).
+func (e *Epochs[T]) Publish(snap *T) uint64 {
+	ep := uint64(1)
+	if v := e.cur.Load(); v != nil {
+		ep = v.epoch + 1
+	}
+	e.cur.Store(&versioned[T]{snap: snap, epoch: ep})
+	return ep
+}
+
+// Acquire returns the current snapshot and its epoch (nil, 0 before the
+// first Publish). The snapshot is immutable: it remains valid — and
+// keeps answering with its epoch's data — however many swaps happen
+// after.
+func (e *Epochs[T]) Acquire() (*T, uint64) {
+	v := e.cur.Load()
+	if v == nil {
+		return nil, 0
+	}
+	return v.snap, v.epoch
+}
+
+// Epoch returns the current epoch (0 before the first Publish).
+func (e *Epochs[T]) Epoch() uint64 {
+	v := e.cur.Load()
+	if v == nil {
+		return 0
+	}
+	return v.epoch
+}

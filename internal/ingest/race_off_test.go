@@ -1,0 +1,5 @@
+//go:build !race
+
+package ingest
+
+const raceEnabled = false

@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/stats"
+	"accuracytrader/internal/svd"
+	"accuracytrader/internal/synopsis"
+)
+
+// TestAggLiveConcurrent hammers a live aggregation shard with
+// concurrent appenders, a fast merge worker (publishing and
+// compacting), and lock-free queriers, under the race detector.
+// Two linearizability properties are pinned:
+//
+//   - no torn snapshots: the exact full-range COUNT over any acquired
+//     snapshot equals that snapshot's row count — a batch is visible
+//     in full or not at all, never partially;
+//   - epoch pinning: a query that re-runs on a snapshot it acquired
+//     before any number of swaps gets bit-identical answers.
+func TestAggLiveConcurrent(t *testing.T) {
+	const (
+		appenders = 4
+		batches   = 50
+		queriers  = 4
+	)
+	cfg := agg.Config{Rates: []float64{0.1, 0.3}, MinSample: 2, Seed: 42}
+	l := NewAggLive(5, cfg)
+	w := NewWorker(l, WorkerOptions{Interval: time.Millisecond, CompactEvery: 4, Name: "agg"})
+
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(id) + 1)
+			for b := 0; b < batches; b++ {
+				n := 1 + rng.Intn(20)
+				keys := make([]int32, n)
+				vals := make([]float64, n)
+				for i := range keys {
+					keys[i] = int32(rng.Intn(5))
+					vals[i] = rng.Float64()
+				}
+				if _, err := l.Append(keys, vals); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+
+	full := agg.Query{Op: agg.Count, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for qi := 0; qi < queriers; qi++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			res := agg.NewResult(5)
+			again := agg.NewResult(5)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, ep := l.Snapshot()
+				res = snap.Exact(res, full)
+				total := 0.0
+				for _, c := range res.Cnt {
+					total += c
+				}
+				if total != float64(snap.Rows()) {
+					t.Errorf("epoch %d: exact count %v over %d visible rows (torn snapshot)", ep, total, snap.Rows())
+					return
+				}
+				// Let swaps happen, then re-query the pinned snapshot.
+				time.Sleep(2 * time.Millisecond)
+				again = snap.Exact(again, full)
+				for k := range res.Cnt {
+					if res.Cnt[k] != again.Cnt[k] || res.Sum[k] != again.Sum[k] {
+						t.Errorf("epoch %d key %d: pinned snapshot drifted", ep, k)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	w.Close()
+
+	// After the worker's final drain, everything appended is visible.
+	snap, _ := l.Snapshot()
+	if want := appenders * batches; snap.Rows() == 0 || l.Stats().StagedRows != 0 {
+		t.Fatalf("drain left %d staged rows (%d batches appended)", l.Stats().StagedRows, want)
+	}
+	st := w.Stats()
+	if st.Publishes+st.Compactions == 0 {
+		t.Fatal("worker never swapped an epoch")
+	}
+}
+
+// TestCFAndSearchLiveConcurrent runs the same torn-snapshot and
+// epoch-pinning checks over the CF and search shards: an acquired
+// snapshot answers identically no matter how many swaps happen
+// underneath it.
+func TestCFAndSearchLiveConcurrent(t *testing.T) {
+	cfg := synopsis.Config{SVD: svd.Config{Dims: 3, Epochs: 10, Seed: 11}, CompressionRatio: 10}
+	rng := stats.NewRNG(7)
+
+	cl := NewCFLive(20, cfg)
+	cw := NewWorker(cl, WorkerOptions{Interval: time.Millisecond, CompactEvery: 8, Name: "cf"})
+	sl := NewSearchLive(cfg)
+	sw := NewWorker(sl, WorkerOptions{Interval: time.Millisecond, CompactEvery: 8, Name: "search"})
+
+	req := cf.NewRequest([]cf.Rating{{Item: 1, Score: 4}, {Item: 3, Score: 2}, {Item: 8, Score: 5}}, []int32{0, 5, 12})
+	vocab := []string{"alpha", "beta", "gamma", "delta", "omega"}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		arng := stats.NewRNG(99)
+		for b := 0; b < 80; b++ {
+			n := 3 + arng.Intn(8)
+			rs := make([]cf.Rating, n)
+			perm := arng.Perm(20)
+			for i := range rs {
+				rs[i] = cf.Rating{Item: int32(perm[i]), Score: 1 + 4*arng.Float64()}
+			}
+			if _, err := cl.Append(rs); err != nil {
+				t.Error(err)
+				return
+			}
+			doc := ""
+			for i := 0; i < 4+arng.Intn(6); i++ {
+				if i > 0 {
+					doc += " "
+				}
+				doc += vocab[arng.Intn(len(vocab))]
+			}
+			sl.Append(doc)
+		}
+	}()
+
+	res := cf.NewResult(3)
+	again := cf.NewResult(3)
+	for i := 0; i < 40; i++ {
+		csnap, cep := cl.Snapshot()
+		res = csnap.Exact(res, req)
+		ssnap, sep := sl.Snapshot()
+		q := ssnap.ParseQuery("alpha omega")
+		hits := ssnap.ExactTopK(nil, q, 5)
+		time.Sleep(time.Duration(1+rng.Intn(3)) * time.Millisecond)
+		again = csnap.Exact(again, req)
+		for k := range res.Num {
+			if res.Num[k] != again.Num[k] || res.Den[k] != again.Den[k] {
+				t.Fatalf("cf epoch %d target %d: pinned snapshot drifted", cep, k)
+			}
+		}
+		hits2 := ssnap.ExactTopK(nil, q, 5)
+		if len(hits) != len(hits2) {
+			t.Fatalf("search epoch %d: pinned snapshot drifted (%d vs %d hits)", sep, len(hits), len(hits2))
+		}
+		for j := range hits {
+			if hits[j] != hits2[j] {
+				t.Fatalf("search epoch %d hit %d: pinned snapshot drifted", sep, j)
+			}
+		}
+	}
+
+	wg.Wait()
+	cw.Close()
+	sw.Close()
+	if cl.Stats().StagedUsers != 0 || sl.Stats().StagedDocs != 0 {
+		t.Fatalf("drain left %d users / %d docs staged", cl.Stats().StagedUsers, sl.Stats().StagedDocs)
+	}
+}

@@ -1,0 +1,247 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"accuracytrader/internal/synopsis"
+	"accuracytrader/internal/textindex"
+)
+
+// SearchSnapshot is one epoch of a live search shard: a frozen base
+// component plus the documents appended since the last compaction,
+// analyzed against the base vocabulary and scored exactly.
+type SearchSnapshot struct {
+	comp      *textindex.Component
+	deltaTV   [][]textindex.TermFreq
+	deltaLen  []int
+	baseSlots int // delta doc j serves as doc id baseSlots+j
+}
+
+// Base returns the frozen base component, nil before the first
+// compaction.
+func (s *SearchSnapshot) Base() *textindex.Component { return s.comp }
+
+// Docs returns the documents visible at this epoch (base + delta).
+func (s *SearchSnapshot) Docs() int {
+	n := len(s.deltaTV)
+	if s.comp != nil {
+		n += s.comp.Ix.NumDocs()
+	}
+	return n
+}
+
+// DeltaDocs returns the documents not yet folded into the base.
+func (s *SearchSnapshot) DeltaDocs() int { return len(s.deltaTV) }
+
+// ParseQuery analyzes query text against the base vocabulary (empty
+// before the first compaction).
+func (s *SearchSnapshot) ParseQuery(text string) textindex.Query {
+	if s.comp == nil {
+		return textindex.Query{}
+	}
+	return s.comp.Ix.ParseQuery(text)
+}
+
+// FoldDelta scores every delta document against the query at the base
+// epoch's idf weights and appends the matches to hits. Delta doc j
+// reports id baseSlots+j — the id it receives when the next compaction
+// re-adds documents in append order, so ids are stable across epochs.
+func (s *SearchSnapshot) FoldDelta(hits []textindex.Hit, q textindex.Query) []textindex.Hit {
+	if s.comp == nil {
+		return hits
+	}
+	for j := range s.deltaTV {
+		if sc := s.comp.Ix.ScoreTermVec(q, s.deltaTV[j], s.deltaLen[j]); sc > 0 {
+			hits = append(hits, textindex.Hit{Doc: s.baseSlots + j, Score: sc})
+		}
+	}
+	return hits
+}
+
+// ExactTopK returns the top-k hits over every visible document: the
+// base index's exact search merged with the exactly scored delta,
+// re-ranked. At merged epochs (empty delta) this is bit-identical to
+// searching a from-scratch rebuild over the same documents.
+func (s *SearchSnapshot) ExactTopK(dst []textindex.Hit, q textindex.Query, k int) []textindex.Hit {
+	if s.comp == nil {
+		return dst[:0]
+	}
+	dst = s.comp.Ix.SearchInto(dst, q, k)
+	if len(s.deltaTV) == 0 {
+		return dst
+	}
+	dst = s.FoldDelta(dst, q)
+	textindex.SortHits(dst)
+	if len(dst) > k {
+		dst = dst[:k]
+	}
+	return dst
+}
+
+// SearchStats counts a live search shard's ingest activity.
+type SearchStats struct {
+	Appends     uint64
+	Publishes   uint64
+	Compactions uint64
+	Docs        int
+	BaseDocs    int
+	StagedDocs  int
+}
+
+// SearchLive is the online update path for one search shard. Appended
+// documents stage invisibly; PublishDelta analyzes them against the
+// current base vocabulary (out-of-vocabulary tokens wait for the next
+// compaction) and makes them visible as an exactly scored delta;
+// Compact rebuilds the index and synopsis over every document. As with
+// CF, the base is rebuilt rather than merged — the inverted index and
+// the synopsis's SVD/R-tree state mutate too deeply to share across
+// epochs — and the rebuild re-adds documents in append order, so doc
+// ids are stable and a compacted snapshot is bit-identical to a frozen
+// build over the same documents.
+type SearchLive struct {
+	cfg synopsis.Config
+
+	mu        sync.Mutex
+	texts     []string
+	based     int
+	published int
+	base      *textindex.Component
+	deltaTV   [][]textindex.TermFreq // analysis of texts[based:published]
+	deltaLen  []int
+	oldest    time.Time
+	stats     SearchStats
+
+	snaps Epochs[SearchSnapshot]
+}
+
+// NewSearchLive returns an empty live search shard with an initial
+// empty snapshot published (epoch 1).
+func NewSearchLive(cfg synopsis.Config) *SearchLive {
+	l := &SearchLive{cfg: cfg}
+	l.snaps.Publish(&SearchSnapshot{})
+	return l
+}
+
+// Snapshot acquires the current snapshot and its epoch.
+func (l *SearchLive) Snapshot() (*SearchSnapshot, uint64) { return l.snaps.Acquire() }
+
+// Epoch returns the current epoch.
+func (l *SearchLive) Epoch() uint64 { return l.snaps.Epoch() }
+
+// Stats returns a snapshot of the ingest counters.
+func (l *SearchLive) Stats() SearchStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Docs = len(l.texts)
+	st.BaseDocs = l.based
+	st.StagedDocs = len(l.texts) - l.published
+	return st
+}
+
+// Append stages one document and returns its id in append order.
+func (l *SearchLive) Append(text string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.texts) == l.published {
+		l.oldest = time.Now()
+	}
+	id := len(l.texts)
+	l.texts = append(l.texts, text)
+	l.stats.Appends++
+	return id
+}
+
+// publishLocked analyzes staged documents against the current base and
+// swaps in a snapshot exposing docs [0, n). Caller holds l.mu.
+func (l *SearchLive) publishLocked(n int) (uint64, int, time.Duration) {
+	var lag time.Duration
+	if n > l.published && !l.oldest.IsZero() {
+		lag = time.Since(l.oldest)
+		l.oldest = time.Time{}
+	}
+	moved := n - l.published
+	for d := l.published; d < n; d++ {
+		var tv []textindex.TermFreq
+		var dl int
+		if l.base != nil {
+			tv, dl = l.base.Ix.AnalyzeDelta(l.texts[d])
+		}
+		l.deltaTV = append(l.deltaTV, tv)
+		l.deltaLen = append(l.deltaLen, dl)
+	}
+	baseSlots := 0
+	if l.base != nil {
+		baseSlots = l.base.Ix.NumSlots()
+	}
+	snap := &SearchSnapshot{
+		comp:      l.base,
+		deltaTV:   l.deltaTV[: n-l.based : n-l.based],
+		deltaLen:  l.deltaLen[: n-l.based : n-l.based],
+		baseSlots: baseSlots,
+	}
+	l.published = n
+	l.stats.Publishes++
+	return l.snaps.Publish(snap), moved, lag
+}
+
+// PublishDelta makes every staged document visible; see
+// AggLive.PublishDelta for the contract.
+func (l *SearchLive) PublishDelta() (uint64, int, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.texts); n > l.published {
+		return l.publishLocked(n)
+	}
+	return l.snaps.Epoch(), 0, 0
+}
+
+// Compact rebuilds the index and synopsis over every appended document
+// and publishes the new base with an empty delta.
+func (l *SearchLive) Compact() (uint64, int, time.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.texts)
+	if n == l.based {
+		return l.snaps.Epoch(), 0, 0, nil
+	}
+	ix := textindex.NewIndex()
+	for _, text := range l.texts[:n] {
+		ix.Add(text)
+	}
+	comp, err := textindex.BuildComponent(ix, l.cfg)
+	if err != nil {
+		return l.snaps.Epoch(), 0, 0, err
+	}
+	folded := n - l.based
+	l.base = comp
+	l.based = n
+	l.deltaTV = nil
+	l.deltaLen = nil
+	var lag time.Duration
+	if n > l.published && !l.oldest.IsZero() {
+		lag = time.Since(l.oldest)
+		l.oldest = time.Time{}
+	}
+	l.published = n
+	l.stats.Compactions++
+	l.stats.Publishes++
+	snap := &SearchSnapshot{comp: comp, baseSlots: comp.Ix.NumSlots()}
+	return l.snaps.Publish(snap), folded, lag, nil
+}
+
+// BuildSearchSnapshot is the frozen-rebuild reference for the property
+// harness: the compacted snapshot a live shard converges to after
+// appending exactly these documents and compacting.
+func BuildSearchSnapshot(cfg synopsis.Config, texts []string) (*SearchSnapshot, error) {
+	l := NewSearchLive(cfg)
+	for _, t := range texts {
+		l.Append(t)
+	}
+	if _, _, _, err := l.Compact(); err != nil {
+		return nil, err
+	}
+	snap, _ := l.Snapshot()
+	return snap, nil
+}

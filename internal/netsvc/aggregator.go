@@ -166,8 +166,12 @@ type Aggregator struct {
 	faults   atomic.Int64
 	inflight atomic.Int64
 
+	// ingestRR round-robins unrouted append batches across components.
+	ingestRR atomic.Uint64
+
 	mRetries *obs.Counter
 	mFaults  *obs.Counter
+	mIngests *obs.Counter
 }
 
 // NewAggregator returns an aggregator over one address per component.
@@ -188,6 +192,7 @@ func NewAggregator(addrs []string, opts AggregatorOptions) (*Aggregator, error) 
 	if opts.Metrics != nil {
 		a.mRetries = opts.Metrics.Counter("netsvc_retries_total")
 		a.mFaults = opts.Metrics.Counter("netsvc_faults_total")
+		a.mIngests = opts.Metrics.Counter("netsvc_ingest_forwarded_total")
 	}
 	for i, addr := range addrs {
 		p := &peer{
@@ -278,6 +283,74 @@ func (a *Aggregator) EstimatedP95() time.Duration {
 
 // Deadline returns the configured call deadline.
 func (a *Aggregator) Deadline() time.Duration { return a.opts.Deadline }
+
+// Ingest forwards one append batch to its owning component and waits
+// for the acknowledgement. Unlike query sub-operations, an append is
+// never rerouted to a healthier peer — the rows have exactly one home
+// shard, and staging them elsewhere would silently fork the dataset —
+// so an unhealthy owner rejects the batch immediately (IngestRejected)
+// and the producer retries later. A request with Subset < 0 is
+// assigned a component round-robin. The returned reply always carries
+// the caller's ID and the subset the batch landed on; it is never nil.
+func (a *Aggregator) Ingest(ctx context.Context, req *wire.IngestRequest) *wire.IngestReply {
+	fail := func(status uint8, msg string) *wire.IngestReply {
+		return &wire.IngestReply{ID: req.ID, Subset: req.Subset, Status: status, Err: msg}
+	}
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return fail(wire.IngestErr, ErrClosed.Error())
+	}
+	n := len(a.peers)
+	sub := *req
+	sub.ID = a.nextID.Add(1)
+	if sub.Subset < 0 {
+		sub.Subset = int32((a.ingestRR.Add(1) - 1) % uint64(n))
+	}
+	target := int(sub.Subset) % n
+	p := a.peers[target]
+	if !p.healthy() {
+		return fail(wire.IngestRejected, ErrPeerDown.Error())
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.opts.Deadline)
+		defer cancel()
+	}
+	type ack struct {
+		rep *wire.IngestReply
+		err error
+	}
+	// Buffered so a late delivery after the deadline never blocks the
+	// connection's read loop.
+	ch := make(chan ack, 1)
+	p.sendIngest(&sub, func(rep *wire.IngestReply, err error) {
+		select {
+		case ch <- ack{rep, err}:
+		default:
+		}
+	})
+	select {
+	case <-ctx.Done():
+		return fail(wire.IngestErr, ctx.Err().Error())
+	case got := <-ch:
+		if got.err != nil {
+			if !errors.Is(got.err, ErrClosed) && !errors.Is(got.err, ErrPeerDown) {
+				a.recordFault(nil, target, sub.Subset)
+			}
+			return fail(wire.IngestErr, got.err.Error())
+		}
+		p.br.Success()
+		if a.mIngests != nil {
+			a.mIngests.Inc()
+		}
+		out := *got.rep
+		out.ID = req.ID
+		out.Subset = sub.Subset
+		return &out
+	}
+}
 
 // SetRouter injects a routing policy used by subsequent Calls to place
 // each sub-operation on a component; nil restores home placement.
@@ -758,9 +831,10 @@ func (p *peer) conn() (*peerConn, error) {
 // and must start the read loop after unlocking.
 func (p *peer) newConn(c net.Conn) *peerConn {
 	return &peerConn{
-		c:       c,
-		pending: map[uint64]func(*wire.SubReply, error){},
-		onDead:  p.kickReconnector,
+		c:         c,
+		pending:   map[uint64]func(*wire.SubReply, error){},
+		pendingIn: map[uint64]func(*wire.IngestReply, error){},
+		onDead:    p.kickReconnector,
 	}
 }
 
@@ -878,6 +952,36 @@ func (p *peer) send(sub *wire.Request, deliver func(*wire.SubReply, error)) {
 	}
 }
 
+// sendIngest transmits one append batch on a pooled connection and
+// registers its acknowledgement callback (invoked exactly once: reply,
+// connection failure, or close). It mirrors send, on the ingest half
+// of the multiplexed connection.
+func (p *peer) sendIngest(sub *wire.IngestRequest, deliver func(*wire.IngestReply, error)) {
+	pc, err := p.conn()
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	if !pc.registerIngest(sub.ID, deliver) {
+		pc, err = p.conn()
+		if err != nil {
+			deliver(nil, err)
+			return
+		}
+		if !pc.registerIngest(sub.ID, deliver) {
+			deliver(nil, errors.New("netsvc: connection lost"))
+			return
+		}
+	}
+	frame := wire.AppendIngestRequestFrame(nil, sub)
+	pc.wmu.Lock()
+	_, werr := pc.c.Write(frame)
+	pc.wmu.Unlock()
+	if werr != nil {
+		pc.fail(werr)
+	}
+}
+
 func (p *peer) close() {
 	p.mu.Lock()
 	if p.closed {
@@ -902,9 +1006,10 @@ type peerConn struct {
 	onDead func() // kicks the owning peer's reconnector
 	wmu    sync.Mutex
 
-	pmu     sync.Mutex
-	pending map[uint64]func(*wire.SubReply, error)
-	dead    bool
+	pmu       sync.Mutex
+	pending   map[uint64]func(*wire.SubReply, error)
+	pendingIn map[uint64]func(*wire.IngestReply, error)
+	dead      bool
 }
 
 func (pc *peerConn) isDead() bool {
@@ -923,6 +1028,16 @@ func (pc *peerConn) register(id uint64, deliver func(*wire.SubReply, error)) boo
 	return true
 }
 
+func (pc *peerConn) registerIngest(id uint64, deliver func(*wire.IngestReply, error)) bool {
+	pc.pmu.Lock()
+	defer pc.pmu.Unlock()
+	if pc.dead {
+		return false
+	}
+	pc.pendingIn[id] = deliver
+	return true
+}
+
 // readLoop dispatches reply frames to their pending callbacks until
 // the connection fails.
 func (pc *peerConn) readLoop(maxFrame int) {
@@ -934,6 +1049,28 @@ func (pc *peerConn) readLoop(maxFrame int) {
 		if err != nil {
 			pc.fail(err)
 			return
+		}
+		// Query sub-replies and ingest acknowledgements share the
+		// connection; the kind byte routes before payload decoding.
+		kind, err := wire.FrameKind(buf)
+		if err != nil {
+			pc.fail(err)
+			return
+		}
+		if kind == wire.FrameIngestReply {
+			ack, err := wire.DecodeIngestReply(buf)
+			if err != nil {
+				pc.fail(err)
+				return
+			}
+			pc.pmu.Lock()
+			deliver := pc.pendingIn[ack.ID]
+			delete(pc.pendingIn, ack.ID)
+			pc.pmu.Unlock()
+			if deliver != nil {
+				deliver(ack, nil)
+			}
+			continue
 		}
 		rep, err := wire.DecodeSubReply(buf)
 		if err != nil {
@@ -960,13 +1097,18 @@ func (pc *peerConn) fail(err error) {
 	}
 	pc.dead = true
 	pending := pc.pending
+	pendingIn := pc.pendingIn
 	pc.pending = nil
+	pc.pendingIn = nil
 	pc.pmu.Unlock()
 	pc.c.Close()
 	if pc.onDead != nil && !errors.Is(err, ErrClosed) {
 		pc.onDead()
 	}
 	for _, deliver := range pending {
+		deliver(nil, fmt.Errorf("netsvc: connection failed: %w", err))
+	}
+	for _, deliver := range pendingIn {
 		deliver(nil, fmt.Errorf("netsvc: connection failed: %w", err))
 	}
 }

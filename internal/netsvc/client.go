@@ -48,9 +48,10 @@ type clientConn struct {
 	c   net.Conn
 	wmu sync.Mutex
 
-	pmu     sync.Mutex
-	pending map[uint64]chan *wire.Reply
-	dead    bool
+	pmu       sync.Mutex
+	pending   map[uint64]chan *wire.Reply
+	pendingIn map[uint64]chan *wire.IngestReply
+	dead      bool
 }
 
 // DialClient connects to a FrontServer.
@@ -75,7 +76,11 @@ func (cl *Client) live() (*clientConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	cc := &clientConn{c: c, pending: map[uint64]chan *wire.Reply{}}
+	cc := &clientConn{
+		c:         c,
+		pending:   map[uint64]chan *wire.Reply{},
+		pendingIn: map[uint64]chan *wire.IngestReply{},
+	}
 	cl.conn = cc
 	go cc.readLoop(cl.opts.MaxFrame)
 	return cc, nil
@@ -124,6 +129,43 @@ func (cl *Client) Call(ctx context.Context, req *wire.Request) (*wire.Reply, err
 	}
 }
 
+// Ingest sends one append batch and waits for its acknowledgement.
+// The batch's ID is stamped by the client; Subset is passed through
+// (use -1 to let the service pick the shard). A reply with status
+// wire.IngestOK carries the number of items staged and the epoch the
+// batch was staged at — the appended rows are visible to every query
+// answered at a strictly greater epoch.
+func (cl *Client) Ingest(ctx context.Context, req *wire.IngestRequest) (*wire.IngestReply, error) {
+	cc, err := cl.live()
+	if err != nil {
+		return nil, err
+	}
+	sub := *req
+	sub.ID = cl.nextID.Add(1)
+	ch := make(chan *wire.IngestReply, 1)
+	if !cc.registerIngest(sub.ID, ch) {
+		return nil, errors.New("netsvc: connection lost")
+	}
+	defer cc.deregisterIngest(sub.ID)
+	frame := wire.AppendIngestRequestFrame(nil, &sub)
+	cc.wmu.Lock()
+	_, werr := cc.c.Write(frame)
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.fail()
+		return nil, fmt.Errorf("netsvc: send failed: %w", werr)
+	}
+	select {
+	case rep := <-ch:
+		if rep == nil {
+			return nil, errors.New("netsvc: connection failed awaiting ingest ack")
+		}
+		return rep, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Close tears the connection down; in-flight Calls fail.
 func (cl *Client) Close() {
 	cl.mu.Lock()
@@ -157,6 +199,22 @@ func (cc *clientConn) deregister(id uint64) {
 	cc.pmu.Unlock()
 }
 
+func (cc *clientConn) registerIngest(id uint64, ch chan *wire.IngestReply) bool {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	if cc.dead {
+		return false
+	}
+	cc.pendingIn[id] = ch
+	return true
+}
+
+func (cc *clientConn) deregisterIngest(id uint64) {
+	cc.pmu.Lock()
+	delete(cc.pendingIn, id)
+	cc.pmu.Unlock()
+}
+
 func (cc *clientConn) readLoop(maxFrame int) {
 	br := bufio.NewReader(cc.c)
 	var buf []byte
@@ -166,6 +224,28 @@ func (cc *clientConn) readLoop(maxFrame int) {
 		if err != nil {
 			cc.fail()
 			return
+		}
+		// Composed replies and ingest acknowledgements share the
+		// connection; route on the kind byte before decoding.
+		kind, err := wire.FrameKind(buf)
+		if err != nil {
+			cc.fail()
+			return
+		}
+		if kind == wire.FrameIngestReply {
+			ack, err := wire.DecodeIngestReply(buf)
+			if err != nil {
+				cc.fail()
+				return
+			}
+			cc.pmu.Lock()
+			ch := cc.pendingIn[ack.ID]
+			delete(cc.pendingIn, ack.ID)
+			cc.pmu.Unlock()
+			if ch != nil {
+				ch <- ack
+			}
+			continue
 		}
 		rep, err := wire.DecodeReply(buf)
 		if err != nil {
@@ -190,10 +270,15 @@ func (cc *clientConn) fail() {
 	}
 	cc.dead = true
 	pending := cc.pending
+	pendingIn := cc.pendingIn
 	cc.pending = nil
+	cc.pendingIn = nil
 	cc.pmu.Unlock()
 	cc.c.Close()
 	for _, ch := range pending {
+		ch <- nil
+	}
+	for _, ch := range pendingIn {
 		ch <- nil
 	}
 }

@@ -1,0 +1,254 @@
+package netsvc
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"accuracytrader/internal/agg"
+	"accuracytrader/internal/cf"
+	"accuracytrader/internal/ingest"
+	"accuracytrader/internal/wire"
+)
+
+// IngestHandler applies one append batch and returns its
+// acknowledgement. The server fills in the reply's ID and Subset from
+// the request; handlers must be safe for concurrent use (one call per
+// connection reader can be in flight at a time). Batches are atomic:
+// either every item is staged (IngestOK with the count) or none is.
+type IngestHandler func(req *wire.IngestRequest) *wire.IngestReply
+
+// SetIngest installs the append-batch handler. Component servers pass
+// a handler staging into their live shards (NewLiveIngestHandler);
+// front servers install a forwarding handler via EnableIngest. Call
+// before Serve; without a handler, ingest frames are answered
+// IngestRejected so a v5 client degrades cleanly against a read-only
+// server.
+func (s *srvCore) SetIngest(h IngestHandler) { s.ingest = h }
+
+// serveIngest answers one decoded append batch on the connection's
+// reader goroutine: staging into a live shard is a short, bounded
+// critical section (no synopsis work — that happens on the merge
+// worker), so appends bypass the query worker queue the way a write
+// path must not contend with Algorithm 1's budgets.
+func (s *srvCore) serveIngest(sc *srvConn, req *wire.IngestRequest) {
+	s.ingests.Add(1)
+	var rep *wire.IngestReply
+	if h := s.ingest; h != nil {
+		// The handler owns the reply's Subset: a front server reports
+		// the shard an unrouted batch actually landed on, which the
+		// request's own Subset (-1) cannot name.
+		rep = h(req)
+	} else {
+		rep = &wire.IngestReply{Subset: req.Subset, Status: wire.IngestRejected, Err: "ingest not enabled"}
+	}
+	rep.ID = req.ID
+	sc.write(wire.AppendIngestReplyFrame(nil, rep))
+}
+
+// LiveStores bundles the live shards one component server ingests
+// into and serves from, per workload. A nil slice rejects that
+// workload's batches.
+type LiveStores struct {
+	Agg    []*ingest.AggLive
+	CF     []*ingest.CFLive
+	Search []*ingest.SearchLive
+}
+
+// shard maps a wire subset onto one of n shards (Subset < 0 — a batch
+// that was never routed — lands on shard 0).
+func shard(subset int32, n int) int {
+	if subset < 0 {
+		return 0
+	}
+	return int(subset) % n
+}
+
+// NewLiveIngestHandler returns the component-side append handler over
+// a set of live shards: each batch is validated, staged atomically
+// into the owning shard, and acknowledged with the epoch at which it
+// was staged (visible to every snapshot with a strictly greater
+// epoch, i.e. after the merge worker's next swap).
+func NewLiveIngestHandler(ls LiveStores) IngestHandler {
+	return func(req *wire.IngestRequest) *wire.IngestReply {
+		rep := &wire.IngestReply{Subset: req.Subset}
+		reject := func(msg string) *wire.IngestReply {
+			rep.Status = wire.IngestRejected
+			rep.Err = msg
+			return rep
+		}
+		switch req.Kind {
+		case wire.KindAgg:
+			if len(ls.Agg) == 0 || req.Agg == nil {
+				return reject("no live aggregation shard")
+			}
+			l := ls.Agg[shard(req.Subset, len(ls.Agg))]
+			n, err := l.Append(req.Agg.Keys, req.Agg.Vals)
+			if err != nil {
+				rep.Status = wire.IngestErr
+				rep.Err = err.Error()
+				return rep
+			}
+			rep.Accepted = uint32(n)
+			rep.Epoch = l.Epoch()
+		case wire.KindCF:
+			if len(ls.CF) == 0 || req.CF == nil {
+				return reject("no live CF shard")
+			}
+			l := ls.CF[shard(req.Subset, len(ls.CF))]
+			// Convert every user before appending any, so a bad rating
+			// rejects the batch whole instead of staging a prefix.
+			users := make([][]cf.Rating, len(req.CF.Users))
+			for u, rs := range req.CF.Users {
+				users[u] = make([]cf.Rating, len(rs))
+				for i, r := range rs {
+					users[u][i] = cf.Rating{Item: r.Item, Score: r.Score}
+				}
+			}
+			for u, rs := range users {
+				if _, err := l.Append(rs); err != nil {
+					rep.Status = wire.IngestErr
+					rep.Err = err.Error()
+					rep.Accepted = uint32(u)
+					return rep
+				}
+			}
+			rep.Accepted = uint32(len(users))
+			rep.Epoch = l.Epoch()
+		case wire.KindSearch:
+			if len(ls.Search) == 0 || req.Search == nil {
+				return reject("no live search shard")
+			}
+			l := ls.Search[shard(req.Subset, len(ls.Search))]
+			for _, d := range req.Search.Docs {
+				l.Append(d)
+			}
+			rep.Accepted = uint32(len(req.Search.Docs))
+			rep.Epoch = l.Epoch()
+		default:
+			rep.Status = wire.IngestErr
+			rep.Err = "unknown payload kind"
+			return rep
+		}
+		rep.Status = wire.IngestOK
+		return rep
+	}
+}
+
+// liveAggResults recycles result accumulators across live aggregation
+// requests so the serving path allocates only its wire reply.
+var liveAggResults = sync.Pool{New: func() any { return new(agg.Result) }}
+
+// NewLiveAggBackend returns a handler serving the aggregation workload
+// from the epoch-swapped snapshots of live shards (component c answers
+// for subset c mod len(lives)). Each request pins one snapshot with a
+// single atomic load and answers entirely from it — concurrent epoch
+// swaps never tear a result — using the snapshot's base synopsis at
+// the requested ladder level plus an exact fold of the unmerged delta.
+func NewLiveAggBackend(lives []*ingest.AggLive, opts BackendOptions) Handler {
+	opts = opts.withDefaults()
+	return func(ctx context.Context, req *wire.Request) *wire.SubReply {
+		if req.Kind != wire.KindAgg || req.Agg == nil || req.Subset < 0 {
+			return errSub("netsvc: malformed aggregation request")
+		}
+		opts.interfere(req.Seq)
+		l := lives[int(req.Subset)%len(lives)]
+		snap, _ := l.Snapshot()
+		q := agg.Query{Op: agg.Op(req.Agg.Op), Lo: req.Agg.Lo, Hi: req.Agg.Hi}
+		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
+		res := liveAggResults.Get().(*agg.Result)
+		if req.SLO == wire.SLOExact || snap.Base() == nil {
+			// Exact class — or an epoch before the first compaction, whose
+			// only data is the exactly scanned delta.
+			if opts.UnitCost > 0 {
+				time.Sleep(time.Duration(snap.Rows()) * opts.UnitCost)
+			}
+			*res = snap.Exact(*res, q)
+		} else {
+			syn := snap.Base().Syn
+			level := int(req.Level)
+			if req.Level == wire.NoLevel || level >= syn.Levels() {
+				level = syn.Levels() - 1
+			}
+			if level < 0 {
+				level = 0
+			}
+			if opts.UnitCost > 0 {
+				time.Sleep(time.Duration(syn.SampleUnits(level)+snap.DeltaRows()) * opts.UnitCost)
+			}
+			*res = snap.QueryLevel(*res, q, level)
+			rep.Level = int16(level)
+		}
+		rep.Agg = &wire.AggResult{
+			Sum:    append([]float64(nil), res.Sum...),
+			Cnt:    append([]float64(nil), res.Cnt...),
+			SumVar: append([]float64(nil), res.SumVar...),
+			CntVar: append([]float64(nil), res.CntVar...),
+		}
+		liveAggResults.Put(res)
+		return rep
+	}
+}
+
+// EnableIngest makes the front server accept v5 append batches and
+// forward each to its owning component through the aggregator, and
+// wires the ingest-driven cache invalidation: whenever a component
+// epoch swap is observed — via NotifyEpochSwap from an in-process
+// merge worker's OnSwap hook, or via the advancing epochs on ingest
+// acknowledgements — the result cache's epoch is bumped (staling every
+// entry) and up to rewarmMax of the hottest entries are recomputed in
+// the background (rescache.RewarmHot), turning the post-swap miss
+// burst back into hits. rewarmMax 0 disables re-warming; without
+// EnableCache the epoch bookkeeping is kept but there is nothing to
+// invalidate. Call before Serve.
+func (s *FrontServer) EnableIngest(rewarmMax int) {
+	s.rewarmMax = rewarmMax
+	s.SetIngest(func(req *wire.IngestRequest) *wire.IngestReply {
+		ctx, cancel := context.WithTimeout(context.Background(), s.agg.Deadline())
+		defer cancel()
+		rep := s.agg.Ingest(ctx, req)
+		if rep.Status == wire.IngestOK {
+			// The staging epoch only advances across a swap, so observing
+			// it grow is observing that previously composed answers went
+			// stale — the cross-process invalidation signal.
+			s.NotifyEpochSwap(rep.Epoch)
+		}
+		return rep
+	})
+}
+
+// NotifyEpochSwap folds one observed data epoch into the front
+// server's view. An advance past the highest epoch seen so far bumps
+// the result cache (every cached answer predates the swap) and kicks
+// one background re-warm pass over the hottest entries; stale or
+// duplicate notifications are no-ops, so the in-process OnSwap hook
+// and the acknowledgement-observed epochs can both feed it safely.
+func (s *FrontServer) NotifyEpochSwap(epoch uint64) {
+	for {
+		cur := s.dataEpoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if s.dataEpoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	if s.cache == nil {
+		return
+	}
+	s.cache.BumpEpoch()
+	// One re-warm pass at a time: each recomputation stamps the epoch
+	// captured at its own start, so a pass that straddles further swaps
+	// stays correct (entries are born stale) — overlapping passes would
+	// only duplicate work.
+	if s.rewarmMax > 0 && s.rewarming.CompareAndSwap(false, true) {
+		go func() {
+			defer s.rewarming.Store(false)
+			s.cache.RewarmHot(s.rewarmMax)
+		}()
+	}
+}
+
+// DataEpoch returns the highest component data epoch observed through
+// ingest acknowledgements and NotifyEpochSwap.
+func (s *FrontServer) DataEpoch() uint64 { return s.dataEpoch.Load() }

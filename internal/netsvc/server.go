@@ -60,6 +60,7 @@ type ServerStats struct {
 	Requests  int64 // dequeued by a worker
 	Abandoned int64 // deadline already passed at dequeue: answered Skipped, no work done
 	Shed      int64 // answered StatusBusy at a full queue
+	Ingests   int64 // append batches answered inline on connection readers
 }
 
 // srvConn is one accepted connection with serialized writes (workers
@@ -117,9 +118,14 @@ type srvCore struct {
 	workers sync.WaitGroup
 	readers sync.WaitGroup
 
+	// ingest, when set, answers v5 append batches (see SetIngest); it
+	// is installed before Serve and read without synchronization.
+	ingest IngestHandler
+
 	requests  atomic.Int64
 	abandoned atomic.Int64
 	shed      atomic.Int64
+	ingests   atomic.Int64
 	pending   atomic.Int64 // queued + in-flight requests (drain signal)
 }
 
@@ -192,6 +198,22 @@ func (s *srvCore) readConn(c net.Conn) {
 		if err != nil {
 			return
 		}
+		// One connection carries both query and append frames; the kind
+		// byte routes before any payload decoding. Append batches are
+		// answered inline on this reader — staging is a short, bounded
+		// mutation that must not queue behind budgeted query work.
+		kind, err := wire.FrameKind(buf)
+		if err != nil {
+			return
+		}
+		if kind == wire.FrameIngest {
+			in, err := wire.DecodeIngestRequest(buf)
+			if err != nil {
+				return
+			}
+			s.serveIngest(sc, in)
+			continue
+		}
 		req, err := wire.DecodeRequest(buf)
 		if err != nil {
 			return
@@ -252,6 +274,7 @@ func (s *srvCore) Stats() ServerStats {
 		Requests:  s.requests.Load(),
 		Abandoned: s.abandoned.Load(),
 		Shed:      s.shed.Load(),
+		Ingests:   s.ingests.Load(),
 	}
 }
 
@@ -382,6 +405,13 @@ type FrontServer struct {
 	keyBufs sync.Pool
 
 	cacheHits atomic.Int64
+
+	// Ingest-driven invalidation state (see EnableIngest): the highest
+	// component data epoch observed, the re-warm budget per swap, and
+	// the flag serializing background re-warm passes.
+	dataEpoch atomic.Uint64
+	rewarmMax int
+	rewarming atomic.Bool
 }
 
 // NewFrontServer wraps an aggregator (and, when fe is non-nil, the

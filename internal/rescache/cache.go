@@ -82,6 +82,7 @@ type Stats struct {
 	Stale        int64 // lookups that hit an entry from an old epoch
 	FloorRejects int64 // lookups whose entry's accuracy missed the floor
 	Refreshes    int64 // entries upgraded by the refresh worker
+	Rewarms      int64 // entries recomputed by RewarmHot after epoch bumps
 }
 
 // entry is one cached reply in a shard's slab. prev/next thread the
@@ -189,7 +190,7 @@ type Cache struct {
 	hits, misses, coalesced *obs.Counter
 	stored, evictions       *obs.Counter
 	stale, floorRejects     *obs.Counter
-	refreshes               *obs.Counter
+	refreshes, rewarms      *obs.Counter
 }
 
 // New returns an empty cache.
@@ -225,6 +226,7 @@ func New(cfg Config) (*Cache, error) {
 		stale:        reg.Counter("rescache_stale_total"),
 		floorRejects: reg.Counter("rescache_floor_rejects_total"),
 		refreshes:    reg.Counter("rescache_refreshes_total"),
+		rewarms:      reg.Counter("rescache_rewarms_total"),
 	}
 	for i := range c.shards {
 		c.shards[i].init(perShard)
@@ -419,6 +421,7 @@ func (c *Cache) Stats() Stats {
 		Stale:        c.stale.Value(),
 		FloorRejects: c.floorRejects.Value(),
 		Refreshes:    c.refreshes.Value(),
+		Rewarms:      c.rewarms.Value(),
 	}
 }
 

@@ -62,6 +62,67 @@ func (c *Cache) refreshLoop() {
 	}
 }
 
+// RewarmHot recomputes up to max of the hottest entries through the
+// refresh function, in recency order. Unlike the background refresh —
+// which only upgrades entries that are still current — re-warming
+// exists for the moment right after an epoch bump: the hot entries
+// just went stale, and recomputing them before their next lookup turns
+// a burst of post-swap misses back into hits. Each recomputation
+// stamps the epoch captured at its own compute start, so a swap that
+// lands mid-recompute leaves the entry born stale (and the next
+// RewarmHot, typically fired by that swap's hook, redoes it) rather
+// than resurrecting pre-swap data as current. Returns the number of
+// entries re-warmed.
+//
+// RewarmHot runs on the caller's goroutine; callers pacing it off an
+// epoch-swap hook get natural batching (one pass per swap). It is a
+// no-op until SetRefresh installs a refresh function.
+func (c *Cache) RewarmHot(max int) int {
+	c.refreshMu.Lock()
+	fn, gate := c.refreshFn, c.gate
+	c.refreshMu.Unlock()
+	if fn == nil || max <= 0 {
+		return 0
+	}
+	type job struct {
+		key     uint64
+		payload interface{}
+	}
+	// Collect {key, payload} under the shard locks, hottest first per
+	// shard: the payload travels with the job because the entry itself
+	// may be lazily discarded (it is stale) before the recompute runs.
+	jobs := make([]job, 0, max)
+	for si := range c.shards {
+		if len(jobs) == max {
+			break
+		}
+		s := &c.shards[si]
+		s.mu.Lock()
+		for i := s.head; i != nilIdx && len(jobs) < max; i = s.slab[i].next {
+			if e := &s.slab[i]; e.payload != nil {
+				jobs = append(jobs, job{key: e.key, payload: e.payload})
+			}
+		}
+		s.mu.Unlock()
+	}
+	n := 0
+	for _, j := range jobs {
+		if gate != nil && !gate() {
+			break
+		}
+		// Epoch at compute start, not store time: see the method comment.
+		epoch := c.Epoch()
+		v, acc, ok := fn(j.key, j.payload)
+		if !ok {
+			continue
+		}
+		c.StoreAt(j.key, j.payload, v, acc, epoch)
+		c.rewarms.Inc()
+		n++
+	}
+	return n
+}
+
 func (c *Cache) refreshOne(key uint64) {
 	if c.gate != nil && !c.gate() {
 		// Overloaded: push the key back and let the pacing sleep retry

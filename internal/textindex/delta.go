@@ -1,0 +1,50 @@
+package textindex
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// ScoreTermVec scores a term vector that is not in the index — a
+// streaming-ingest delta document awaiting compaction — with exactly
+// ScoreDoc's kernel: per query term, a binary search over the sorted
+// vector, then the coord factor and length norm. Delta documents are
+// scored at the base epoch's idf weights (the Query carries them), so
+// their scores match a frozen rebuild only once compaction folds them
+// into the index; until then they are the freshness approximation the
+// ingest layer documents.
+func (ix *Index) ScoreTermVec(q Query, tv []TermFreq, docLen int) float64 {
+	sum := 0.0
+	matched := 0
+	for qi, t := range q.Terms {
+		k := sort.Search(len(tv), func(i int) bool { return tv[i].Term >= t })
+		if k < len(tv) && tv[k].Term == t {
+			sum += math.Sqrt(float64(tv[k].Freq)) * q.idf2[qi]
+			matched++
+		}
+	}
+	return ix.finalScore(sum, matched, len(q.Terms), docLen)
+}
+
+// AnalyzeDelta tokenizes text against the index's existing vocabulary
+// for delta scoring: the returned term vector (sorted by term) keeps
+// only known terms — out-of-vocabulary tokens enter the vocabulary at
+// the next compaction — while the returned document length counts every
+// token, matching what setDoc records when the document is folded into
+// a rebuilt base.
+func (ix *Index) AnalyzeDelta(text string) ([]TermFreq, int) {
+	tokens := Tokenize(text)
+	freqs := make(map[int32]int32)
+	for _, tok := range tokens {
+		if id, ok := ix.vocab[tok]; ok {
+			freqs[id]++
+		}
+	}
+	tv := make([]TermFreq, 0, len(freqs))
+	for t, f := range freqs {
+		tv = append(tv, TermFreq{Term: t, Freq: f})
+	}
+	slices.SortFunc(tv, func(a, b TermFreq) int { return int(a.Term) - int(b.Term) })
+	return tv, len(tokens)
+}

@@ -14,8 +14,9 @@ import (
 // (Request.Trace, Reply.Trace) and server-side spans (SubReply.Spans);
 // version 4 added the degraded/unavailable composed-reply statuses
 // (ReplyDegraded carries a payload, so the payload-presence rule
-// changed).
-const Version = 4
+// changed); version 5 added the streaming-ingest append op (the
+// IngestRequest/IngestReply frame kinds).
+const Version = 5
 
 // VersionError reports a frame stamped with a different protocol
 // version — a v2 (or future) peer on the other end of the connection.
@@ -30,9 +31,21 @@ func (e *VersionError) Error() string {
 
 // Frame kinds: what a frame body contains.
 const (
-	frameRequest  = 1
-	frameSubReply = 2
-	frameReply    = 3
+	frameRequest     = 1
+	frameSubReply    = 2
+	frameReply       = 3
+	frameIngest      = 4
+	frameIngestReply = 5
+)
+
+// Exported frame kinds, for demultiplexing connections that carry both
+// query and ingest traffic (compare against FrameKind's result).
+const (
+	FrameRequest     = frameRequest
+	FrameSubReply    = frameSubReply
+	FrameReply       = frameReply
+	FrameIngest      = frameIngest
+	FrameIngestReply = frameIngestReply
 )
 
 // Kind selects which application payload a request or result carries.

@@ -300,7 +300,7 @@ func TestVersionMismatchTyped(t *testing.T) {
 	if _, err := FrameKind(v2); !errors.As(err, &ve) {
 		t.Fatalf("FrameKind: want *VersionError, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "want 4") {
+	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), fmt.Sprintf("want %d", Version)) {
 		t.Fatalf("message: %q", err.Error())
 	}
 }
