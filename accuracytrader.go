@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/agg"
+	"accuracytrader/internal/audit"
 	"accuracytrader/internal/cf"
 	"accuracytrader/internal/core"
 	"accuracytrader/internal/frontend"
@@ -575,3 +576,55 @@ func NewNetLiveAggBackend(lives []*AggLiveStore, opts NetBackendOptions) NetHand
 func NewNetLiveIngestHandler(stores NetLiveStores) netsvc.IngestHandler {
 	return netsvc.NewLiveIngestHandler(stores)
 }
+
+// The accuracy audit plane (internal/audit + internal/obs): the system
+// claims an accuracy on every approximate answer; the audit plane
+// checks that claim against ground truth. A background auditor replays
+// a deterministic hash-sample of answered requests at the Exact level
+// off the hot path (gated on controller load, like the cache refresh
+// worker), compares realized error against the claimed accuracy and
+// CLT bounds, and maintains per-workload/per-level calibration tables.
+// Alongside it, an SLO tracker accumulates deadline-miss, degradation
+// and accuracy-floor burn rates over sliding 1m/10m/1h windows, and
+// the trace recorder pins anomalous traces into an exemplar store so
+// the interesting tails survive ring rotation.
+
+// SLOBudgets are the per-signal error budgets burn rates are measured
+// against (deadline misses, accuracy-floor violations, degraded
+// replies).
+type SLOBudgets = obs.SLOBudgets
+
+// DefaultSLOBudgets returns the stock budgets: 0.1% deadline misses,
+// 0.1% floor violations, 5% degraded replies.
+func DefaultSLOBudgets() SLOBudgets { return obs.DefaultSLOBudgets() }
+
+// SLOTracker accumulates per-class (and per-tenant) SLO attainment
+// over sliding 1m/10m/1h windows. Wire it into a NetFrontServer via
+// EnableSLO and serve it via AdminPlane.SetSLOTracker (/slo).
+type SLOTracker = obs.SLOTracker
+
+// NewSLOTracker returns an empty tracker with the given budgets.
+func NewSLOTracker(budgets SLOBudgets) *SLOTracker { return obs.NewSLOTracker(budgets) }
+
+// Auditor is the background ground-truth auditor. Obtain one from
+// NetFrontServer.EnableAudit; Close it before shutting the server
+// down.
+type Auditor = audit.Auditor
+
+// AuditConfig configures EnableAudit. The zero value is serviceable:
+// 5% deterministic trace-ID sampling, a 256-slot queue and a paced
+// single worker.
+type AuditConfig = audit.Config
+
+// AuditStats are the auditor's cumulative counters
+// (sampled = audited + skipped-stale + replay-errors + dropped).
+type AuditStats = audit.Stats
+
+// AuditTableView is one workload/level calibration row: samples,
+// mean claimed vs mean realized accuracy, bound coverage, floor
+// violations.
+type AuditTableView = audit.TableView
+
+// AuditReport bundles an auditor's stats and calibration tables —
+// the document AdminPlane.SetAuditSource serves at /audit.
+type AuditReport = audit.Report

@@ -57,7 +57,7 @@ func main() {
 		listen   = flag.String("listen", "", "listen address (component server, or aggregator front server)")
 		peers    = flag.String("peers", "", "comma-separated component addresses (aggregator)")
 		rate     = flag.Float64("rate", 40, "aggregator measurement: open-loop request rate per second")
-		admin    = flag.String("admin", "", "admin plane listen address for -serve roles (/metrics, /healthz, /traces, /debug/pprof; also enables request tracing on the front server)")
+		admin    = flag.String("admin", "", "admin plane listen address for -serve roles (/metrics, /healthz, /traces, /slo, /audit, /debug/pprof; also enables request tracing, SLO tracking and ground-truth auditing on the front server)")
 	)
 	flag.Parse()
 
@@ -119,6 +119,7 @@ var runners = map[string]runner{
 	"tracecompare":  func(sc experiments.Scale, _, _ int) error { return runTraceCompare(sc) },
 	"faultcompare":  func(sc experiments.Scale, _, _ int) error { return runFaultCompare(sc) },
 	"ingestcompare": func(sc experiments.Scale, _, _ int) error { return runIngestCompare(sc) },
+	"auditcompare":  func(sc experiments.Scale, _, _ int) error { return runAuditCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -379,6 +380,20 @@ func runHeadline(sc experiments.Scale) error {
 			return err
 		}
 		fmt.Println(experiments.ComputeHeadline(cfc, day, sc.SearchPeakRate).Render())
+		return nil
+	})
+}
+
+func runAuditCompare(sc experiments.Scale) error {
+	return timed("Accuracy audit plane (ground-truth replay, burn rates, tail retention)", func() error {
+		res, err := experiments.RunAuditCompare(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if !res.OK() {
+			return fmt.Errorf("auditcompare contracts violated (see report above)")
+		}
 		return nil
 	})
 }

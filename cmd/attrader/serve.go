@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/agg"
+	"accuracytrader/internal/audit"
 	"accuracytrader/internal/experiments"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/ingest"
@@ -37,7 +38,7 @@ func startAdmin(addr string, reg *obs.Registry, rec *obs.Recorder) (*obs.Admin, 
 	if err != nil {
 		return nil, fmt.Errorf("admin plane: %w", err)
 	}
-	fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /debug/pprof)\n", got)
+	fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /slo /audit /debug/pprof)\n", got)
 	return ad, nil
 }
 
@@ -301,6 +302,25 @@ func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, re
 	// Forward append batches to their owning component; after each
 	// observed epoch swap, re-warm up to 32 hot cache entries.
 	fs.EnableIngest(32)
+	// The admin plane also switches on SLO attainment tracking and the
+	// ground-truth auditor: burn rates land in /metrics and /slo, audit
+	// calibration tables in /audit, and audit-flagged traces are pinned
+	// as exemplars at /traces?filter=anomaly.
+	var auditor *audit.Auditor
+	if ad != nil {
+		slo := obs.NewSLOTracker(obs.DefaultSLOBudgets())
+		slo.RegisterMetrics(reg)
+		fs.EnableSLO(slo, nil)
+		ad.SetSLOTracker(slo)
+		auditor, err = fs.EnableAudit(audit.Config{Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer auditor.Close()
+		ad.SetAuditSource(func() any {
+			return audit.Report{Stats: auditor.Stats(), Tables: auditor.Tables()}
+		})
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- fs.ListenAndServe(listen) }()
 	fmt.Printf("aggregator: serving composed replies on %s (frontend: %v, tracing: %v)\n", listen, fe != nil, rec != nil)

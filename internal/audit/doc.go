@@ -1,0 +1,23 @@
+// Package audit continuously verifies the system's accuracy claims
+// against ground truth. It samples a configurable fraction of answered
+// Bounded/BestEffort requests (a deterministic hash of the trace ID, so
+// every replica of a request makes the same decision), replays each
+// sample at Exact level off the hot path — low priority, gated on
+// controller load exactly like the result cache's refresh worker — and
+// compares the realized error against the claimed accuracy and claimed
+// CLT error bounds.
+//
+// The verdicts feed per-workload, per-ladder-level calibration tables:
+// bound-coverage ratios (did the exact answer land inside the claimed
+// bound at the nominal confidence?), realized-accuracy histograms, and
+// floor-violation counts. The tables are exported through the obs
+// registry and the admin plane's /audit endpoint, closing the loop the
+// ICPP'16 paper leaves open: offline-calibrated per-level accuracy
+// tables silently go stale as data drifts under streaming ingestion,
+// and this plane is what notices.
+//
+// The auditor never audits across a data epoch boundary: a sample
+// stamped with the epoch its answer was computed against is skipped if
+// the live epoch has moved by replay time, because ground truth for the
+// old answer no longer exists.
+package audit

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditCompareQuick runs the audit-plane validation at test scale
+// and asserts every contract: zero-cost off/non-sampled paths, healthy
+// bound coverage at or above nominal confidence, stale-calibration
+// detection within the sample budget, epoch-swap drift safety,
+// burn-rate windows matching the naive reference, and tail retention.
+func TestAuditCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback serving run")
+	}
+	sc := QuickScale()
+	sc.Shards = 3
+	ac, err := RunAuditCompare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ac.ZeroAllocOK {
+		t.Errorf("zero-cost: disabled %.1f allocs/op, non-sampled %.1f allocs/op, want 0",
+			ac.DisabledAllocs, ac.NotSampledAllocs)
+	}
+	if !ac.CoverageOK {
+		t.Errorf("healthy coverage %.3f over %d bounds (audited %d/%d), want >= %.2f",
+			ac.HealthyCoverage, ac.HealthyBounds, ac.HealthyAudited, ac.HealthyCalls, auditNominalConfidence)
+	}
+	if !ac.DetectOK {
+		t.Errorf("bias detection: %d violations of %d audits, first at #%d (budget %d), %d pinned",
+			ac.BiasViol, ac.BiasAudited, ac.BiasDetectAt, auditDetectK, ac.BiasPinned)
+	}
+	if !ac.DriftOK {
+		t.Errorf("drift phase: queued=%d skipped=%d post=%d err=%q",
+			ac.DriftQueued, ac.DriftSkipped, ac.DriftPostAudited, ac.DriftErr)
+	}
+	if !ac.BurnOK {
+		t.Errorf("burn rates: %d mismatches in %d checks", ac.BurnMismatches, ac.BurnChecks)
+	}
+	if !ac.RetentionOK {
+		t.Errorf("retention: anomalous=%d pinned=%d inRing=%d sloDeg=%d",
+			ac.RetainAnomalous, ac.RetainPinned, ac.RetainInRing, ac.RetainSLODeg)
+	}
+	// The stale table must actually be detected as stale: realized far
+	// below claimed.
+	if ac.BiasClaimed-ac.BiasRealized < auditMismatchGapFloor {
+		t.Errorf("bias pass claimed %.3f vs realized %.3f: gap too small to demonstrate staleness",
+			ac.BiasClaimed, ac.BiasRealized)
+	}
+	out := ac.Render()
+	for _, want := range []string{"AUDITCOMPARE", "zero-cost", "calibration", "detection", "drift", "burn rates", "retention"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

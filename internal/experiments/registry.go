@@ -32,6 +32,7 @@ func Registry() []ExperimentInfo {
 		{Name: "tracecompare", Artifact: "extension", About: "end-to-end decision tracing: cross-process stitching, budget accounting, zero-cost-off"},
 		{Name: "faultcompare", Artifact: "extension", About: "failure-domain hardening: kill/stall/heal sweep with breakers and accuracy-aware degradation"},
 		{Name: "ingestcompare", Artifact: "extension", About: "live synopsis updates: epoch-swapped streaming ingestion vs frozen rebuilds, sampling honesty pinned"},
+		{Name: "auditcompare", Artifact: "extension", About: "accuracy audit plane: ground-truth replay auditing, SLO burn rates, tail-based trace retention"},
 	}
 }
 

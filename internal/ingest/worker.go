@@ -1,7 +1,6 @@
 package ingest
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
@@ -90,7 +89,9 @@ func NewWorker(s Store, opts WorkerOptions) *Worker {
 	opts = opts.withDefaults()
 	w := &Worker{store: s, opts: opts, quit: make(chan struct{}), done: make(chan struct{})}
 	if m := opts.Metrics; m != nil {
-		label := fmt.Sprintf(`{store=%q}`, opts.Name)
+		// obs.Labels escapes the operator-supplied store name, so a
+		// quote or newline in it cannot corrupt the exposition.
+		label := obs.Labels("store", opts.Name)
 		w.mPublishes = m.Counter("ingest_publishes_total" + label)
 		w.mCompactions = m.Counter("ingest_compactions_total" + label)
 		w.mPublished = m.Counter("ingest_published_total" + label)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/audit"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/rescache"
@@ -412,6 +413,13 @@ type FrontServer struct {
 	dataEpoch atomic.Uint64
 	rewarmMax int
 	rewarming atomic.Bool
+
+	// SLO attainment tracking (EnableSLO) and ground-truth auditing
+	// (EnableAudit); both nil when disabled, and every call site is
+	// nil-safe so the off state costs nothing.
+	slo      *obs.SLOTracker
+	tenantOf func(*wire.Request) string
+	auditor  *audit.Auditor
 }
 
 // NewFrontServer wraps an aggregator (and, when fe is non-nil, the
@@ -520,6 +528,7 @@ func (s *FrontServer) Tracer() *obs.Recorder { return s.tracer }
 // no extra work beyond two nil checks.
 func (s *FrontServer) serve(ctx context.Context, req *wire.Request, enq time.Time) *wire.Reply {
 	start := time.Now()
+	epoch := s.dataEpoch.Load()            // pre-answer epoch: audit samples must not straddle a swap
 	tr := s.tracer.Start(req.Trace, start) // nil recorder -> nil trace
 	if tr != nil {
 		tr.SetRequest(uint8(req.Kind), req.SLO, req.MinAccuracy, req.Deadline)
@@ -530,18 +539,27 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request, enq time.Tim
 		}
 		ctx = obs.ContextWithTrace(ctx, tr)
 	}
-	rep := s.answer(ctx, req)
+	rep, acc := s.answer(ctx, req)
 	rep.Trace = tr.ID() // nil-safe: 0 when untraced
-	tr.Finish(time.Since(start))
+	switch rep.Status {
+	case wire.ReplyDegraded:
+		tr.MarkAnomaly(obs.AnomalyDegraded)
+	case wire.ReplyUnavailable:
+		tr.MarkAnomaly(obs.AnomalyUnavailable)
+	}
+	dur := time.Since(start)
+	tr.Finish(dur) // pins anomalous traces (incl. deadline misses) as exemplars
+	s.recordSLO(req, rep, start, dur)
+	s.maybeAudit(req, rep, acc, epoch)
 	return rep
 }
 
 // answer resolves one whole-service request, through the result cache
-// when one is enabled.
-func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply {
+// when one is enabled, and reports the accuracy the answer is claimed
+// at (the cached entry's recorded accuracy on hits).
+func (s *FrontServer) answer(ctx context.Context, req *wire.Request) (*wire.Reply, float64) {
 	if s.cache == nil {
-		rep, _ := s.serveMiss(ctx, req)
-		return rep
+		return s.serveMiss(ctx, req)
 	}
 	if ctrl := s.fe.Controller(); ctrl != nil {
 		s.cache.SetLoad(ctrl.Load())
@@ -552,7 +570,7 @@ func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply
 		cacheT0 = time.Now()
 	}
 	key := s.cacheKey(req)
-	v, _, outcome, err := s.cache.DoWith(ctx, key, s.cacheFloorOf(req),
+	v, acc, outcome, err := s.cache.DoWith(ctx, key, s.cacheFloorOf(req),
 		func() (interface{}, float64, error) {
 			// Capture the epoch before computing so an entry whose
 			// fan-out straddles a data update is born stale.
@@ -590,7 +608,7 @@ func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply
 			msg = err.Error()
 		}
 		return &wire.Reply{ID: req.ID, Kind: req.Kind, Status: wire.ReplyErr,
-			Err: msg, SLO: req.SLO, MinAccuracy: req.MinAccuracy, Level: wire.NoLevel}
+			Err: msg, SLO: req.SLO, MinAccuracy: req.MinAccuracy, Level: wire.NoLevel}, 0
 	}
 	if outcome == rescache.OutcomeMiss {
 		// This request's own computation, already stamped — but the
@@ -598,7 +616,7 @@ func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply
 		// concurrently. Return a private copy so serve's trace-ID stamp
 		// never races those reads.
 		out := *rep
-		return &out
+		return &out, acc
 	}
 	// Cache hit or coalesced share: the stored reply is immutable —
 	// copy it and stamp this request's identity and class.
@@ -608,7 +626,7 @@ func (s *FrontServer) answer(ctx context.Context, req *wire.Request) *wire.Reply
 	out.SLO, out.MinAccuracy = req.SLO, req.MinAccuracy
 	out.Degraded = false
 	out.Cached = true
-	return &out
+	return &out, acc
 }
 
 // allOK reports whether every subset answered StatusOK.

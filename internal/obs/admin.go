@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -18,7 +19,13 @@ import (
 //	/healthz        200 "ok" when ready, 200 "degraded" + the open
 //	                breakers when serving around failed components,
 //	                503 "draining" when not ready
-//	/traces?n=K     the K most recent finished traces as JSON
+//	/traces?n=K     the K most recent finished traces as JSON;
+//	                ?class=Bounded (or 0/1/2), ?min_ms=5, and
+//	                ?filter=anomaly narrow the answer — filter=anomaly
+//	                serves the pinned exemplar store instead of the ring
+//	/slo            sliding-window SLO burn rates (SetSLOTracker)
+//	/audit          the ground-truth auditor's calibration report
+//	                (SetAuditSource)
 //	/debug/pprof/*  the standard runtime profiles
 //
 // Readiness starts true and is flipped by SetReady — graceful shutdown
@@ -32,6 +39,8 @@ type Admin struct {
 	rec    *Recorder
 	ready  atomic.Bool
 	health atomic.Value // func() []string: open-breaker source
+	slo    atomic.Value // *SLOTracker
+	audit  atomic.Value // func() any: audit report source
 	srv    *http.Server
 	ln     net.Listener
 }
@@ -60,12 +69,22 @@ func (a *Admin) SetHealthSource(openBreakers func() []string) {
 	a.health.Store(openBreakers)
 }
 
+// SetSLOTracker installs the tracker behind /slo.
+func (a *Admin) SetSLOTracker(t *SLOTracker) { a.slo.Store(t) }
+
+// SetAuditSource installs the report source behind /audit — a function
+// returning any JSON-encodable value (typically audit.Auditor.Report;
+// obs cannot import audit, so the coupling stays this loose).
+func (a *Admin) SetAuditSource(report func() any) { a.audit.Store(report) }
+
 // Handler returns the admin mux.
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/traces", a.handleTraces)
+	mux.HandleFunc("/slo", a.handleSLO)
+	mux.HandleFunc("/audit", a.handleAudit)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -100,9 +119,25 @@ func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// parseClass maps a ?class= value — an SLO label ("Exact", "Bounded",
+// "BestEffort", case-insensitive) or its numeric code — to the class
+// byte. ok is false for anything else.
+func parseClass(s string) (uint8, bool) {
+	for c := uint8(0); c < 3; c++ {
+		if strings.EqualFold(s, ClassLabel(c)) {
+			return c, true
+		}
+	}
+	if v, err := strconv.Atoi(s); err == nil && v >= 0 && v <= 2 {
+		return uint8(v), true
+	}
+	return 0, false
+}
+
 func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	n := 32
-	if s := r.URL.Query().Get("n"); s != "" {
+	if s := q.Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 0 {
 			http.Error(w, "obs: bad n", http.StatusBadRequest)
@@ -110,7 +145,48 @@ func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	views := a.rec.Snapshot(n)
+	hasClass := false
+	var class uint8
+	if s := q.Get("class"); s != "" {
+		c, ok := parseClass(s)
+		if !ok {
+			http.Error(w, "obs: bad class", http.StatusBadRequest)
+			return
+		}
+		hasClass, class = true, c
+	}
+	minDur := time.Duration(0)
+	if s := q.Get("min_ms"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "obs: bad min_ms", http.StatusBadRequest)
+			return
+		}
+		minDur = time.Duration(v * float64(time.Millisecond))
+	}
+	var views []TraceView
+	switch q.Get("filter") {
+	case "":
+		views = a.rec.Snapshot(n)
+	case "anomaly":
+		views = a.rec.Exemplars(n)
+	default:
+		http.Error(w, "obs: bad filter (want anomaly)", http.StatusBadRequest)
+		return
+	}
+	if hasClass || minDur > 0 {
+		kept := views[:0]
+		for _, v := range views {
+			if hasClass && v.SLO != class {
+				continue
+			}
+			if minDur > 0 && time.Duration(v.DurNs) < minDur {
+				continue
+			}
+			kept = append(kept, v)
+		}
+		views = kept
+	}
 	if views == nil {
 		views = []TraceView{}
 	}
@@ -120,6 +196,26 @@ func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(struct {
 		Traces []TraceView `json:"traces"`
 	}{views})
+}
+
+func (a *Admin) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	t, _ := a.slo.Load().(*SLOTracker)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(t.Snapshot())
+}
+
+func (a *Admin) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	src, _ := a.audit.Load().(func() any)
+	if src == nil {
+		http.Error(w, "obs: no audit source configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(src())
 }
 
 // Listen binds the admin plane to addr and serves it on a background

@@ -158,3 +158,146 @@ func TestAdminListenServesOverTCP(t *testing.T) {
 		t.Fatalf("scrape over TCP: %d %q", resp.StatusCode, body)
 	}
 }
+
+func TestAdminTracesFilters(t *testing.T) {
+	a, _, rec := newTestAdmin(t)
+	// Two Bounded traces (one slow, one fast) and one BestEffort, plus an
+	// anomalous degraded trace pinned into the exemplar store.
+	slow := rec.Start(0, time.Now())
+	slow.SetRequest(2, 1, 0.9, 0)
+	slow.Finish(20 * time.Millisecond)
+	fast := rec.Start(0, time.Now())
+	fast.SetRequest(2, 1, 0.9, 0)
+	fast.Finish(time.Millisecond)
+	be := rec.Start(0, time.Now())
+	be.SetRequest(2, 2, 0, 0)
+	be.Finish(30 * time.Millisecond)
+	bad := rec.Start(0, time.Now())
+	bad.SetRequest(2, 1, 0.9, 0)
+	bad.MarkAnomaly(AnomalyDegraded)
+	bad.Finish(2 * time.Millisecond)
+
+	decode := func(w *httptest.ResponseRecorder) []TraceView {
+		t.Helper()
+		if w.Code != 200 {
+			t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+		}
+		var body struct {
+			Traces []TraceView `json:"traces"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return body.Traces
+	}
+
+	// class filter: label and numeric forms agree.
+	byLabel := decode(get(t, a.Handler(), "/traces?class=Bounded"))
+	byCode := decode(get(t, a.Handler(), "/traces?class=1"))
+	if len(byLabel) != 3 || len(byCode) != 3 {
+		t.Fatalf("class filter: label=%d code=%d, want 3", len(byLabel), len(byCode))
+	}
+	for _, v := range byLabel {
+		if v.SLO != 1 {
+			t.Fatalf("class filter leaked SLO %d", v.SLO)
+		}
+	}
+	// case-insensitive label.
+	if got := decode(get(t, a.Handler(), "/traces?class=bounded")); len(got) != 3 {
+		t.Fatalf("case-insensitive class: %d, want 3", len(got))
+	}
+
+	// min_ms filter.
+	slowOnly := decode(get(t, a.Handler(), "/traces?min_ms=10"))
+	if len(slowOnly) != 2 { // 20ms Bounded + 30ms BestEffort
+		t.Fatalf("min_ms filter: %d traces, want 2", len(slowOnly))
+	}
+	// Combined: Bounded AND >= 10ms.
+	combined := decode(get(t, a.Handler(), "/traces?class=Bounded&min_ms=10"))
+	if len(combined) != 1 || combined[0].ID != slow.ID() {
+		t.Fatalf("combined filter: %+v", combined)
+	}
+
+	// filter=anomaly serves the exemplar store only.
+	anomalies := decode(get(t, a.Handler(), "/traces?filter=anomaly"))
+	if len(anomalies) != 1 || anomalies[0].ID != bad.ID() {
+		t.Fatalf("anomaly filter: %+v", anomalies)
+	}
+	if anomalies[0].AnomalyWhy[0] != "degraded" {
+		t.Fatalf("anomaly labels lost in JSON: %+v", anomalies[0])
+	}
+	// Anomaly filter composes with class.
+	if got := decode(get(t, a.Handler(), "/traces?filter=anomaly&class=BestEffort")); len(got) != 0 {
+		t.Fatalf("anomaly+class filter leaked: %+v", got)
+	}
+
+	// Malformed parameters answer 400.
+	for _, bad := range []string{
+		"/traces?class=Gold",
+		"/traces?class=7",
+		"/traces?min_ms=fast",
+		"/traces?min_ms=-1",
+		"/traces?filter=slow",
+	} {
+		if w := get(t, a.Handler(), bad); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, w.Code)
+		}
+	}
+}
+
+func TestAdminSLOEndpoint(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	// Without a tracker the endpoint still answers valid (empty) JSON.
+	w := get(t, a.Handler(), "/slo")
+	if w.Code != 200 {
+		t.Fatalf("no-tracker /slo status = %d", w.Code)
+	}
+	var empty SLOView
+	if err := json.Unmarshal(w.Body.Bytes(), &empty); err != nil {
+		t.Fatalf("no-tracker /slo bad JSON: %v", err)
+	}
+
+	tr := NewSLOTracker(SLOBudgets{})
+	now := time.Unix(1_700_000_000, 0)
+	tr.SetClock(func() time.Time { return now })
+	tr.RecordAt(now, 1, "acme", SLODeadlineMiss)
+	a.SetSLOTracker(tr)
+	w = get(t, a.Handler(), "/slo")
+	if w.Code != 200 {
+		t.Fatalf("/slo status = %d", w.Code)
+	}
+	var view SLOView
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+		t.Fatalf("/slo bad JSON: %v\n%s", err, w.Body.String())
+	}
+	if len(view.Classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(view.Classes))
+	}
+	if view.Classes[1].Windows[0].DeadlineMiss != 1 {
+		t.Fatalf("Bounded 1m window: %+v", view.Classes[1].Windows[0])
+	}
+	if _, ok := view.Tenants["acme"]; !ok {
+		t.Fatalf("tenant dimension missing: %+v", view.Tenants)
+	}
+}
+
+func TestAdminAuditEndpoint(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	if w := get(t, a.Handler(), "/audit"); w.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured /audit status = %d, want 404", w.Code)
+	}
+	a.SetAuditSource(func() any {
+		return map[string]int{"sampled": 42}
+	})
+	w := get(t, a.Handler(), "/audit")
+	if w.Code != 200 {
+		t.Fatalf("/audit status = %d", w.Code)
+	}
+	var body map[string]int
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/audit bad JSON: %v", err)
+	}
+	if body["sampled"] != 42 {
+		t.Fatalf("/audit body = %v", body)
+	}
+}

@@ -115,28 +115,62 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// Quantile returns an estimate of the q-th quantile (q in [0,1]) by
-// linear interpolation inside the holding bucket — coarse by design
-// (fixed buckets), but monotone and cheap.
+// Quantile returns an estimate of the q-th quantile by linear
+// interpolation inside the holding bucket — coarse by design (fixed
+// buckets), but monotone and cheap. Edge cases are pinned to sane
+// values instead of bucket-boundary artifacts: an empty histogram
+// returns 0 (not NaN, which would poison JSON encoders), q is clamped
+// into [0,1], a single observation returns the exact mean, q=0 returns
+// the lower edge of the first occupied bucket, q=1 the upper edge of
+// the last occupied one, and a quantile landing in the open +Inf
+// bucket reports the mean when it exceeds the bucket's lower edge (the
+// only remaining signal about how far the tail runs) rather than the
+// top finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
-		return math.NaN()
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	mean := h.Sum() / float64(total)
+	if total == 1 {
+		// One observation: the sum is the observation.
+		return mean
 	}
 	rank := q * float64(total)
 	var cum int64
 	lo := 0.0
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
-		if n > 0 && float64(cum)+float64(n) >= rank {
+		if n > 0 {
 			hi := math.Inf(1)
 			if i < len(h.bounds) {
 				hi = h.bounds[i]
-			} else {
-				return lo // open bucket: report its lower bound
 			}
-			frac := (rank - float64(cum)) / float64(n)
-			return lo + frac*(hi-lo)
+			if q == 0 {
+				return lo // lower edge of the first occupied bucket
+			}
+			if float64(cum)+float64(n) >= rank {
+				if math.IsInf(hi, 1) {
+					// Open bucket: no upper edge to interpolate toward. The
+					// mean bounds the tail from below at least as tightly as
+					// the bucket's lower edge when mass sits out there.
+					if mean > lo {
+						return mean
+					}
+					return lo
+				}
+				if q == 1 {
+					return hi // upper edge of the last occupied bucket
+				}
+				frac := (rank - float64(cum)) / float64(n)
+				return lo + frac*(hi-lo)
+			}
 		}
 		cum += n
 		if i < len(h.bounds) {
@@ -168,24 +202,102 @@ func NewRegistry() *Registry {
 	}
 }
 
+// NameError is the typed registration error for malformed metric
+// names. Registration methods panic with a *NameError — metric names
+// are compile-time constants, so a typo should fail the first test
+// that touches it — and callers validating dynamic names up front use
+// CheckName, which returns it.
+type NameError struct {
+	Name   string // the offending metric name
+	Reason string // what is wrong with it
+}
+
+// Error implements error.
+func (e *NameError) Error() string {
+	return fmt.Sprintf("obs: invalid metric name %q: %s", e.Name, e.Reason)
+}
+
+// CheckName reports whether name is a well-formed metric name (a
+// Prometheus identifier with an optional {label="value",...} suffix);
+// a non-nil result is always a *NameError.
+func CheckName(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	return nil
+}
+
 // validName checks the metric name: a Prometheus-compatible identifier
 // with an optional {label="value",...} suffix.
-func validName(name string) error {
+func validName(name string) *NameError {
 	base, labels := splitName(name)
 	if base == "" {
-		return fmt.Errorf("obs: empty metric name")
+		return &NameError{Name: name, Reason: "empty base name"}
 	}
 	for i, r := range base {
 		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
 			(i > 0 && r >= '0' && r <= '9')
 		if !ok {
-			return fmt.Errorf("obs: invalid metric name %q (char %q)", name, r)
+			return &NameError{Name: name, Reason: fmt.Sprintf("character %q not allowed", r)}
 		}
 	}
 	if labels != "" && (!strings.HasPrefix(labels, "{") || !strings.HasSuffix(labels, "}")) {
-		return fmt.Errorf("obs: invalid label suffix in %q", name)
+		return &NameError{Name: name, Reason: "label suffix must be {...}"}
 	}
 	return nil
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote and newline become
+// \\, \" and \n. Every dynamically interpolated label value must pass
+// through here (Labels does it automatically) or a hostile value could
+// break out of its quotes and corrupt the whole scrape.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Labels renders alternating key/value pairs as a {k="v",...} metric
+// name suffix with the values escaped, the one safe way to build a
+// labelled metric name from dynamic strings:
+//
+//	reg.Counter("ingest_publishes_total" + obs.Labels("store", name))
+//
+// Odd trailing keys and empty input yield "" (no suffix). Keys are the
+// caller's responsibility and must be static identifiers.
+func Labels(kv ...string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // splitName separates "name{label=...}" into base name and label block.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -55,8 +56,137 @@ func TestHistogramObserveAndQuantile(t *testing.T) {
 func TestHistogramQuantileEmpty(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("empty_ms", DefaultLatencyBuckets())
-	if q := h.Quantile(0.5); !math.IsNaN(q) {
-		t.Fatalf("empty quantile = %g, want NaN", q)
+	// Empty histograms answer 0, not NaN: a NaN poisons every JSON
+	// encoder and dashboard math downstream of the scrape.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("single_ms", []float64{1, 10, 100})
+	h.Observe(7)
+	// One observation: every quantile is that observation, exactly —
+	// not the enclosing bucket's upper bound (the old behaviour
+	// answered 10 for every q).
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-observation quantile(%g) = %g, want 7", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges_ms", []float64{1, 10, 100})
+	for i := 0; i < 50; i++ {
+		h.Observe(5) // bucket (1,10]
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(50) // bucket (10,100]
+	}
+	// q=0 answers the lower edge of the first occupied bucket, q=1 the
+	// upper edge of the last — never the top configured bound (1000 in
+	// DefaultLatencyBuckets style setups) and never beyond the data.
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q=0 = %g, want 1 (lower edge of first occupied bucket)", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("q=1 = %g, want 100 (upper edge of last occupied bucket)", got)
+	}
+	// Out-of-range q clamps instead of extrapolating.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Fatalf("q=-3 = %g, want clamp to q=0 = %g", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Fatalf("q=7 = %g, want clamp to q=1 = %g", got, want)
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("over_ms", []float64{1, 10})
+	for i := 0; i < 4; i++ {
+		h.Observe(1000) // +Inf holding bucket
+	}
+	// All mass past the last finite bound: the honest point estimate is
+	// the mean of what was observed, not +Inf and not the last bound.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Fatalf("overflow quantile = %g, want 1000 (mean)", got)
+	}
+}
+
+// naiveQuantile is the reference: sort the raw observations after
+// snapping each to its bucket, and interpolate within the bucket
+// exactly as the histogram claims to.
+func TestHistogramQuantileAgainstNaiveReference(t *testing.T) {
+	bounds := []float64{1, 5, 25, 125}
+	r := NewRegistry()
+	h := r.Histogram("ref_ms", bounds)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%25000) / 100.0 // [0, 250): exercises every bucket incl. overflow
+	}
+	var obs []float64
+	for i := 0; i < 500; i++ {
+		v := next()
+		obs = append(obs, v)
+		h.Observe(v)
+	}
+	// Property 1: monotone non-decreasing in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%g -> %g after %g", q, got, prev)
+		}
+		prev = got
+	}
+	// Property 2: every quantile lies within the occupied bucket range
+	// of the naive per-bucket reference (bucket-edge agreement).
+	naive := func(q float64) (lo, hi float64) {
+		rank := q * float64(len(obs))
+		if rank < 1 {
+			rank = 1
+		}
+		cum := 0
+		bLo := 0.0
+		for i := 0; i <= len(bounds); i++ {
+			bHi := math.Inf(1)
+			if i < len(bounds) {
+				bHi = bounds[i]
+			}
+			n := 0
+			for _, v := range obs {
+				if v > bLo && v <= bHi || (i == 0 && v <= bHi) {
+					n++
+				}
+			}
+			if float64(cum+n) >= rank && n > 0 {
+				return bLo, bHi
+			}
+			cum += n
+			if i < len(bounds) {
+				bLo = bounds[i]
+			}
+		}
+		return bLo, math.Inf(1)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := h.Quantile(q)
+		lo, hi := naive(q)
+		if got < lo || (got > hi && !math.IsInf(hi, 1)) {
+			t.Fatalf("Quantile(%g) = %g outside naive bucket [%g, %g]", q, got, lo, hi)
+		}
+		if math.IsInf(got, 1) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%g) = %g, want finite", q, got)
+		}
 	}
 }
 
@@ -194,4 +324,88 @@ func BenchmarkHistogramObserve(b *testing.B) {
 			h.Observe(3.7)
 		}
 	})
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabelsBuildsEscapedSuffix(t *testing.T) {
+	if got, want := Labels("store", "agg"), `{store="agg"}`; got != want {
+		t.Fatalf("Labels = %q, want %q", got, want)
+	}
+	if got, want := Labels("a", "x", "b", "y"), `{a="x",b="y"}`; got != want {
+		t.Fatalf("Labels = %q, want %q", got, want)
+	}
+	// A hostile value cannot break out of its quotes.
+	got := Labels("store", `evil"} bad_total 999`+"\n")
+	if got != `{store="evil\"} bad_total 999\n"}` {
+		t.Fatalf("Labels did not escape hostile value: %q", got)
+	}
+	if Labels() != "" || Labels("odd") != "" {
+		t.Fatal("empty/odd Labels should yield no suffix")
+	}
+	// The escaped result must register and scrape cleanly end to end.
+	r := NewRegistry()
+	r.Counter("esc_total" + Labels("who", "a\"b\\c\nd")).Add(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `esc_total{who="a\"b\\c\nd"} 2`) {
+		t.Fatalf("scrape lost or mangled escaped label: %q", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "bad_total") {
+			t.Fatalf("hostile label value forged a metric line: %q", line)
+		}
+	}
+}
+
+func TestCheckNameTypedError(t *testing.T) {
+	if err := CheckName("good_total"); err != nil {
+		t.Fatalf("CheckName(good_total) = %v, want nil", err)
+	}
+	if err := CheckName(`good_total{slo="exact"}`); err != nil {
+		t.Fatalf("CheckName(labelled) = %v, want nil", err)
+	}
+	for _, bad := range []string{"", "9lead", "sp ace", "dash-ed"} {
+		err := CheckName(bad)
+		if err == nil {
+			t.Errorf("CheckName(%q) = nil, want *NameError", bad)
+			continue
+		}
+		var ne *NameError
+		if !errors.As(err, &ne) {
+			t.Errorf("CheckName(%q) error type %T, want *NameError", bad, err)
+			continue
+		}
+		if ne.Name != bad || ne.Reason == "" {
+			t.Errorf("NameError fields = %+v", ne)
+		}
+	}
+	// Registration panics carry the same typed error.
+	r := NewRegistry()
+	func() {
+		defer func() {
+			rec := recover()
+			if _, ok := rec.(*NameError); !ok {
+				t.Errorf("registration panic value %T, want *NameError", rec)
+			}
+		}()
+		r.Counter("bad name")
+	}()
 }

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// naiveSLO is the reference implementation for the sliding windows: it
+// keeps every (timestamp, flags, counted) event and re-scans the lot.
+type naiveSLO struct {
+	events []struct {
+		sec     int64
+		flags   SLOFlags
+		counted bool
+	}
+}
+
+func (n *naiveSLO) record(sec int64, flags SLOFlags, counted bool) {
+	n.events = append(n.events, struct {
+		sec     int64
+		flags   SLOFlags
+		counted bool
+	}{sec, flags, counted})
+}
+
+// window sums events whose bucket (sec/gran) lies inside the window of
+// `buckets` buckets of `gran` seconds ending at the bucket of nowSec.
+func (n *naiveSLO) window(nowSec, gran int64, buckets int) (total, miss, floor, deg int64) {
+	hi := nowSec / gran
+	lo := hi - int64(buckets) + 1
+	for _, e := range n.events {
+		b := e.sec / gran
+		if b < lo || b > hi {
+			continue
+		}
+		if e.counted {
+			total++
+		}
+		if e.flags&SLODeadlineMiss != 0 {
+			miss++
+		}
+		if e.flags&SLOFloorViolation != 0 {
+			floor++
+		}
+		if e.flags&SLODegraded != 0 {
+			deg++
+		}
+	}
+	return
+}
+
+func TestSLOTrackerMatchesNaiveReference(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	now := base
+	tr := NewSLOTracker(SLOBudgets{})
+	tr.SetClock(func() time.Time { return now })
+	ref := &naiveSLO{}
+
+	// A deterministic stream spread over ~2h so every window rolls
+	// buckets out: xorshift drives time steps and flag patterns.
+	rng := uint64(42)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	at := base
+	for i := 0; i < 4000; i++ {
+		at = at.Add(time.Duration(next(4)) * time.Second)
+		var flags SLOFlags
+		if next(100) < 5 {
+			flags |= SLODeadlineMiss
+		}
+		if next(100) < 20 {
+			flags |= SLODegraded
+		}
+		tr.RecordAt(at, 1, "", flags)
+		ref.record(at.Unix(), flags, true)
+		if next(100) < 3 {
+			// After-the-fact floor violation: bumps only the violation
+			// counter, never the total.
+			now = at
+			tr.RecordFloorViolation(1, "")
+			ref.record(at.Unix(), SLOFloorViolation, false)
+		}
+	}
+	now = at
+	for w, spec := range sloWindows {
+		total, miss, floor, deg := tr.Window(1, w)
+		nt, nm, nf, nd := ref.window(at.Unix(), spec.gran, spec.buckets)
+		if total != nt || miss != nm || floor != nf || deg != nd {
+			t.Fatalf("window %s: tracker (%d,%d,%d,%d) != naive (%d,%d,%d,%d)",
+				spec.name, total, miss, floor, deg, nt, nm, nf, nd)
+		}
+	}
+	// Re-check after the stream ages fully out of the 1m window.
+	now = at.Add(2 * time.Minute)
+	if total, _, _, _ := tr.Window(1, 0); total != 0 {
+		t.Fatalf("1m window still holds %d events 2m after the stream ended", total)
+	}
+	nt, _, _, _ := ref.window(now.Unix(), 1, 60)
+	if nt != 0 {
+		t.Fatalf("naive reference disagrees: %d", nt)
+	}
+}
+
+func TestSLOTrackerBurnRates(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := NewSLOTracker(SLOBudgets{DeadlineMiss: 0.01, Degraded: 0.1})
+	tr.SetClock(func() time.Time { return now })
+	for i := 0; i < 99; i++ {
+		tr.RecordAt(now, 2, "", 0)
+	}
+	tr.RecordAt(now, 2, "", SLODeadlineMiss|SLODegraded)
+	// 1 miss in 100 at a 1% budget = burn exactly 1.0.
+	if got := tr.BurnRate(2, SLODeadlineMiss, 0); got != 1.0 {
+		t.Fatalf("deadline burn = %g, want 1.0", got)
+	}
+	// 1 degraded in 100 at a 10% budget = burn 0.1 (up to fp rounding).
+	if got := tr.BurnRate(2, SLODegraded, 0); got < 0.1-1e-12 || got > 0.1+1e-12 {
+		t.Fatalf("degraded burn = %g, want 0.1", got)
+	}
+	// Unused class: no traffic, burn 0 (not NaN).
+	if got := tr.BurnRate(0, SLODeadlineMiss, 0); got != 0 {
+		t.Fatalf("idle-class burn = %g, want 0", got)
+	}
+}
+
+func TestSLOTrackerTenantsAndOverflow(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := NewSLOTracker(SLOBudgets{})
+	tr.SetClock(func() time.Time { return now })
+	tr.maxTenants = 3
+	for i := 0; i < 10; i++ {
+		tr.RecordAt(now, 1, fmt.Sprintf("tenant-%d", i), SLODegraded)
+	}
+	v := tr.Snapshot()
+	if len(v.Tenants) != 4 { // 3 real + "~other"
+		t.Fatalf("tenant dimensions = %d, want 4 (cap 3 + overflow)", len(v.Tenants))
+	}
+	other, ok := v.Tenants[overflowTenant]
+	if !ok {
+		t.Fatalf("overflow tenant missing; have %v", keysOf(v.Tenants))
+	}
+	if got := other[1].Windows[0].Total; got != 7 {
+		t.Fatalf("overflow tenant total = %d, want 7", got)
+	}
+	// The class aggregate saw everyone.
+	if total, _, _, _ := tr.Window(1, 0); total != 10 {
+		t.Fatalf("class aggregate total = %d, want 10", total)
+	}
+}
+
+func keysOf(m map[string][]SLOClassView) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Record(1, "t", SLODeadlineMiss)
+	tr.RecordFloorViolation(1, "t")
+	tr.SetClock(time.Now)
+	tr.RegisterMetrics(NewRegistry())
+	if got := tr.BurnRate(1, SLODeadlineMiss, 0); got != 0 {
+		t.Fatalf("nil BurnRate = %g, want 0", got)
+	}
+	if v := tr.Snapshot(); len(v.Classes) != 0 {
+		t.Fatalf("nil Snapshot non-empty: %+v", v)
+	}
+	// Out-of-range class and window indices are ignored, not panics.
+	live := NewSLOTracker(SLOBudgets{})
+	live.Record(9, "t", SLODeadlineMiss)
+	if got := live.BurnRate(9, SLODeadlineMiss, 0); got != 0 {
+		t.Fatalf("bad-class BurnRate = %g, want 0", got)
+	}
+	if got := live.BurnRate(1, SLODeadlineMiss, 5); got != 0 {
+		t.Fatalf("bad-window BurnRate = %g, want 0", got)
+	}
+}
+
+func TestSLOTrackerRegisterMetrics(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := NewSLOTracker(SLOBudgets{DeadlineMiss: 0.01})
+	tr.SetClock(func() time.Time { return now })
+	reg := NewRegistry()
+	tr.RegisterMetrics(reg)
+	tr.RecordAt(now, 1, "", SLODeadlineMiss)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `slo_burn_rate{class="Bounded",signal="deadline_miss",window="1m"} 100`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q\n--- got ---\n%s", want, out)
+	}
+	// 3 classes x 3 signals x 3 windows.
+	if n := strings.Count(out, "slo_burn_rate{"); n != 27 {
+		t.Fatalf("exported %d slo_burn_rate series, want 27", n)
+	}
+}
+
+func TestSLOTrackerRecordRace(t *testing.T) {
+	tr := NewSLOTracker(SLOBudgets{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%2)
+			for i := 0; i < 2000; i++ {
+				tr.Record(uint8(i%3), tenant, SLOFlags(i%8))
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		tr.Snapshot()
+		tr.BurnRate(1, SLODegraded, 1)
+	}
+	wg.Wait()
+	var total int64
+	for class := uint8(0); class < 3; class++ {
+		ct, _, _, _ := tr.Window(class, 2)
+		total += ct
+	}
+	if total != 8000 {
+		t.Fatalf("1h totals across classes = %d, want 8000", total)
+	}
+}
+
+func TestSLOTrackerRecordDoesNotAllocate(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := NewSLOTracker(SLOBudgets{})
+	tr.SetClock(func() time.Time { return now })
+	tr.Record(1, "warm", SLODegraded) // pre-create the tenant series
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Record(1, "warm", SLODeadlineMiss)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f/op on a warm tenant, want 0", allocs)
+	}
+}
+
+func TestTenantContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TenantFrom(ctx); got != "" {
+		t.Fatalf("TenantFrom(empty) = %q", got)
+	}
+	ctx2 := WithTenant(ctx, "acme")
+	if got := TenantFrom(ctx2); got != "acme" {
+		t.Fatalf("TenantFrom = %q, want acme", got)
+	}
+	if WithTenant(ctx, "") != ctx {
+		t.Fatal("WithTenant(\"\") should be a no-op")
+	}
+}

@@ -76,6 +76,55 @@ const (
 	VerdictRejected = 2
 )
 
+// AnomalyReason is a bit set naming why a trace counts as anomalous.
+// Anomalous traces are pinned into the recorder's exemplar store at
+// Finish (or at Pin, for reasons discovered after the fact, like an
+// audit mismatch) so the tail's evidence survives while healthy traces
+// rotate through the ring.
+type AnomalyReason uint8
+
+// The anomaly reasons.
+const (
+	// AnomalyDeadlineMiss: the request finished past its stamped
+	// absolute deadline (detected by Finish).
+	AnomalyDeadlineMiss AnomalyReason = 1 << iota
+	// AnomalyDegraded: the reply was served degraded (downgraded class
+	// or partial fan-out).
+	AnomalyDegraded
+	// AnomalyUnavailable: the request's contract could not be met and
+	// an unavailable reply was returned.
+	AnomalyUnavailable
+	// AnomalyHedge: a hedge fired during the fan-out (detected when the
+	// hedge span is recorded).
+	AnomalyHedge
+	// AnomalyFloorViolation: the ground-truth auditor measured realized
+	// accuracy below the request's Bounded floor.
+	AnomalyFloorViolation
+	// AnomalyAuditMismatch: the auditor found the claimed accuracy or
+	// claimed error bounds not backed by the exact replay.
+	AnomalyAuditMismatch
+)
+
+// anomalyNames orders the reason labels by bit position.
+var anomalyNames = []string{
+	"deadline_miss", "degraded", "unavailable", "hedge",
+	"floor_violation", "audit_mismatch",
+}
+
+// Labels expands the bit set into its reason labels (nil when clear).
+func (a AnomalyReason) Labels() []string {
+	if a == 0 {
+		return nil
+	}
+	out := make([]string, 0, 2)
+	for i, name := range anomalyNames {
+		if a&(1<<uint(i)) != 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // Cache outcomes (Trace.CacheOutcome and SpanCache notes).
 const (
 	CacheNone      = 0 // no cache configured / request uncacheable
@@ -118,6 +167,7 @@ type Trace struct {
 	deadline int64 // absolute unix nanos, 0 = none
 	dur      time.Duration
 	done     bool
+	anomaly  AnomalyReason
 	dropped  int // spans lost to the per-trace cap
 	spans    []Span
 }
@@ -125,19 +175,21 @@ type Trace struct {
 // TraceView is an immutable snapshot of a finished (or in-flight)
 // trace, as served by /traces and consumed by Summarize.
 type TraceView struct {
-	ID           uint64  `json:"id"`
-	Start        int64   `json:"start_unix_ns"`
-	DurNs        int64   `json:"dur_ns"`
-	Kind         uint8   `json:"kind"`
-	SLO          uint8   `json:"slo"`
-	MinAccuracy  float64 `json:"min_accuracy,omitempty"`
-	Level        int16   `json:"level"`
-	Verdict      uint8   `json:"verdict"`
-	CacheOutcome uint8   `json:"cache_outcome"`
-	DeadlineNs   int64   `json:"deadline_unix_ns,omitempty"`
-	Done         bool    `json:"done"`
-	Dropped      int     `json:"dropped_spans,omitempty"`
-	Spans        []Span  `json:"spans"`
+	ID           uint64   `json:"id"`
+	Start        int64    `json:"start_unix_ns"`
+	DurNs        int64    `json:"dur_ns"`
+	Kind         uint8    `json:"kind"`
+	SLO          uint8    `json:"slo"`
+	MinAccuracy  float64  `json:"min_accuracy,omitempty"`
+	Level        int16    `json:"level"`
+	Verdict      uint8    `json:"verdict"`
+	CacheOutcome uint8    `json:"cache_outcome"`
+	DeadlineNs   int64    `json:"deadline_unix_ns,omitempty"`
+	Done         bool     `json:"done"`
+	Anomaly      uint8    `json:"anomaly,omitempty"`
+	AnomalyWhy   []string `json:"anomaly_labels,omitempty"`
+	Dropped      int      `json:"dropped_spans,omitempty"`
+	Spans        []Span   `json:"spans"`
 }
 
 // Recorder is a preallocated ring buffer of traces. Start claims a
@@ -152,6 +204,51 @@ type Recorder struct {
 	nextID   atomic.Uint64
 	started  Counter
 	overflow Counter
+	ex       exemplarStore
+}
+
+// exemplarStore holds pinned copies of anomalous traces, separate from
+// the ring so the interesting tail survives while healthy traces
+// rotate. Bounded: the oldest pin is evicted once cap entries are held.
+type exemplarStore struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries []exemplarEntry
+	pinned  Counter
+	evicted Counter
+}
+
+type exemplarEntry struct {
+	seq  uint64
+	view TraceView
+}
+
+// pin inserts (or, for an already-pinned trace ID, replaces) a view.
+func (ex *exemplarStore) pin(v TraceView) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.seq++
+	for i := range ex.entries {
+		if ex.entries[i].view.ID == v.ID {
+			ex.entries[i] = exemplarEntry{ex.seq, v}
+			return
+		}
+	}
+	ex.pinned.Inc()
+	if len(ex.entries) < ex.cap {
+		ex.entries = append(ex.entries, exemplarEntry{ex.seq, v})
+		return
+	}
+	// Evict the oldest pin.
+	oldest := 0
+	for i := 1; i < len(ex.entries); i++ {
+		if ex.entries[i].seq < ex.entries[oldest].seq {
+			oldest = i
+		}
+	}
+	ex.entries[oldest] = exemplarEntry{ex.seq, v}
+	ex.evicted.Inc()
 }
 
 // NewRecorder returns a recorder with n ring slots, each holding up to
@@ -166,12 +263,98 @@ func NewRecorder(n, maxSpans int) *Recorder {
 		maxSpans = 64
 	}
 	r := &Recorder{slots: make([]Trace, n), maxSpans: maxSpans}
+	r.ex.cap = 128
 	for i := range r.slots {
 		r.slots[i].rec = r
 		r.slots[i].slot = i
 		r.slots[i].spans = make([]Span, 0, maxSpans)
 	}
 	return r
+}
+
+// SetExemplarCapacity bounds the anomalous-trace exemplar store at n
+// pins (n <= 0 keeps the default of 128). Call before traffic: shrink
+// does not drop already-pinned entries retroactively.
+func (r *Recorder) SetExemplarCapacity(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.ex.mu.Lock()
+	r.ex.cap = n
+	r.ex.mu.Unlock()
+}
+
+// Exemplars returns up to n pinned anomalous traces, most recently
+// pinned first. n <= 0 returns every pin.
+func (r *Recorder) Exemplars(n int) []TraceView {
+	if r == nil {
+		return nil
+	}
+	r.ex.mu.Lock()
+	all := make([]exemplarEntry, len(r.ex.entries))
+	copy(all, r.ex.entries)
+	r.ex.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	out := make([]TraceView, len(all))
+	for i := range all {
+		out[i] = all[i].view
+	}
+	return out
+}
+
+// PinnedTotal returns the number of distinct traces ever pinned as
+// anomalous exemplars.
+func (r *Recorder) PinnedTotal() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.ex.pinned.Value()
+}
+
+// EvictedExemplars returns the number of pins dropped to the capacity
+// bound.
+func (r *Recorder) EvictedExemplars() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.ex.evicted.Value()
+}
+
+// Pin marks the trace with the given ID anomalous for reason after the
+// fact — the auditor's path, whose verdict lands long after Finish. If
+// the trace is still in the ring its flags are updated and the pin
+// refreshed; otherwise an already-pinned exemplar is updated in place.
+// Returns false when the trace is gone from both.
+func (r *Recorder) Pin(id uint64, reason AnomalyReason) bool {
+	if r == nil || id == 0 {
+		return false
+	}
+	for i := range r.slots {
+		tr := &r.slots[i]
+		tr.mu.Lock()
+		if tr.seq != 0 && tr.id == id {
+			tr.anomaly |= reason
+			v := tr.viewLocked()
+			tr.mu.Unlock()
+			r.ex.pin(v)
+			return true
+		}
+		tr.mu.Unlock()
+	}
+	r.ex.mu.Lock()
+	defer r.ex.mu.Unlock()
+	for i := range r.ex.entries {
+		if r.ex.entries[i].view.ID == id {
+			e := &r.ex.entries[i]
+			e.view.Anomaly |= uint8(reason)
+			e.view.AnomalyWhy = AnomalyReason(e.view.Anomaly).Labels()
+			return true
+		}
+	}
+	return false
 }
 
 // Started returns the number of traces started.
@@ -219,7 +402,7 @@ func (tr *Trace) reset(id uint64, start time.Time, seq uint64) {
 	tr.id, tr.start, tr.seq = id, start, seq
 	tr.kind, tr.slo, tr.minAcc, tr.level = 0, 0, 0, -1
 	tr.verdict, tr.cacheOut, tr.deadline = VerdictAdmitted, CacheNone, 0
-	tr.dur, tr.done, tr.dropped = 0, false, 0
+	tr.dur, tr.done, tr.anomaly, tr.dropped = 0, false, 0, 0
 	tr.spans = tr.spans[:0]
 }
 
@@ -295,6 +478,9 @@ func (tr *Trace) AddRemote(kind SpanKind, comp int32, startUnixNano, durNano int
 
 func (tr *Trace) add(s Span) {
 	tr.mu.Lock()
+	if s.Kind == SpanHedge {
+		tr.anomaly |= AnomalyHedge
+	}
 	if len(tr.spans) < cap(tr.spans) {
 		tr.spans = append(tr.spans, s)
 	} else {
@@ -303,7 +489,31 @@ func (tr *Trace) add(s Span) {
 	tr.mu.Unlock()
 }
 
-// Finish completes the trace with the request's total duration.
+// MarkAnomaly flags the trace with an anomaly reason. Finish pins
+// flagged traces into the exemplar store. Safe on a nil trace.
+func (tr *Trace) MarkAnomaly(reason AnomalyReason) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.anomaly |= reason
+	tr.mu.Unlock()
+}
+
+// Anomaly returns the accumulated anomaly bit set (0 for nil).
+func (tr *Trace) Anomaly() AnomalyReason {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.anomaly
+}
+
+// Finish completes the trace with the request's total duration. A
+// finish past the request's stamped deadline marks a deadline miss, and
+// any anomalous trace is pinned into the recorder's exemplar store so
+// it survives ring rotation. Healthy finishes stay allocation-free.
 func (tr *Trace) Finish(dur time.Duration) {
 	if tr == nil {
 		return
@@ -311,7 +521,18 @@ func (tr *Trace) Finish(dur time.Duration) {
 	tr.mu.Lock()
 	tr.dur = dur
 	tr.done = true
+	if tr.deadline != 0 && tr.start.UnixNano()+int64(dur) > tr.deadline {
+		tr.anomaly |= AnomalyDeadlineMiss
+	}
+	var pin TraceView
+	pinIt := tr.anomaly != 0 && tr.rec != nil
+	if pinIt {
+		pin = tr.viewLocked()
+	}
 	tr.mu.Unlock()
+	if pinIt {
+		tr.rec.ex.pin(pin)
+	}
 }
 
 // View snapshots the trace. Caller holds tr.mu.
@@ -328,6 +549,8 @@ func (tr *Trace) viewLocked() TraceView {
 		CacheOutcome: tr.cacheOut,
 		DeadlineNs:   tr.deadline,
 		Done:         tr.done,
+		Anomaly:      uint8(tr.anomaly),
+		AnomalyWhy:   tr.anomaly.Labels(),
 		Dropped:      tr.dropped,
 		Spans:        append([]Span(nil), tr.spans...),
 	}

@@ -226,3 +226,210 @@ func BenchmarkTraceEnabled(b *testing.B) {
 		tr.Finish(time.Millisecond)
 	}
 }
+
+func TestAnomalyReasonLabels(t *testing.T) {
+	if got := AnomalyReason(0).Labels(); got != nil {
+		t.Fatalf("clear anomaly labels = %v, want nil", got)
+	}
+	got := (AnomalyDeadlineMiss | AnomalyFloorViolation).Labels()
+	want := []string{"deadline_miss", "floor_violation"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("labels = %v, want %v", got, want)
+	}
+}
+
+func TestFinishDetectsDeadlineMiss(t *testing.T) {
+	rec := NewRecorder(4, 8)
+	start := time.Now()
+	tr := rec.Start(0, start)
+	tr.SetRequest(2, 1, 0.9, start.Add(5*time.Millisecond).UnixNano())
+	tr.Finish(20 * time.Millisecond) // overshoots the stamped deadline
+	if tr.Anomaly()&AnomalyDeadlineMiss == 0 {
+		t.Fatal("deadline overshoot not flagged")
+	}
+	ex := rec.Exemplars(0)
+	if len(ex) != 1 || ex[0].Anomaly&uint8(AnomalyDeadlineMiss) == 0 {
+		t.Fatalf("deadline miss not pinned: %+v", ex)
+	}
+	// An on-time trace stays unflagged and unpinned.
+	ok := rec.Start(0, start)
+	ok.SetRequest(2, 1, 0.9, start.Add(time.Hour).UnixNano())
+	ok.Finish(time.Millisecond)
+	if ok.Anomaly() != 0 {
+		t.Fatalf("healthy trace anomaly = %b", ok.Anomaly())
+	}
+	if got := rec.PinnedTotal(); got != 1 {
+		t.Fatalf("PinnedTotal = %d, want 1", got)
+	}
+}
+
+func TestHedgeSpanFlagsAnomaly(t *testing.T) {
+	rec := NewRecorder(4, 8)
+	tr := rec.Start(0, time.Now())
+	tr.Add(SpanHedge, 1, time.Now(), 0, 2)
+	tr.Finish(time.Millisecond)
+	ex := rec.Exemplars(0)
+	if len(ex) != 1 || ex[0].Anomaly&uint8(AnomalyHedge) == 0 {
+		t.Fatalf("hedge fire not pinned as anomaly: %+v", ex)
+	}
+	if ex[0].AnomalyWhy[0] != "hedge" {
+		t.Fatalf("anomaly labels = %v", ex[0].AnomalyWhy)
+	}
+}
+
+// TestExemplarsSurviveRingRotation is the tail-retention contract:
+// anomalous traces stay queryable after the ring has recycled their
+// slot for healthy traffic.
+func TestExemplarsSurviveRingRotation(t *testing.T) {
+	rec := NewRecorder(2, 4) // tiny ring: rotates after 2 traces
+	bad := rec.Start(0, time.Now())
+	bad.MarkAnomaly(AnomalyDegraded)
+	bad.Finish(time.Millisecond)
+	badID := bad.ID()
+	for i := 0; i < 10; i++ {
+		tr := rec.Start(0, time.Now())
+		tr.Finish(time.Millisecond)
+	}
+	for _, v := range rec.Snapshot(0) {
+		if v.ID == badID {
+			t.Fatal("anomalous trace still in the ring; rotation did not happen")
+		}
+	}
+	ex := rec.Exemplars(0)
+	if len(ex) != 1 || ex[0].ID != badID {
+		t.Fatalf("anomalous trace lost after rotation: %+v", ex)
+	}
+}
+
+func TestPinAfterTheFact(t *testing.T) {
+	rec := NewRecorder(2, 4)
+	tr := rec.Start(0, time.Now())
+	tr.Finish(time.Millisecond)
+	id := tr.ID()
+	// Still in the ring: Pin flags it and pins the refreshed view.
+	if !rec.Pin(id, AnomalyFloorViolation) {
+		t.Fatal("Pin of in-ring trace failed")
+	}
+	ex := rec.Exemplars(0)
+	if len(ex) != 1 || ex[0].Anomaly != uint8(AnomalyFloorViolation) {
+		t.Fatalf("in-ring pin wrong: %+v", ex)
+	}
+	// Rotate it out of the ring, then stack a second reason onto the
+	// exemplar-only copy.
+	for i := 0; i < 5; i++ {
+		rec.Start(0, time.Now()).Finish(time.Millisecond)
+	}
+	if !rec.Pin(id, AnomalyAuditMismatch) {
+		t.Fatal("Pin of exemplar-only trace failed")
+	}
+	ex = rec.Exemplars(0)
+	if len(ex) != 1 {
+		t.Fatalf("exemplars = %d, want 1", len(ex))
+	}
+	wantBits := uint8(AnomalyFloorViolation | AnomalyAuditMismatch)
+	if ex[0].Anomaly != wantBits {
+		t.Fatalf("anomaly bits = %b, want %b", ex[0].Anomaly, wantBits)
+	}
+	if len(ex[0].AnomalyWhy) != 2 {
+		t.Fatalf("anomaly labels = %v, want both reasons", ex[0].AnomalyWhy)
+	}
+	// A trace gone from both ring and store cannot be pinned.
+	if rec.Pin(0xabcdef, AnomalyDegraded) {
+		t.Fatal("Pin of unknown trace reported success")
+	}
+	if rec.Pin(0, AnomalyDegraded) {
+		t.Fatal("Pin of id 0 reported success")
+	}
+}
+
+func TestExemplarCapacityEvictsOldest(t *testing.T) {
+	rec := NewRecorder(8, 4)
+	rec.SetExemplarCapacity(3)
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		tr := rec.Start(0, time.Now())
+		tr.MarkAnomaly(AnomalyDegraded)
+		tr.Finish(time.Millisecond)
+		ids = append(ids, tr.ID())
+	}
+	ex := rec.Exemplars(0)
+	if len(ex) != 3 {
+		t.Fatalf("exemplars = %d, want cap 3", len(ex))
+	}
+	// Most recently pinned first; the two oldest were evicted.
+	if ex[0].ID != ids[4] || ex[1].ID != ids[3] || ex[2].ID != ids[2] {
+		t.Fatalf("wrong survivors: %v vs ids %v", []uint64{ex[0].ID, ex[1].ID, ex[2].ID}, ids)
+	}
+	if got := rec.EvictedExemplars(); got != 2 {
+		t.Fatalf("EvictedExemplars = %d, want 2", got)
+	}
+	if got := rec.PinnedTotal(); got != 5 {
+		t.Fatalf("PinnedTotal = %d, want 5", got)
+	}
+	// Re-pinning an already-pinned ID replaces in place, no new slot.
+	if !rec.Pin(ids[4], AnomalyHedge) {
+		t.Fatal("re-pin failed")
+	}
+	if got := len(rec.Exemplars(0)); got != 3 {
+		t.Fatalf("re-pin grew the store to %d", got)
+	}
+}
+
+func TestNilRecorderExemplarMethods(t *testing.T) {
+	var rec *Recorder
+	rec.SetExemplarCapacity(8)
+	if rec.Exemplars(0) != nil || rec.Pin(1, AnomalyDegraded) ||
+		rec.PinnedTotal() != 0 || rec.EvictedExemplars() != 0 {
+		t.Fatal("nil recorder exemplar methods not no-ops")
+	}
+	var tr *Trace
+	tr.MarkAnomaly(AnomalyDegraded)
+	if tr.Anomaly() != 0 {
+		t.Fatal("nil trace anomaly != 0")
+	}
+}
+
+// TestHealthyFinishDoesNotAllocate guards the hot path: a healthy
+// (non-anomalous) trace must finish without touching the exemplar store
+// or allocating a view.
+func TestHealthyFinishDoesNotAllocate(t *testing.T) {
+	rec := NewRecorder(4, 8)
+	start := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		tr := rec.Start(0, start)
+		tr.Finish(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("healthy start+finish allocates %.1f/op, want 0", allocs)
+	}
+	if rec.PinnedTotal() != 0 {
+		t.Fatal("healthy traces were pinned")
+	}
+}
+
+// TestExemplarPinRace races anomalous finishes, after-the-fact pins,
+// and exemplar queries; run with -race.
+func TestExemplarPinRace(t *testing.T) {
+	rec := NewRecorder(8, 4)
+	rec.SetExemplarCapacity(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				tr := rec.Start(0, time.Now())
+				if i%2 == 0 {
+					tr.MarkAnomaly(AnomalyDegraded)
+				}
+				tr.Finish(time.Microsecond)
+				rec.Pin(tr.ID(), AnomalyAuditMismatch)
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		rec.Exemplars(8)
+		rec.PinnedTotal()
+	}
+	wg.Wait()
+}

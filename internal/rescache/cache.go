@@ -384,6 +384,42 @@ func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64
 	c.stored.Inc()
 }
 
+// UpgradeIfPresent overwrites the entry for key — same contract as
+// StoreAt — but only when the key is still cached under a current-or-
+// equal epoch. The ground-truth auditor uses it so a finished exact
+// replay doubles as a free refresh without polluting the LRU with keys
+// nobody asked to cache: an absent (evicted, invalidated) key stays
+// absent. Reports whether an entry was upgraded.
+func (c *Cache) UpgradeIfPresent(key uint64, payload, value interface{}, accuracy float64, epoch uint64) bool {
+	if accuracy < 0 {
+		accuracy = 0
+	}
+	if accuracy > 1 {
+		accuracy = 1
+	}
+	s := &c.shards[key&c.mask]
+	s.mu.Lock()
+	i, present := s.idx[key]
+	if !present {
+		s.mu.Unlock()
+		return false
+	}
+	e := &s.slab[i]
+	if e.epoch > epoch {
+		// The cached entry already reflects newer data than the upgrade
+		// was computed from; keep it.
+		s.mu.Unlock()
+		return false
+	}
+	e.value, e.payload, e.acc, e.epoch = value, payload, accuracy, epoch
+	e.queued = false
+	s.toFront(i)
+	s.mu.Unlock()
+	c.stored.Inc()
+	c.refreshes.Inc()
+	return true
+}
+
 // Invalidate removes one key (for targeted invalidation; whole-dataset
 // changes should BumpEpoch instead).
 func (c *Cache) Invalidate(key uint64) {

@@ -414,3 +414,50 @@ func TestHitPathZeroAlloc(t *testing.T) {
 		t.Fatalf("miss path allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+func TestUpgradeIfPresentRefreshesResidentKeys(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 4, Shards: 1})
+	c.Store(1, nil, "coarse", 0.8)
+
+	// Resident key at the current epoch: the exact replay upgrades it.
+	if !c.UpgradeIfPresent(1, nil, "exact", 1, c.Epoch()) {
+		t.Fatal("resident key not upgraded")
+	}
+	if v, acc, ok := c.Get(1, 1); !ok || v != "exact" || acc != 1 {
+		t.Fatalf("upgraded entry = %v %v %v, want exact at 1.0", v, acc, ok)
+	}
+
+	// Absent key: the upgrade must not insert — auditing a request nobody
+	// cached should never pollute the LRU.
+	if c.UpgradeIfPresent(99, nil, "exact", 1, c.Epoch()) {
+		t.Fatal("upgrade inserted an absent key")
+	}
+	if _, _, ok := c.Get(99, 0); ok {
+		t.Fatal("absent key became resident")
+	}
+
+	// Entry re-stored under a newer epoch: an upgrade computed from older
+	// data must lose.
+	old := c.Epoch()
+	c.BumpEpoch()
+	c.Store(1, nil, "fresh", 0.9)
+	if c.UpgradeIfPresent(1, nil, "stale-exact", 1, old) {
+		t.Fatal("stale upgrade overwrote a newer-epoch entry")
+	}
+	if v, _, ok := c.Get(1, 0); !ok || v != "fresh" {
+		t.Fatalf("newer entry lost: %v %v", v, ok)
+	}
+
+	// Accuracy is clamped into [0, 1] like StoreAt.
+	if !c.UpgradeIfPresent(1, nil, "clamped", 1.7, c.Epoch()) {
+		t.Fatal("upgrade at current epoch refused")
+	}
+	if _, acc, ok := c.Get(1, 1); !ok || acc != 1 {
+		t.Fatalf("accuracy not clamped: %v %v", acc, ok)
+	}
+
+	st := c.Stats()
+	if st.Refreshes != 2 {
+		t.Fatalf("stats = %+v, want 2 refreshes", st)
+	}
+}

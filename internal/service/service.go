@@ -94,6 +94,19 @@ func Complete(subs []SubResult) bool {
 	return true
 }
 
+// Answered counts the sub-results that actually delivered a value —
+// the in-process mirror of netsvc.DegradeStats, for accuracy
+// discounting and degraded-reply accounting on the goroutine runtime.
+func Answered(subs []SubResult) (answered, total int) {
+	total = len(subs)
+	for i := range subs {
+		if subs[i].Err == nil && !subs[i].Skipped && subs[i].Value != nil {
+			answered++
+		}
+	}
+	return
+}
+
 // Snapshot returns a cache-ready copy of sub-results holding only the
 // durable fields (Subset, Value). Latency and the hedge flag are
 // per-execution transport facts that must not replay on cache hits.
