@@ -52,12 +52,13 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "fig3 repeats per scenario")
 		requests = flag.Int("requests", 200, "fig4 requests per service")
 
-		serve    = flag.String("serve", "", "network role: component|aggregator (empty = run -exp)")
+		serve    = flag.String("serve", "", "network role: component|aggregator|client (empty = run -exp)")
 		workload = flag.String("workload", "agg", "workload served by -serve: agg|cf|search")
 		listen   = flag.String("listen", "", "listen address (component server, or aggregator front server)")
-		peers    = flag.String("peers", "", "comma-separated component addresses (aggregator)")
-		rate     = flag.Float64("rate", 40, "aggregator measurement: open-loop request rate per second")
-		admin    = flag.String("admin", "", "admin plane listen address for -serve roles (/metrics, /healthz, /traces, /slo, /audit, /debug/pprof; also enables request tracing, SLO tracking and ground-truth auditing on the front server)")
+		peers    = flag.String("peers", "", "comma-separated component addresses (aggregator), or the front server address (client)")
+		rate     = flag.Float64("rate", 40, "client / aggregator measurement: open-loop request rate per second")
+		tenant   = flag.String("tenant", "", "tenant tag stamped on generated load (client and aggregator measurement roles), propagated on the wire for per-tenant cost attribution")
+		admin    = flag.String("admin", "", "admin plane listen address for -serve roles (/metrics, /healthz, /traces, /slo, /audit, /costs, /frontier, /debug/pprof, /debug/profiles; also enables request tracing, SLO tracking, ground-truth auditing, cost attribution and anomaly-triggered profiling on the front server)")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 
 	var err error
 	if *serve != "" {
-		err = runServe(*serve, *workload, *listen, *peers, *admin, *rate, sc)
+		err = runServe(*serve, *workload, *listen, *peers, *admin, *tenant, *rate, sc)
 	} else {
 		err = run(os.Stdout, *exp, sc, *repeats, *requests)
 	}
@@ -120,6 +121,7 @@ var runners = map[string]runner{
 	"faultcompare":  func(sc experiments.Scale, _, _ int) error { return runFaultCompare(sc) },
 	"ingestcompare": func(sc experiments.Scale, _, _ int) error { return runIngestCompare(sc) },
 	"auditcompare":  func(sc experiments.Scale, _, _ int) error { return runAuditCompare(sc) },
+	"costcompare":   func(sc experiments.Scale, _, _ int) error { return runCostCompare(sc) },
 }
 
 // aliasOf collapses experiment aliases onto the run they share, so
@@ -380,6 +382,20 @@ func runHeadline(sc experiments.Scale) error {
 			return err
 		}
 		fmt.Println(experiments.ComputeHeadline(cfc, day, sc.SearchPeakRate).Render())
+		return nil
+	})
+}
+
+func runCostCompare(sc experiments.Scale) error {
+	return timed("Cost attribution plane (per-request accounting, frontier, profiler)", func() error {
+		res, err := experiments.RunCostCompare(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if !res.OK() {
+			return fmt.Errorf("costcompare contracts violated (see report above)")
+		}
 		return nil
 	})
 }

@@ -73,16 +73,22 @@ func TestListPrintsCatalogue(t *testing.T) {
 // TestServeRejectsBadConfig covers the -serve argument validation.
 func TestServeRejectsBadConfig(t *testing.T) {
 	sc := experiments.QuickScale()
-	if err := runServe("bogus", "agg", "", "", "", 1, sc); err == nil {
+	if err := runServe("bogus", "agg", "", "", "", "", 1, sc); err == nil {
 		t.Fatal("unknown role must error")
 	}
-	if err := runServe("component", "agg", "", "", "", 1, sc); err == nil {
+	if err := runServe("component", "agg", "", "", "", "", 1, sc); err == nil {
 		t.Fatal("component without -listen must error")
 	}
-	if err := runServe("aggregator", "agg", "", "", "", 1, sc); err == nil {
+	if err := runServe("aggregator", "agg", "", "", "", "", 1, sc); err == nil {
 		t.Fatal("aggregator without -peers must error")
 	}
-	if err := runServe("component", "nope", "127.0.0.1:0", "", "", 1, sc); err == nil {
+	if err := runServe("client", "agg", "", "", "", "", 1, sc); err == nil {
+		t.Fatal("client without -peers must error")
+	}
+	if err := runServe("client", "agg", "", "a:1,b:2", "", "", 1, sc); err == nil {
+		t.Fatal("client with multiple peers must error")
+	}
+	if err := runServe("component", "nope", "127.0.0.1:0", "", "", "", 1, sc); err == nil {
 		t.Fatal("unknown workload must error")
 	}
 }

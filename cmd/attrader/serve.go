@@ -12,6 +12,8 @@ import (
 
 	"accuracytrader/internal/agg"
 	"accuracytrader/internal/audit"
+	"accuracytrader/internal/breaker"
+	"accuracytrader/internal/cost"
 	"accuracytrader/internal/experiments"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/ingest"
@@ -38,7 +40,7 @@ func startAdmin(addr string, reg *obs.Registry, rec *obs.Recorder) (*obs.Admin, 
 	if err != nil {
 		return nil, fmt.Errorf("admin plane: %w", err)
 	}
-	fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /slo /audit /debug/pprof)\n", got)
+	fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /slo /audit /costs /frontier /debug/pprof /debug/profiles)\n", got)
 	return ad, nil
 }
 
@@ -155,14 +157,16 @@ func buildNetService(workload string, sc experiments.Scale) (*netService, error)
 }
 
 // runServe dispatches the -serve role.
-func runServe(role, workload, listen, peers, admin string, rate float64, sc experiments.Scale) error {
+func runServe(role, workload, listen, peers, admin, tenant string, rate float64, sc experiments.Scale) error {
 	switch role {
 	case "component":
 		return serveComponent(workload, listen, admin, sc)
 	case "aggregator":
-		return serveAggregator(workload, listen, peers, admin, rate, sc)
+		return serveAggregator(workload, listen, peers, admin, tenant, rate, sc)
+	case "client":
+		return serveClient(workload, peers, tenant, rate, sc)
 	default:
-		return fmt.Errorf("unknown -serve role %q (component|aggregator)", role)
+		return fmt.Errorf("unknown -serve role %q (component|aggregator|client)", role)
 	}
 }
 
@@ -210,7 +214,7 @@ func serveComponent(workload, listen, admin string, sc experiments.Scale) error 
 // serveAggregator connects to the component peers, verifies one
 // round-trip, then either serves composed replies on listen (until
 // interrupted) or drives an open-loop measurement session and exits.
-func serveAggregator(workload, listen, peers, admin string, rate float64, sc experiments.Scale) error {
+func serveAggregator(workload, listen, peers, admin, tenant string, rate float64, sc experiments.Scale) error {
 	addrs := strings.Split(peers, ",")
 	if peers == "" || len(addrs) == 0 {
 		return fmt.Errorf("-serve aggregator requires -peers host:port[,host:port...]")
@@ -219,20 +223,33 @@ func serveAggregator(workload, listen, peers, admin string, rate float64, sc exp
 	if err != nil {
 		return err
 	}
-	// The admin plane also switches on request tracing and the unified
-	// metrics registry: frontend and breaker counters land in /metrics,
-	// every request gets a decision trace served at /traces.
+	// The admin plane also switches on request tracing, the unified
+	// metrics registry, and anomaly-triggered profiling: frontend and
+	// breaker counters land in /metrics, every request gets a decision
+	// trace served at /traces, and a breaker trip or SLO burn captures
+	// a bounded pprof profile into the /debug/profiles ring.
 	var reg *obs.Registry
 	var rec *obs.Recorder
+	var prof *obs.Profiler
 	if admin != "" {
 		reg = obs.NewRegistry()
 		rec = obs.NewRecorder(512, 64)
+		prof = obs.NewProfiler(0, 0, 0)
 	}
-	agr, err := netsvc.NewAggregator(addrs, netsvc.AggregatorOptions{
+	aopts := netsvc.AggregatorOptions{
 		Policy:   service.WaitAll,
 		Deadline: 2 * time.Second,
 		Metrics:  reg,
-	})
+	}
+	if prof != nil {
+		p := prof
+		aopts.Breaker.OnStateChange = func(s breaker.State) {
+			if s == breaker.Open {
+				p.Trigger("breaker-open")
+			}
+		}
+	}
+	agr, err := netsvc.NewAggregator(addrs, aopts)
 	if err != nil {
 		return err
 	}
@@ -256,15 +273,15 @@ func serveAggregator(workload, listen, peers, admin string, rate float64, sc exp
 	fmt.Printf("aggregator: %d components answered the %s probe\n", len(subs), workload)
 
 	if listen != "" {
-		return serveFront(ns, agr, listen, admin, reg, rec)
+		return serveFront(ns, agr, listen, admin, reg, rec, prof)
 	}
-	return measure(ns, agr, rate, time.Duration(sc.SessionSeconds*float64(time.Second)))
+	return measure(ns, agr, tenant, rate, time.Duration(sc.SessionSeconds*float64(time.Second)))
 }
 
 // serveFront runs the client-facing composed-reply server, with the
 // accuracy-aware frontend pipeline when the workload has a calibrated
 // ladder.
-func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, reg *obs.Registry, rec *obs.Recorder) error {
+func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, reg *obs.Registry, rec *obs.Recorder, prof *obs.Profiler) error {
 	var fe *frontend.Frontend
 	if len(ns.levelAcc) > 0 {
 		ctrl, err := frontend.NewController(frontend.ControllerConfig{
@@ -320,6 +337,36 @@ func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, re
 		ad.SetAuditSource(func() any {
 			return audit.Report{Stats: auditor.Stats(), Tables: auditor.Tables()}
 		})
+		// Cost attribution: every answered request is metered into a
+		// per-(tenant, class, workload, level) table served at /costs and
+		// exported as cost_* metrics; joined with the auditor's realized
+		// accuracy it becomes the live accuracy-vs-cost frontier at
+		// /frontier.
+		costs := cost.NewTable()
+		costs.RegisterMetrics(reg)
+		if err := fs.EnableCost(costs); err != nil {
+			return err
+		}
+		ad.SetCostSource(func() any { return costs.Snapshot() })
+		aud := auditor
+		ad.SetFrontierSource(func() any {
+			var pts []cost.AccuracyPoint
+			for _, tv := range aud.Tables() {
+				pts = append(pts, cost.AccuracyPoint{
+					Workload: tv.Workload, Level: tv.Level,
+					Accuracy: tv.MeanRealized, Samples: tv.Samples,
+				})
+			}
+			return cost.Frontier(costs.Snapshot(), pts)
+		})
+		if prof != nil {
+			ad.SetProfiler(prof)
+			// Anomaly trigger #2 (breaker trips are wired at aggregator
+			// construction): capture a profile when any class burns its
+			// error budget faster than allowed.
+			stopWatch := prof.WatchBurn(slo, 5*time.Second)
+			defer stopWatch()
+		}
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- fs.ListenAndServe(listen) }()
@@ -345,8 +392,64 @@ func serveFront(ns *netService, agr *netsvc.Aggregator, listen, admin string, re
 	}
 }
 
+// serveClient dials a front server and drives open-loop, tenant-tagged
+// load at it for the session window — the load-generator role used to
+// exercise the full serving path (and the cost plane behind it) from a
+// separate process. peers names the front server's address.
+func serveClient(workload, peers, tenant string, rate float64, sc experiments.Scale) error {
+	if peers == "" || strings.Contains(peers, ",") {
+		return fmt.Errorf("-serve client requires -peers with exactly one front-server address")
+	}
+	// Built only for its deterministic request templates (and the ladder
+	// presence check): the same flags the servers started with yield the
+	// same queries here.
+	ns, err := buildNetService(workload, sc)
+	if err != nil {
+		return err
+	}
+	cl, err := netsvc.DialClient(peers, netsvc.ClientOptions{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	// Workloads with a calibrated ladder get an accuracy SLO on every
+	// request — the frontend picks the ladder level, so the cost table
+	// and frontier see the accuracy-trading path, not just best-effort.
+	bounded := len(ns.levelAcc) > 0
+	window := time.Duration(sc.SessionSeconds * float64(time.Second))
+	var mu sync.Mutex
+	lat := stats.NewLatencyRecorder(2048)
+	errs := 0
+	rng := stats.NewRNG(0xc11e)
+	fired := netsvc.OpenLoop(rng, rate, window, func(r int) {
+		req := *ns.templates[r%len(ns.templates)]
+		req.ID = uint64(r)
+		req.Tenant = tenant
+		if bounded {
+			req.SLO, req.MinAccuracy = wire.SLOBounded, 0.9
+		}
+		t0 := time.Now()
+		rep, err := cl.Call(context.Background(), &req)
+		d := float64(time.Since(t0)) / float64(time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil || rep.Status != wire.ReplyOK {
+			errs++
+			return
+		}
+		lat.Record(d)
+	})
+	fmt.Printf("client: %d requests at %.0f req/s over %.1fs (tenant=%q)\n", fired, rate, window.Seconds(), tenant)
+	fmt.Printf("  answered %d (errors %d)  p50 %.1fms  p99 %.1fms\n",
+		lat.Count(), errs, lat.Percentile(50), lat.Percentile(99))
+	if lat.Count() == 0 {
+		return fmt.Errorf("no requests answered")
+	}
+	return nil
+}
+
 // measure drives open-loop load through the aggregator and reports.
-func measure(ns *netService, agr *netsvc.Aggregator, rate float64, window time.Duration) error {
+func measure(ns *netService, agr *netsvc.Aggregator, tenant string, rate float64, window time.Duration) error {
 	var mu sync.Mutex
 	lat := stats.NewLatencyRecorder(2048)
 	errs := 0
@@ -354,6 +457,7 @@ func measure(ns *netService, agr *netsvc.Aggregator, rate float64, window time.D
 	fired := netsvc.OpenLoop(rng, rate, window, func(r int) {
 		req := *ns.templates[r%len(ns.templates)]
 		req.ID = uint64(r)
+		req.Tenant = tenant
 		t0 := time.Now()
 		subs, err := agr.Call(context.Background(), &req)
 		d := float64(time.Since(t0)) / float64(time.Millisecond)

@@ -1,0 +1,40 @@
+package cost
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCostDisabled is the cost plane's off switch, pinned at
+// 0 allocs/op in CI: a deployment without a cost table must pay
+// nothing on the serving path — the nil-receiver no-ops and the
+// account lookup on an account-less context must never allocate.
+func BenchmarkCostDisabled(b *testing.B) {
+	var tab *Table
+	ctx := context.Background()
+	k := Key{Tenant: "acme", Class: 1, Workload: "agg", Level: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := AccountFrom(ctx)
+		a.Add(Usage{CPUNs: 1, Scanned: 2})
+		a.AddWireBytes(3)
+		tab.Record(k, a.Usage(), false)
+	}
+}
+
+// BenchmarkCostRecord measures the cost-on hot path: one account
+// accumulation plus a table fold, the per-request overhead a costed
+// deployment pays.
+func BenchmarkCostRecord(b *testing.B) {
+	tab := NewTable()
+	a := &Account{}
+	k := Key{Tenant: "acme", Class: 1, Workload: "agg", Level: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(Usage{CPUNs: 1000, Scanned: 64, QueueNs: 10})
+		a.AddWireBytes(128)
+		tab.Record(k, a.Usage(), i%8 == 0)
+	}
+}

@@ -1,0 +1,121 @@
+package cost
+
+import "sort"
+
+// AccuracyPoint is the accuracy side of the frontier join: one
+// (workload, level)'s measured accuracy, extracted from the audit
+// plane's calibration tables (MeanRealized over audited samples). The
+// adapter lives with the caller so this package stays decoupled from
+// the audit plane.
+type AccuracyPoint struct {
+	Workload string  `json:"workload"`
+	Level    int16   `json:"level"`
+	Accuracy float64 `json:"accuracy"`
+	Samples  int64   `json:"samples"`
+}
+
+// FrontierPoint is one (workload, level) with both sides of the trade
+// measured: what it costs per request and what accuracy it buys.
+type FrontierPoint struct {
+	Workload string `json:"workload"`
+	Level    int16  `json:"level"`
+	// Scanned is the EWMA per-request scan units — the deterministic
+	// cost axis the frontier is ordered by (CPU and wall ride along as
+	// context but jitter with the machine).
+	Scanned  float64 `json:"scanned"`
+	CPUNs    float64 `json:"cpu_ns"`
+	WallNs   float64 `json:"wall_ns"`
+	Accuracy float64 `json:"accuracy"`
+	Requests uint64  `json:"requests"`
+	Samples  int64   `json:"audit_samples"`
+}
+
+// FrontierCurve is one workload's accuracy-vs-cost frontier: the
+// Pareto-optimal points sorted by cost ascending, so accuracy is
+// strictly increasing along Points by construction — paying more
+// always buys more accuracy, and levels that don't are surfaced in
+// Dominated instead of silently dropped.
+type FrontierCurve struct {
+	Workload  string          `json:"workload"`
+	Points    []FrontierPoint `json:"points"`
+	Dominated []FrontierPoint `json:"dominated,omitempty"`
+}
+
+// Frontier joins a cost snapshot with audit-plane accuracy points into
+// per-workload Pareto frontiers. Cost rows are aggregated over tenants
+// and classes (weighted by request count) per (workload, level); a
+// level appears only when both sides measured it. Internal-tenant rows
+// are excluded — background refresh work is not a point on any
+// client-visible trade-off curve.
+func Frontier(v View, acc []AccuracyPoint) []FrontierCurve {
+	type wl struct {
+		workload string
+		level    int16
+	}
+	// Aggregate the cost side per (workload, level), request-weighted.
+	type agg struct {
+		scanned, cpu, wall float64
+		requests           uint64
+	}
+	costs := make(map[wl]*agg)
+	for _, r := range v.Rows {
+		if r.Tenant == InternalTenant || r.Requests == 0 {
+			continue
+		}
+		k := wl{r.Workload, r.Level}
+		a := costs[k]
+		if a == nil {
+			a = &agg{}
+			costs[k] = a
+		}
+		w := float64(r.Requests)
+		a.scanned += w * r.EWMA.Scanned
+		a.cpu += w * r.EWMA.CPUNs
+		a.wall += w * r.EWMA.WallNs
+		a.requests += r.Requests
+	}
+	// Join against the accuracy side.
+	byWorkload := make(map[string][]FrontierPoint)
+	for _, p := range acc {
+		if p.Samples == 0 {
+			continue
+		}
+		a := costs[wl{p.Workload, p.Level}]
+		if a == nil || a.requests == 0 {
+			continue
+		}
+		w := float64(a.requests)
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], FrontierPoint{
+			Workload: p.Workload,
+			Level:    p.Level,
+			Scanned:  a.scanned / w,
+			CPUNs:    a.cpu / w,
+			WallNs:   a.wall / w,
+			Accuracy: p.Accuracy,
+			Requests: a.requests,
+			Samples:  p.Samples,
+		})
+	}
+	var out []FrontierCurve
+	for workload, pts := range byWorkload {
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].Scanned != pts[j].Scanned {
+				return pts[i].Scanned < pts[j].Scanned
+			}
+			return pts[i].Level > pts[j].Level // coarser level first on ties
+		})
+		c := FrontierCurve{Workload: workload}
+		best := -1.0
+		for _, p := range pts {
+			if p.Accuracy > best {
+				best = p.Accuracy
+				c.Points = append(c.Points, p)
+			} else {
+				c.Dominated = append(c.Dominated, p)
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}

@@ -33,6 +33,7 @@ func Registry() []ExperimentInfo {
 		{Name: "faultcompare", Artifact: "extension", About: "failure-domain hardening: kill/stall/heal sweep with breakers and accuracy-aware degradation"},
 		{Name: "ingestcompare", Artifact: "extension", About: "live synopsis updates: epoch-swapped streaming ingestion vs frozen rebuilds, sampling honesty pinned"},
 		{Name: "auditcompare", Artifact: "extension", About: "accuracy audit plane: ground-truth replay auditing, SLO burn rates, tail-based trace retention"},
+		{Name: "costcompare", Artifact: "extension", About: "cost attribution plane: per-tenant resource accounting, accuracy-vs-cost frontier, anomaly-triggered profiling"},
 	}
 }
 

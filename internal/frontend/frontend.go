@@ -228,6 +228,9 @@ const RefreshLoadCeiling = 0.7
 func (f *Frontend) refreshToExact(_ uint64, payload interface{}) (interface{}, float64, bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*f.cl.Deadline())
 	defer cancel()
+	// Internal traffic: a background refresh must not count against
+	// client SLO windows (observe skips internal contexts).
+	ctx = obs.WithInternal(ctx)
 	res, err := f.callMiss(ctx, payload, ExactSLO())
 	if err != nil || !service.Complete(res.Sub) {
 		return nil, 0, false
@@ -302,6 +305,12 @@ func (f *Frontend) call(ctx context.Context, payload interface{}, slo SLO) (*Res
 // is an SLO-relevant outcome — but only answered requests can miss a
 // deadline or degrade.
 func (f *Frontend) observe(ctx context.Context, payload interface{}, slo SLO, res *Result, err error) {
+	if obs.IsInternal(ctx) {
+		// Internal traffic (audit replays, cache refreshes, re-warms) is
+		// measurement and maintenance, not service: recording it would
+		// dilute client attainment windows and skew audit sampling.
+		return
+	}
 	tenant := obs.TenantFrom(ctx)
 	if f.opts.SLO != nil {
 		var flags obs.SLOFlags

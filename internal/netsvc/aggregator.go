@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/breaker"
+	"accuracytrader/internal/cost"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/service"
@@ -497,6 +498,10 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 	// so the CAS-winning delivery records its sub-operation span and
 	// stitches the server-side spans off the wire.
 	tr := obs.TraceFrom(ctx)
+	// The request's cost account (nil when attribution is off): the
+	// gather loop folds each sub-reply's span costs and frame bytes in,
+	// so the front server's closer sees the whole fan-out's usage.
+	acct := cost.AccountFrom(ctx)
 
 	n := len(a.peers)
 	reply := make(chan service.SubResult, 2*n)
@@ -560,6 +565,22 @@ func (a *Aggregator) Call(ctx context.Context, payload interface{}) ([]service.S
 				got[r.Subset] = true
 				out[r.Subset] = r
 				remaining--
+				if acct != nil {
+					if rep, ok := r.Value.(*wire.SubReply); ok {
+						for _, sp := range rep.Spans {
+							acct.Add(cost.Usage{
+								CPUNs:     sp.Cost.CPUNs,
+								Scanned:   sp.Cost.Scanned,
+								QueueNs:   sp.Cost.QueueNs,
+								WireBytes: sp.Cost.WireBytes,
+							})
+						}
+						// The sub-reply frame's own bytes; the matching
+						// sub-request frame was counted by the component
+						// server (the exec span's WireBytes).
+						acct.AddWireBytes(uint64(rep.FrameLen))
+					}
+				}
 			}
 		case <-deadlineC:
 			// Partial execution: compose without the stragglers. Their

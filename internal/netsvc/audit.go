@@ -16,7 +16,8 @@ import (
 // EnableSLO installs the SLO attainment tracker: every answered
 // whole-service request is recorded with its class, deadline outcome
 // and degradation outcome. tenantOf, when non-nil, keys the per-tenant
-// dimension (return "" for untenanted requests). Call before Serve.
+// dimension (return "" for untenanted requests); a nil tenantOf uses
+// the request's wire Tenant field. Call before Serve.
 func (s *FrontServer) EnableSLO(t *obs.SLOTracker, tenantOf func(*wire.Request) string) {
 	s.slo = t
 	s.tenantOf = tenantOf
@@ -136,9 +137,7 @@ func (s *FrontServer) buildSample(req *wire.Request, rep *wire.Reply, acc float6
 		Epoch:           epoch,
 		Payload:         req,
 	}
-	if s.tenantOf != nil {
-		smp.Tenant = s.tenantOf(req)
-	}
+	smp.Tenant = s.tenantFor(req)
 	switch req.Kind {
 	case wire.KindAgg:
 		if rep.Agg == nil || req.Agg == nil {
@@ -210,6 +209,10 @@ func (s *FrontServer) auditReplay(ctx context.Context, smp *audit.Sample) ([]flo
 	exact.SLO, exact.MinAccuracy = wire.SLOExact, 0
 	exact.Level, exact.Deadline = wire.NoLevel, 0
 	exact.Trace = 0
+	// Internal traffic: a replay is measurement, not service — it must
+	// not count against SLO windows or any tenant's cost curves (no cost
+	// account is opened, so fan-out costs fold into nothing).
+	ctx = obs.WithInternal(ctx)
 	var epoch uint64
 	if s.cache != nil {
 		epoch = s.cache.Epoch()
@@ -270,9 +273,5 @@ func (s *FrontServer) recordSLO(req *wire.Request, rep *wire.Reply, start time.T
 	if rep.Degraded || rep.Status == wire.ReplyDegraded || rep.Status == wire.ReplyUnavailable {
 		flags |= obs.SLODegraded
 	}
-	tenant := ""
-	if s.tenantOf != nil {
-		tenant = s.tenantOf(req)
-	}
-	s.slo.Record(sloClassOf(req.SLO), tenant, flags)
+	s.slo.Record(sloClassOf(req.SLO), s.tenantFor(req), flags)
 }

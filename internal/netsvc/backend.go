@@ -116,6 +116,28 @@ func (e *costedEngine) ProcessSet(g int) {
 	e.inner.ProcessSet(g)
 }
 
+// tallyEngine wraps an engine to credit the data units each step
+// touches to the request's scan counter — the Scanned dimension of
+// cost attribution. It is installed only when a counter is present
+// (traced requests), so the untraced hot path never pays the
+// indirection.
+type tallyEngine struct {
+	inner    core.Engine
+	synopsis uint64
+	setSize  func(g int) uint64
+	sc       *scanCounter
+}
+
+func (e *tallyEngine) ProcessSynopsis() []float64 {
+	e.sc.n.Add(e.synopsis)
+	return e.inner.ProcessSynopsis()
+}
+
+func (e *tallyEngine) ProcessSet(g int) {
+	e.sc.n.Add(e.setSize(g))
+	e.inner.ProcessSet(g)
+}
+
 // interfere applies the server's modeled co-located interference.
 func (o BackendOptions) interfere(seq uint64) {
 	if o.Interfere != nil {
@@ -152,6 +174,7 @@ func NewAggBackend(comps []*agg.Component, opts BackendOptions) Handler {
 		q := agg.Query{Op: agg.Op(req.Agg.Op), Lo: req.Agg.Lo, Hi: req.Agg.Hi}
 		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
 		if req.SLO == wire.SLOExact {
+			AddScanned(ctx, uint64(c.T.NumRows()))
 			if opts.UnitCost > 0 {
 				time.Sleep(time.Duration(c.T.NumRows()) * opts.UnitCost)
 			}
@@ -170,6 +193,14 @@ func NewAggBackend(comps []*agg.Component, opts BackendOptions) Handler {
 				inner:    e,
 				synopsis: time.Duration(c.Syn.SampleUnits(e.Level)) * opts.UnitCost,
 				setCost:  func(g int) time.Duration { return time.Duration(c.Syn.StratumSize(g)) * opts.UnitCost },
+			}
+		}
+		if sc := scanCounterFrom(ctx); sc != nil {
+			eng = &tallyEngine{
+				inner:    eng,
+				synopsis: uint64(c.Syn.SampleUnits(e.Level)),
+				setSize:  func(g int) uint64 { return uint64(c.Syn.StratumSize(g)) },
+				sc:       sc,
 			}
 		}
 		trace := core.Run(eng, budgetContinue(ctx), opts.imax(c.Syn.NumStrata(), 1.0))
@@ -202,6 +233,7 @@ func NewCFBackend(comps []*cf.Component, opts BackendOptions) Handler {
 		creq := cf.NewRequest(ratings, req.CF.Targets)
 		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
 		if req.SLO == wire.SLOExact {
+			AddScanned(ctx, uint64(c.M.NumUsers()))
 			if opts.UnitCost > 0 {
 				time.Sleep(time.Duration(c.M.NumUsers()) * opts.UnitCost)
 			}
@@ -216,6 +248,14 @@ func NewCFBackend(comps []*cf.Component, opts BackendOptions) Handler {
 				inner:    e,
 				synopsis: time.Duration(len(c.Aggs)) * opts.UnitCost,
 				setCost:  func(g int) time.Duration { return time.Duration(len(c.Aggs[g].Members)) * opts.UnitCost },
+			}
+		}
+		if sc := scanCounterFrom(ctx); sc != nil {
+			eng = &tallyEngine{
+				inner:    eng,
+				synopsis: uint64(len(c.Aggs)),
+				setSize:  func(g int) uint64 { return uint64(len(c.Aggs[g].Members)) },
+				sc:       sc,
 			}
 		}
 		trace := core.Run(eng, budgetContinue(ctx), opts.imax(len(c.Aggs), 1.0))
@@ -246,6 +286,7 @@ func NewSearchBackend(comps []*textindex.Component, opts BackendOptions) Handler
 		}
 		rep := &wire.SubReply{Status: wire.StatusOK, Level: wire.NoLevel}
 		if req.SLO == wire.SLOExact {
+			AddScanned(ctx, uint64(c.Ix.NumDocs()))
 			if opts.UnitCost > 0 {
 				time.Sleep(time.Duration(c.Ix.NumDocs()) * opts.UnitCost)
 			}
@@ -259,6 +300,14 @@ func NewSearchBackend(comps []*textindex.Component, opts BackendOptions) Handler
 				inner:    e,
 				synopsis: time.Duration(len(c.Aggs)) * opts.UnitCost,
 				setCost:  func(g int) time.Duration { return time.Duration(c.GroupSize(g)) * opts.UnitCost },
+			}
+		}
+		if sc := scanCounterFrom(ctx); sc != nil {
+			eng = &tallyEngine{
+				inner:    eng,
+				synopsis: uint64(len(c.Aggs)),
+				setSize:  func(g int) uint64 { return uint64(c.GroupSize(g)) },
+				sc:       sc,
 			}
 		}
 		trace := core.Run(eng, budgetContinue(ctx), opts.imax(len(c.Aggs), 0.4))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/agg"
+	"accuracytrader/internal/cost"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/service"
 	"accuracytrader/internal/wire"
@@ -18,7 +19,7 @@ import (
 // optional trace recorder on the front server. The traced/untraced
 // pair bounds the end-to-end tracing overhead; CI feeds both through
 // `benchjson -assert-max-regress`.
-func benchServe(b *testing.B, rec *obs.Recorder) {
+func benchServe(b *testing.B, rec *obs.Recorder, costs *cost.Table) {
 	comps := buildAggComps(b, 1)
 	_, addr := startServer(b, NewAggBackend(comps, BackendOptions{}), ServerOptions{})
 	a, err := NewAggregator([]string{addr}, AggregatorOptions{Policy: service.WaitAll, Deadline: 2 * time.Second})
@@ -31,6 +32,11 @@ func benchServe(b *testing.B, rec *obs.Recorder) {
 		b.Fatal(err)
 	}
 	fs := NewFrontServer(a, nil, ServerOptions{Tracer: rec})
+	if costs != nil {
+		if err := fs.EnableCost(costs); err != nil {
+			b.Fatal(err)
+		}
+	}
 	go fs.Serve(fl)
 	b.Cleanup(fs.Close)
 	cl, err := DialClient(fl.Addr().String(), ClientOptions{})
@@ -54,6 +60,17 @@ func benchServe(b *testing.B, rec *obs.Recorder) {
 	}
 }
 
-func BenchmarkServeUntraced(b *testing.B) { benchServe(b, nil) }
+func BenchmarkServeUntraced(b *testing.B) { benchServe(b, nil, nil) }
 
-func BenchmarkServeTraced(b *testing.B) { benchServe(b, obs.NewRecorder(256, 64)) }
+func BenchmarkServeTraced(b *testing.B) { benchServe(b, obs.NewRecorder(256, 64), nil) }
+
+// BenchmarkServeUncosted/Costed bound the end-to-end overhead of cost
+// attribution (account on the context, span-cost folds in the gather
+// loop, table record per request — tracing included, since cost rides
+// traced spans). CI compares the pair with `benchjson
+// -assert-max-regress`.
+func BenchmarkServeUncosted(b *testing.B) { benchServe(b, obs.NewRecorder(256, 64), nil) }
+
+func BenchmarkServeCosted(b *testing.B) {
+	benchServe(b, obs.NewRecorder(256, 64), cost.NewTable())
+}

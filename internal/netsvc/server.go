@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"accuracytrader/internal/audit"
+	"accuracytrader/internal/cost"
 	"accuracytrader/internal/frontend"
 	"accuracytrader/internal/obs"
 	"accuracytrader/internal/rescache"
@@ -353,16 +354,30 @@ func NewServer(h Handler, opts ServerOptions) *Server {
 	s.srvCore = newSrvCore(opts)
 	s.srvCore.respond = func(ctx context.Context, req *wire.Request, enq time.Time) []byte {
 		exec0 := time.Now()
+		var sc *scanCounter
+		if req.Trace != 0 {
+			// Traced request: install a scan counter so the handler's
+			// engine can report the data units it touched. Untraced
+			// requests skip the context allocation entirely.
+			sc = &scanCounter{}
+			ctx = withScanCounter(ctx, sc)
+		}
 		rep := h(ctx, req)
 		rep.ID, rep.Subset, rep.Kind = req.ID, req.Subset, req.Kind
 		if req.Trace != 0 {
 			// Traced request: ship the server-side queue wait and handler
-			// execution back as wire spans for the aggregator to stitch.
-			// Untraced requests pay nothing, not even the two time stamps'
-			// encoding.
+			// execution back as wire spans for the aggregator to stitch,
+			// each carrying its resource cost (queue wait on the queue
+			// span; CPU, scanned units, and the request frame's wire bytes
+			// on the exec span). Untraced requests pay nothing, not even
+			// the two time stamps' encoding.
+			queueWait := exec0.Sub(enq)
+			execDur := time.Since(exec0)
 			rep.Spans = append(rep.Spans,
-				wire.Span{Kind: wire.SpanQueue, Start: enq.UnixNano(), Dur: int64(exec0.Sub(enq))},
-				wire.Span{Kind: wire.SpanExec, Start: exec0.UnixNano(), Dur: int64(time.Since(exec0))})
+				wire.Span{Kind: wire.SpanQueue, Start: enq.UnixNano(), Dur: int64(queueWait),
+					Cost: wire.Cost{QueueNs: uint64(queueWait)}},
+				wire.Span{Kind: wire.SpanExec, Start: exec0.UnixNano(), Dur: int64(execDur),
+					Cost: wire.Cost{CPUNs: uint64(execDur), Scanned: sc.n.Load(), WireBytes: uint64(req.FrameLen)}})
 		}
 		return wire.AppendSubReplyFrame(nil, rep)
 	}
@@ -420,6 +435,11 @@ type FrontServer struct {
 	slo      *obs.SLOTracker
 	tenantOf func(*wire.Request) string
 	auditor  *audit.Auditor
+
+	// costs, when set (EnableCost), meters every answered request into
+	// the per-(tenant, class, workload, level) cost table. Nil costs
+	// nothing: serve skips the account entirely.
+	costs *cost.Table
 }
 
 // NewFrontServer wraps an aggregator (and, when fe is non-nil, the
@@ -434,7 +454,15 @@ func NewFrontServer(agg *Aggregator, fe *frontend.Frontend, opts ServerOptions) 
 	s.srvCore = newSrvCore(opts)
 	s.srvCore.graceful = true
 	s.srvCore.respond = func(ctx context.Context, req *wire.Request, enq time.Time) []byte {
-		return wire.AppendReplyFrame(nil, s.serve(ctx, req, enq))
+		rep, costDone := s.serve(ctx, req, enq)
+		frame := wire.AppendReplyFrame(nil, rep)
+		if costDone != nil {
+			// The reply frame's own bytes are part of the request's wire
+			// cost; only the encoder knows them, so the cost record closes
+			// here rather than in serve.
+			costDone(len(frame))
+		}
+		return frame
 	}
 	s.srvCore.expired = func(req *wire.Request) []byte {
 		return wire.AppendReplyFrame(nil, &wire.Reply{
@@ -522,22 +550,80 @@ var errUncacheable = errors.New("netsvc: reply not cacheable")
 // disabled) — the admin plane serves its snapshots at /traces.
 func (s *FrontServer) Tracer() *obs.Recorder { return s.tracer }
 
+// EnableCost installs the cost-attribution table: every answered
+// whole-service request opens a cost account on its context, the
+// fan-out folds sub-operation span costs in, and the closed account is
+// recorded per (tenant, SLO class, workload, ladder level). Requires a
+// Tracer — component servers only report span costs on traced
+// requests, so an untraced costed server would meter only wire bytes
+// and wall time. Call before Serve.
+func (s *FrontServer) EnableCost(t *cost.Table) error {
+	if t != nil && s.tracer == nil {
+		return errors.New("netsvc: cost attribution requires a Tracer (sub-operation costs ride traced spans)")
+	}
+	s.costs = t
+	return nil
+}
+
+// CostTable returns the installed cost table (nil when disabled) — the
+// admin plane serves its snapshots at /costs.
+func (s *FrontServer) CostTable() *cost.Table { return s.costs }
+
+// tenantFor resolves a request's tenant: the EnableSLO hook when one
+// is installed (it may re-map or reject wire tenants), the request's
+// wire tenant field otherwise.
+func (s *FrontServer) tenantFor(req *wire.Request) string {
+	if s.tenantOf != nil {
+		return s.tenantOf(req)
+	}
+	return req.Tenant
+}
+
+// workloadName maps a wire request kind to the workload label shared
+// by the cost table, the audit plane and the frontier join — the three
+// must agree or per-workload joins silently come up empty.
+func workloadName(kind wire.Kind) string {
+	switch kind {
+	case wire.KindAgg:
+		return "agg"
+	case wire.KindCF:
+		return "cf"
+	case wire.KindSearch:
+		return "search"
+	default:
+		return "unknown"
+	}
+}
+
 // serve wraps one whole-service request in a decision trace (when a
 // Tracer is configured) and answers it. The client's propagated trace
 // ID is adopted so the client can correlate; an untraced server does
-// no extra work beyond two nil checks.
-func (s *FrontServer) serve(ctx context.Context, req *wire.Request, enq time.Time) *wire.Reply {
+// no extra work beyond two nil checks. The second return value, when
+// non-nil, closes the request's cost record once the caller knows the
+// encoded reply frame's size; a cost-off server always returns nil.
+func (s *FrontServer) serve(ctx context.Context, req *wire.Request, enq time.Time) (*wire.Reply, func(replyBytes int)) {
 	start := time.Now()
 	epoch := s.dataEpoch.Load()            // pre-answer epoch: audit samples must not straddle a swap
 	tr := s.tracer.Start(req.Trace, start) // nil recorder -> nil trace
+	tenant := s.tenantFor(req)
 	if tr != nil {
 		tr.SetRequest(uint8(req.Kind), req.SLO, req.MinAccuracy, req.Deadline)
+		tr.SetTenant(tenant)
 		if !enq.IsZero() {
 			// The front server's own queue wait, before any pipeline
 			// stage ran. Comp -1: not tied to a subset.
 			tr.Add(obs.SpanServerQueue, -1, enq, start.Sub(enq), 0)
 		}
 		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	var acct *cost.Account
+	if s.costs != nil {
+		acct = &cost.Account{}
+		acct.AddWireBytes(uint64(req.FrameLen))
+		ctx = cost.WithAccount(ctx, acct)
+		if tenant != "" {
+			ctx = obs.WithTenant(ctx, tenant)
+		}
 	}
 	rep, acc := s.answer(ctx, req)
 	rep.Trace = tr.ID() // nil-safe: 0 when untraced
@@ -551,7 +637,28 @@ func (s *FrontServer) serve(ctx context.Context, req *wire.Request, enq time.Tim
 	tr.Finish(dur) // pins anomalous traces (incl. deadline misses) as exemplars
 	s.recordSLO(req, rep, start, dur)
 	s.maybeAudit(req, rep, acc, epoch)
-	return rep
+	if acct == nil {
+		return rep, nil
+	}
+	lvl := rep.Level
+	if lvl == wire.NoLevel {
+		// No frontend in the path: the components honored the request's
+		// explicit level, but nothing stamped it on the reply.
+		lvl = req.Level
+	}
+	key := cost.Key{
+		Tenant:   tenant,
+		Class:    sloClassOf(req.SLO),
+		Workload: workloadName(req.Kind),
+		Level:    lvl,
+	}
+	hit := rep.Cached
+	return rep, func(replyBytes int) {
+		acct.AddWireBytes(uint64(replyBytes))
+		u := acct.Usage()
+		u.WallNs = uint64(dur)
+		s.costs.Record(key, u, hit)
+	}
 }
 
 // answer resolves one whole-service request, through the result cache
@@ -575,13 +682,26 @@ func (s *FrontServer) answer(ctx context.Context, req *wire.Request) (*wire.Repl
 			// Capture the epoch before computing so an entry whose
 			// fan-out straddles a data update is born stale.
 			epoch := s.cache.Epoch()
+			acct := cost.AccountFrom(ctx)
+			before := acct.Usage()
 			rep, acc := s.serveMiss(ctx, req)
 			if rep.Status != wire.ReplyOK || !allOK(rep.SubStatus) {
 				return rep, acc, errUncacheable
 			}
 			stored := *rep
 			stored.ID = 0 // hits are re-stamped with their own request ID
-			s.cache.StoreAt(key, req, &stored, acc, epoch)
+			// Tag the entry with what the fan-out cost (the account delta
+			// across serveMiss), so later hits can be credited as saved
+			// work. With cost attribution off the delta is zero and the
+			// tag is inert.
+			after := acct.Usage()
+			fill := cost.Usage{
+				CPUNs:     after.CPUNs - before.CPUNs,
+				Scanned:   after.Scanned - before.Scanned,
+				QueueNs:   after.QueueNs - before.QueueNs,
+				WireBytes: after.WireBytes - before.WireBytes,
+			}
+			s.cache.StoreCosted(key, req, &stored, acc, epoch, fill)
 			return rep, acc, nil
 		})
 	if tr != nil {
@@ -651,6 +771,9 @@ func (s *FrontServer) refreshToExact(_ uint64, payload interface{}) (interface{}
 	exact.Level, exact.Deadline = wire.NoLevel, 0
 	ctx, cancel := context.WithTimeout(context.Background(), 2*s.agg.Deadline())
 	defer cancel()
+	// Internal traffic: refresh work must not count against client SLO
+	// windows or tenant cost curves.
+	ctx = obs.WithInternal(ctx)
 	// Refreshes get their own trace (CacheRefresh outcome) so background
 	// recomputation load is visible alongside foreground requests.
 	start := time.Now()
@@ -660,8 +783,27 @@ func (s *FrontServer) refreshToExact(_ uint64, payload interface{}) (interface{}
 		tr.SetCacheOutcome(obs.CacheRefresh)
 		ctx = obs.ContextWithTrace(ctx, tr)
 	}
+	// Refresh work is still real work: meter it under the reserved
+	// internal tenant so capacity spent on background upgrades is
+	// visible, without polluting any client tenant's curves.
+	var acct *cost.Account
+	if s.costs != nil {
+		acct = &cost.Account{}
+		ctx = cost.WithAccount(ctx, acct)
+	}
 	rep, acc := s.serveMiss(ctx, &exact)
-	tr.Finish(time.Since(start))
+	dur := time.Since(start)
+	tr.Finish(dur)
+	if acct != nil {
+		u := acct.Usage()
+		u.WallNs = uint64(dur)
+		s.costs.Record(cost.Key{
+			Tenant:   cost.InternalTenant,
+			Class:    sloClassOf(exact.SLO),
+			Workload: workloadName(exact.Kind),
+			Level:    rep.Level,
+		}, u, false)
+	}
 	if rep.Status != wire.ReplyOK || !allOK(rep.SubStatus) {
 		return nil, 0, false
 	}

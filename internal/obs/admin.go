@@ -20,12 +20,19 @@ import (
 //	                breakers when serving around failed components,
 //	                503 "draining" when not ready
 //	/traces?n=K     the K most recent finished traces as JSON;
-//	                ?class=Bounded (or 0/1/2), ?min_ms=5, and
-//	                ?filter=anomaly narrow the answer — filter=anomaly
-//	                serves the pinned exemplar store instead of the ring
+//	                ?class=Bounded (or 0/1/2), ?tenant=acme, ?min_ms=5,
+//	                and ?filter=anomaly narrow the answer —
+//	                filter=anomaly serves the pinned exemplar store
+//	                instead of the ring
 //	/slo            sliding-window SLO burn rates (SetSLOTracker)
 //	/audit          the ground-truth auditor's calibration report
 //	                (SetAuditSource)
+//	/costs          the per-tenant cost attribution table
+//	                (SetCostSource)
+//	/frontier       the accuracy-vs-cost frontier per workload
+//	                (SetFrontierSource)
+//	/debug/profiles the anomaly-triggered profile ring: a JSON listing,
+//	                or ?seq=N&kind=cpu|heap to download one capture
 //	/debug/pprof/*  the standard runtime profiles
 //
 // Readiness starts true and is flipped by SetReady — graceful shutdown
@@ -35,14 +42,17 @@ import (
 // balancers must not evict it — but operators and probes can see which
 // failure domains are open.
 type Admin struct {
-	reg    *Registry
-	rec    *Recorder
-	ready  atomic.Bool
-	health atomic.Value // func() []string: open-breaker source
-	slo    atomic.Value // *SLOTracker
-	audit  atomic.Value // func() any: audit report source
-	srv    *http.Server
-	ln     net.Listener
+	reg      *Registry
+	rec      *Recorder
+	ready    atomic.Bool
+	health   atomic.Value // func() []string: open-breaker source
+	slo      atomic.Value // *SLOTracker
+	audit    atomic.Value // func() any: audit report source
+	costs    atomic.Value // func() any: cost table source
+	frontier atomic.Value // func() any: frontier source
+	profiler atomic.Value // *Profiler
+	srv      *http.Server
+	ln       net.Listener
 }
 
 // NewAdmin returns an admin plane over the given registry and recorder.
@@ -77,6 +87,20 @@ func (a *Admin) SetSLOTracker(t *SLOTracker) { a.slo.Store(t) }
 // obs cannot import audit, so the coupling stays this loose).
 func (a *Admin) SetAuditSource(report func() any) { a.audit.Store(report) }
 
+// SetCostSource installs the cost-table source behind /costs — a
+// function returning any JSON-encodable value (typically
+// cost.Table.Snapshot; same loose coupling as the audit source).
+func (a *Admin) SetCostSource(view func() any) { a.costs.Store(view) }
+
+// SetFrontierSource installs the accuracy-vs-cost frontier source
+// behind /frontier (typically the cost.Frontier join over the cost
+// table and the audit plane's calibration tables).
+func (a *Admin) SetFrontierSource(view func() any) { a.frontier.Store(view) }
+
+// SetProfiler installs the anomaly-triggered profiler behind
+// /debug/profiles.
+func (a *Admin) SetProfiler(p *Profiler) { a.profiler.Store(p) }
+
 // Handler returns the admin mux.
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -85,6 +109,9 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/traces", a.handleTraces)
 	mux.HandleFunc("/slo", a.handleSLO)
 	mux.HandleFunc("/audit", a.handleAudit)
+	mux.HandleFunc("/costs", a.handleCosts)
+	mux.HandleFunc("/frontier", a.handleFrontier)
+	mux.HandleFunc("/debug/profiles", a.handleProfiles)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -164,6 +191,7 @@ func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		minDur = time.Duration(v * float64(time.Millisecond))
 	}
+	tenant := q.Get("tenant")
 	var views []TraceView
 	switch q.Get("filter") {
 	case "":
@@ -174,13 +202,16 @@ func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "obs: bad filter (want anomaly)", http.StatusBadRequest)
 		return
 	}
-	if hasClass || minDur > 0 {
+	if hasClass || minDur > 0 || tenant != "" {
 		kept := views[:0]
 		for _, v := range views {
 			if hasClass && v.SLO != class {
 				continue
 			}
 			if minDur > 0 && time.Duration(v.DurNs) < minDur {
+				continue
+			}
+			if tenant != "" && v.Tenant != tenant {
 				continue
 			}
 			kept = append(kept, v)
@@ -216,6 +247,75 @@ func (a *Admin) handleAudit(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(src())
+}
+
+func (a *Admin) handleCosts(w http.ResponseWriter, _ *http.Request) {
+	src, _ := a.costs.Load().(func() any)
+	if src == nil {
+		http.Error(w, "obs: no cost source configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(src())
+}
+
+func (a *Admin) handleFrontier(w http.ResponseWriter, _ *http.Request) {
+	src, _ := a.frontier.Load().(func() any)
+	if src == nil {
+		http.Error(w, "obs: no frontier source configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(src())
+}
+
+// handleProfiles serves the anomaly-triggered profile ring: the JSON
+// listing by default, or one capture's raw pprof bytes with
+// ?seq=N&kind=cpu|heap.
+func (a *Admin) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	p, _ := a.profiler.Load().(*Profiler)
+	if p == nil {
+		http.Error(w, "obs: no profiler configured", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	if s := q.Get("seq"); s != "" {
+		seq, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "obs: bad seq", http.StatusBadRequest)
+			return
+		}
+		c, ok := p.Get(seq)
+		if !ok {
+			http.Error(w, "obs: no such profile (evicted?)", http.StatusNotFound)
+			return
+		}
+		var data []byte
+		switch q.Get("kind") {
+		case "cpu":
+			data = c.CPU
+		case "heap":
+			data = c.Heap
+		default:
+			http.Error(w, "obs: bad kind (want cpu or heap)", http.StatusBadRequest)
+			return
+		}
+		if len(data) == 0 {
+			http.Error(w, "obs: capture has no such profile", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p.Snapshot())
 }
 
 // Listen binds the admin plane to addr and serves it on a background

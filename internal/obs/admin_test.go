@@ -281,6 +281,137 @@ func TestAdminSLOEndpoint(t *testing.T) {
 	}
 }
 
+func TestAdminTracesTenantFilter(t *testing.T) {
+	a, _, rec := newTestAdmin(t)
+	mk := func(tenant string, class uint8) *Trace {
+		tr := rec.Start(2, time.Now())
+		tr.SetRequest(2, class, 0.9, 0)
+		tr.SetTenant(tenant)
+		tr.Finish(time.Millisecond)
+		return tr
+	}
+	acme := mk("acme", 1)
+	mk("umbra", 1)
+	mk("acme", 2)
+	mk("", 1)
+
+	decode := func(w *httptest.ResponseRecorder) []TraceView {
+		t.Helper()
+		if w.Code != 200 {
+			t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+		}
+		var body struct {
+			Traces []TraceView `json:"traces"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return body.Traces
+	}
+
+	got := decode(get(t, a.Handler(), "/traces?tenant=acme"))
+	if len(got) != 2 {
+		t.Fatalf("tenant filter: %d traces, want 2", len(got))
+	}
+	for _, v := range got {
+		if v.Tenant != "acme" {
+			t.Fatalf("tenant filter leaked %q", v.Tenant)
+		}
+	}
+	// Composes with the class filter.
+	combined := decode(get(t, a.Handler(), "/traces?tenant=acme&class=Bounded"))
+	if len(combined) != 1 || combined[0].ID != acme.ID() {
+		t.Fatalf("tenant+class filter: %+v", combined)
+	}
+	// Unknown tenants answer an empty (not error) list.
+	if got := decode(get(t, a.Handler(), "/traces?tenant=nobody")); len(got) != 0 {
+		t.Fatalf("unknown tenant leaked: %+v", got)
+	}
+	// Untagged traces stay reachable without the filter.
+	if got := decode(get(t, a.Handler(), "/traces")); len(got) != 4 {
+		t.Fatalf("unfiltered: %d traces, want 4", len(got))
+	}
+}
+
+func TestAdminCostAndFrontierEndpoints(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	for _, path := range []string{"/costs", "/frontier"} {
+		if w := get(t, a.Handler(), path); w.Code != http.StatusNotFound {
+			t.Fatalf("unconfigured %s status = %d, want 404", path, w.Code)
+		}
+	}
+	a.SetCostSource(func() any {
+		return map[string]int{"requests": 12}
+	})
+	a.SetFrontierSource(func() any {
+		return []map[string]any{{"workload": "agg"}}
+	})
+	w := get(t, a.Handler(), "/costs")
+	if w.Code != 200 {
+		t.Fatalf("/costs status = %d", w.Code)
+	}
+	var costs map[string]int
+	if err := json.Unmarshal(w.Body.Bytes(), &costs); err != nil || costs["requests"] != 12 {
+		t.Fatalf("/costs body = %v (%v)", costs, err)
+	}
+	w = get(t, a.Handler(), "/frontier")
+	if w.Code != 200 {
+		t.Fatalf("/frontier status = %d", w.Code)
+	}
+	var curves []map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &curves); err != nil || len(curves) != 1 {
+		t.Fatalf("/frontier body = %v (%v)", curves, err)
+	}
+}
+
+func TestAdminProfilesEndpoint(t *testing.T) {
+	a, _, _ := newTestAdmin(t)
+	if w := get(t, a.Handler(), "/debug/profiles"); w.Code != http.StatusNotFound {
+		t.Fatalf("unconfigured /debug/profiles status = %d, want 404", w.Code)
+	}
+	p := NewProfiler(4, time.Millisecond, time.Minute)
+	a.SetProfiler(p)
+	w := get(t, a.Handler(), "/debug/profiles")
+	if w.Code != 200 {
+		t.Fatalf("empty listing status = %d", w.Code)
+	}
+	var view ProfilerView
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil || len(view.Profiles) != 0 {
+		t.Fatalf("empty listing = %+v (%v)", view, err)
+	}
+
+	if !p.Trigger("test anomaly") {
+		t.Fatal("trigger suppressed")
+	}
+	p.Wait()
+	w = get(t, a.Handler(), "/debug/profiles")
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil || len(view.Profiles) != 1 {
+		t.Fatalf("listing after capture = %+v (%v)", view, err)
+	}
+	w = get(t, a.Handler(), "/debug/profiles?seq=1&kind=heap")
+	if w.Code != 200 || w.Body.Len() == 0 {
+		t.Fatalf("heap download: %d, %d bytes", w.Code, w.Body.Len())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("heap content-type = %q", ct)
+	}
+	if view.Profiles[0].Err == "" {
+		if w := get(t, a.Handler(), "/debug/profiles?seq=1&kind=cpu"); w.Code != 200 || w.Body.Len() == 0 {
+			t.Fatalf("cpu download: %d, %d bytes", w.Code, w.Body.Len())
+		}
+	}
+
+	for path, want := range map[string]int{
+		"/debug/profiles?seq=banana&kind=cpu": http.StatusBadRequest,
+		"/debug/profiles?seq=1&kind=goros":    http.StatusBadRequest,
+		"/debug/profiles?seq=99&kind=cpu":     http.StatusNotFound,
+	} {
+		if w := get(t, a.Handler(), path); w.Code != want {
+			t.Errorf("%s: status = %d, want %d", path, w.Code, want)
+		}
+	}
+}
+
 func TestAdminAuditEndpoint(t *testing.T) {
 	a, _, _ := newTestAdmin(t)
 	if w := get(t, a.Handler(), "/audit"); w.Code != http.StatusNotFound {

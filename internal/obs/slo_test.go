@@ -156,6 +156,60 @@ func TestSLOTrackerTenantsAndOverflow(t *testing.T) {
 	}
 }
 
+// TestSLOTrackerManyTenantsCapAtDefault drives a tenant-ID flood (far
+// past the default cap) and pins the containment behavior: the map
+// stops growing at maxSLOTenants, everything past the cap collapses
+// into the overflow series instead of allocating without bound, events
+// are conserved (per-tenant totals sum to the class aggregate), and
+// tenants admitted before the flood keep recording into their own
+// series rather than being evicted into "~other".
+func TestSLOTrackerManyTenantsCapAtDefault(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := NewSLOTracker(SLOBudgets{})
+	tr.SetClock(func() time.Time { return now })
+	if tr.maxTenants != maxSLOTenants {
+		t.Fatalf("default cap = %d, want %d", tr.maxTenants, maxSLOTenants)
+	}
+	tr.RecordAt(now, 1, "early-bird", SLODeadlineMiss)
+	const flood = 500
+	for i := 0; i < flood; i++ {
+		tr.RecordAt(now, 1, fmt.Sprintf("flood-%04d", i), SLODegraded)
+	}
+	// The early tenant records again after the flood filled the map.
+	tr.RecordAt(now, 1, "early-bird", SLODeadlineMiss)
+
+	v := tr.Snapshot()
+	if len(v.Tenants) != maxSLOTenants+1 { // cap + "~other"
+		t.Fatalf("tenant series = %d, want %d", len(v.Tenants), maxSLOTenants+1)
+	}
+	early, ok := v.Tenants["early-bird"]
+	if !ok {
+		t.Fatal("pre-flood tenant evicted by the flood")
+	}
+	if got := early[1].Windows[0].DeadlineMiss; got != 2 {
+		t.Fatalf("early-bird misses = %d, want 2 (post-flood event lost)", got)
+	}
+	other, ok := v.Tenants[overflowTenant]
+	if !ok {
+		t.Fatal("overflow tenant missing")
+	}
+	// early-bird took one slot, so maxSLOTenants-1 flood tenants were
+	// admitted; the rest landed in the overflow bucket.
+	wantOther := int64(flood - (maxSLOTenants - 1))
+	if got := other[1].Windows[0].Total; got != wantOther {
+		t.Fatalf("overflow total = %d, want %d", got, wantOther)
+	}
+	var perTenant int64
+	for _, classes := range v.Tenants {
+		perTenant += classes[1].Windows[0].Total
+	}
+	total, _, _, _ := tr.Window(1, 0)
+	if perTenant != total || total != flood+2 {
+		t.Fatalf("conservation: per-tenant sum %d, class aggregate %d, want %d",
+			perTenant, total, flood+2)
+	}
+}
+
 func keysOf(m map[string][]SLOClassView) []string {
 	var out []string
 	for k := range m {

@@ -158,6 +158,7 @@ type Trace struct {
 
 	id       uint64
 	start    time.Time
+	tenant   string
 	kind     uint8
 	slo      uint8
 	minAcc   float64
@@ -178,6 +179,7 @@ type TraceView struct {
 	ID           uint64   `json:"id"`
 	Start        int64    `json:"start_unix_ns"`
 	DurNs        int64    `json:"dur_ns"`
+	Tenant       string   `json:"tenant,omitempty"`
 	Kind         uint8    `json:"kind"`
 	SLO          uint8    `json:"slo"`
 	MinAccuracy  float64  `json:"min_accuracy,omitempty"`
@@ -400,6 +402,7 @@ func (r *Recorder) Start(id uint64, start time.Time) *Trace {
 // detached trace exclusively).
 func (tr *Trace) reset(id uint64, start time.Time, seq uint64) {
 	tr.id, tr.start, tr.seq = id, start, seq
+	tr.tenant = ""
 	tr.kind, tr.slo, tr.minAcc, tr.level = 0, 0, 0, -1
 	tr.verdict, tr.cacheOut, tr.deadline = VerdictAdmitted, CacheNone, 0
 	tr.dur, tr.done, tr.anomaly, tr.dropped = 0, false, 0, 0
@@ -430,6 +433,17 @@ func (tr *Trace) SetRequest(kind, slo uint8, minAcc float64, deadline int64) {
 	}
 	tr.mu.Lock()
 	tr.kind, tr.slo, tr.minAcc, tr.deadline = kind, slo, minAcc, deadline
+	tr.mu.Unlock()
+}
+
+// SetTenant stamps the request's tenant ("" = untagged), so /traces
+// can be filtered per tenant.
+func (tr *Trace) SetTenant(tenant string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.tenant = tenant
 	tr.mu.Unlock()
 }
 
@@ -541,6 +555,7 @@ func (tr *Trace) viewLocked() TraceView {
 		ID:           tr.id,
 		Start:        tr.start.UnixNano(),
 		DurNs:        int64(tr.dur),
+		Tenant:       tr.tenant,
 		Kind:         tr.kind,
 		SLO:          tr.slo,
 		MinAccuracy:  tr.minAcc,

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accuracytrader/internal/cost"
 	"accuracytrader/internal/obs"
 )
 
@@ -83,6 +84,12 @@ type Stats struct {
 	FloorRejects int64 // lookups whose entry's accuracy missed the floor
 	Refreshes    int64 // entries upgraded by the refresh worker
 	Rewarms      int64 // entries recomputed by RewarmHot after epoch bumps
+	// SavedCPUNs and SavedScanned accumulate the fill cost of every hit
+	// entry (StoreCosted tags entries with what computing them cost):
+	// the backend work the cache absorbed instead of the fan-out — the
+	// cache's contribution in the same units the cost plane meters.
+	SavedCPUNs   int64
+	SavedScanned int64
 }
 
 // entry is one cached reply in a shard's slab. prev/next thread the
@@ -93,7 +100,8 @@ type entry struct {
 	payload interface{}
 	acc     float64
 	epoch   uint64
-	queued  bool // a refresh for this key is pending
+	fill    cost.Usage // what computing the entry cost (StoreCosted)
+	queued  bool       // a refresh for this key is pending
 	prev    int32
 	next    int32
 }
@@ -191,6 +199,7 @@ type Cache struct {
 	stored, evictions       *obs.Counter
 	stale, floorRejects     *obs.Counter
 	refreshes, rewarms      *obs.Counter
+	savedCPU, savedScanned  *obs.Counter
 }
 
 // New returns an empty cache.
@@ -227,6 +236,8 @@ func New(cfg Config) (*Cache, error) {
 		floorRejects: reg.Counter("rescache_floor_rejects_total"),
 		refreshes:    reg.Counter("rescache_refreshes_total"),
 		rewarms:      reg.Counter("rescache_rewarms_total"),
+		savedCPU:     reg.Counter("rescache_saved_cpu_ns_total"),
+		savedScanned: reg.Counter("rescache_saved_scanned_total"),
 	}
 	for i := range c.shards {
 		c.shards[i].init(perShard)
@@ -313,6 +324,7 @@ func (c *Cache) Get(key uint64, floor float64) (value interface{}, accuracy floa
 	}
 	s.toFront(i)
 	value, accuracy = e.value, e.acc
+	fill := e.fill
 	if c.refreshEnabled() && accuracy < c.cfg.RefreshBelow && e.payload != nil && !e.queued {
 		e.queued = true
 		enqueue = true
@@ -327,6 +339,15 @@ func (c *Cache) Get(key uint64, floor float64) (value interface{}, accuracy floa
 		}
 	}
 	c.hits.Inc()
+	// A hit means the entry's fill work was not redone: credit it as
+	// saved. Entries stored without a cost tag (Store/StoreAt) leave the
+	// counters untouched.
+	if fill.CPUNs != 0 {
+		c.savedCPU.Add(int64(fill.CPUNs))
+	}
+	if fill.Scanned != 0 {
+		c.savedScanned.Add(int64(fill.Scanned))
+	}
 	return value, accuracy, true
 }
 
@@ -348,6 +369,19 @@ func (c *Cache) Store(key uint64, payload, value interface{}, accuracy float64) 
 // being computed, the entry is born stale and discarded lazily on its
 // next lookup, exactly as if it had been cached before the update.
 func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64, epoch uint64) {
+	c.storeAt(key, payload, value, accuracy, epoch, cost.Usage{})
+}
+
+// StoreCosted is StoreAt with a fill-cost tag: what computing the value
+// cost (CPU, rows scanned, …). Every later hit on the entry accumulates
+// the tag into the saved-cost counters (Stats.SavedCPUNs,
+// Stats.SavedScanned), so the cache's contribution is metered in the
+// same units as the cost-attribution plane.
+func (c *Cache) StoreCosted(key uint64, payload, value interface{}, accuracy float64, epoch uint64, fill cost.Usage) {
+	c.storeAt(key, payload, value, accuracy, epoch, fill)
+}
+
+func (c *Cache) storeAt(key uint64, payload, value interface{}, accuracy float64, epoch uint64, fill cost.Usage) {
 	if accuracy < 0 {
 		accuracy = 0
 	}
@@ -358,7 +392,7 @@ func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64
 	s.mu.Lock()
 	if i, present := s.idx[key]; present {
 		e := &s.slab[i]
-		e.value, e.payload, e.acc, e.epoch = value, payload, accuracy, epoch
+		e.value, e.payload, e.acc, e.epoch, e.fill = value, payload, accuracy, epoch, fill
 		e.queued = false
 		s.toFront(i)
 		s.mu.Unlock()
@@ -377,7 +411,7 @@ func (c *Cache) StoreAt(key uint64, payload, value interface{}, accuracy float64
 	}
 	s.free = s.slab[i].next
 	e := &s.slab[i]
-	*e = entry{key: key, value: value, payload: payload, acc: accuracy, epoch: epoch, prev: nilIdx, next: nilIdx}
+	*e = entry{key: key, value: value, payload: payload, acc: accuracy, epoch: epoch, fill: fill, prev: nilIdx, next: nilIdx}
 	s.idx[key] = i
 	s.pushFront(i)
 	s.mu.Unlock()
@@ -411,6 +445,9 @@ func (c *Cache) UpgradeIfPresent(key uint64, payload, value interface{}, accurac
 		s.mu.Unlock()
 		return false
 	}
+	// e.fill is deliberately left as-is: the replay's exact recompute is
+	// internal work, and the entry's saved-cost tag should keep crediting
+	// what the original (approximate) fill cost the serving path.
 	e.value, e.payload, e.acc, e.epoch = value, payload, accuracy, epoch
 	e.queued = false
 	s.toFront(i)
@@ -458,6 +495,8 @@ func (c *Cache) Stats() Stats {
 		FloorRejects: c.floorRejects.Value(),
 		Refreshes:    c.refreshes.Value(),
 		Rewarms:      c.rewarms.Value(),
+		SavedCPUNs:   c.savedCPU.Value(),
+		SavedScanned: c.savedScanned.Value(),
 	}
 }
 

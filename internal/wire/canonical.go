@@ -16,8 +16,10 @@ const canonicalKeyVersion = 1
 // answer:
 //
 //   - per-request metadata (ID, Seq, Subset, SLO class, MinAccuracy,
-//     Level, Deadline) is excluded — the cache checks accuracy floors
-//     against the entry's recorded accuracy, not against key bytes;
+//     Level, Deadline, Tenant) is excluded — the cache checks accuracy
+//     floors against the entry's recorded accuracy, not against key
+//     bytes, and identical queries from different tenants share one
+//     entry;
 //   - search query terms are reduced to a sorted multiset: lowercased
 //     alphanumeric runs with per-term counts, so reordered (and
 //     arbitrarily re-whitespaced) queries collide while duplicated

@@ -19,20 +19,23 @@ func seedBodies(t interface{ Fatalf(string, ...interface{}) }) [][]byte {
 			strip(AppendSubReplyFrame(nil, randSubReply(rng))),
 			strip(AppendReplyFrame(nil, randReply(rng))))
 	}
-	// Deterministic v3 seeds: a traced request and a sub-reply carrying
-	// server-side spans, so the trace fields are always in the corpus.
+	// Deterministic v3/v6 seeds: a traced, tenant-tagged request and a
+	// sub-reply carrying costed server-side spans, so the trace, tenant
+	// and cost fields are always in the corpus.
 	out = append(out,
 		strip(AppendRequestFrame(nil, &Request{
 			ID: 1, Seq: 2, Kind: KindAgg, Subset: 0, SLO: SLOBounded,
 			MinAccuracy: 0.9, Level: 1, Deadline: 1 << 40, Trace: 0xfeedface,
-			Agg: &AggRequest{Op: 1, Lo: 0, Hi: 10},
+			Tenant: "acme",
+			Agg:    &AggRequest{Op: 1, Lo: 0, Hi: 10},
 		})),
 		strip(AppendSubReplyFrame(nil, &SubReply{
 			ID: 1, Subset: 0, Status: StatusOK, Kind: KindAgg, Level: 1,
 			SetsProcessed: 3,
 			Spans: []Span{
-				{Kind: SpanQueue, Start: 1 << 40, Dur: 1_000_000},
-				{Kind: SpanExec, Start: 1<<40 + 1_000_000, Dur: 4_000_000},
+				{Kind: SpanQueue, Start: 1 << 40, Dur: 1_000_000, Cost: Cost{QueueNs: 1_000_000}},
+				{Kind: SpanExec, Start: 1<<40 + 1_000_000, Dur: 4_000_000,
+					Cost: Cost{CPUNs: 4_000_000, Scanned: 1234, WireBytes: 96}},
 			},
 			Agg: &AggResult{Sum: []float64{1}, Cnt: []float64{1}, SumVar: []float64{0}, CntVar: []float64{0}},
 		})),

@@ -192,9 +192,9 @@ func TestIngestVersionSkew(t *testing.T) {
 	}
 	rep := &IngestReply{ID: 1, Status: IngestOK, Accepted: 1, Epoch: 9}
 	repBody := body(t, AppendIngestReplyFrame(nil, rep))
-	v6 := append([]byte(nil), repBody...)
-	v6[0] = 6
-	if _, err := DecodeIngestReply(v6); !errors.As(err, &ve) {
+	future := append([]byte(nil), repBody...)
+	future[0] = Version + 1
+	if _, err := DecodeIngestReply(future); !errors.As(err, &ve) {
 		t.Fatalf("future version: want *VersionError, got %v", err)
 	}
 }

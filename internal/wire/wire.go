@@ -15,8 +15,11 @@ import (
 // version 4 added the degraded/unavailable composed-reply statuses
 // (ReplyDegraded carries a payload, so the payload-presence rule
 // changed); version 5 added the streaming-ingest append op (the
-// IngestRequest/IngestReply frame kinds).
-const Version = 5
+// IngestRequest/IngestReply frame kinds); version 6 added the tenant ID
+// on requests (Request.Tenant) and the per-span resource counters
+// (Span.Cost), so component-side costs travel back inside replies the
+// same way trace spans do.
+const Version = 6
 
 // VersionError reports a frame stamped with a different protocol
 // version — a v2 (or future) peer on the other end of the connection.
@@ -202,6 +205,17 @@ type Request struct {
 	// record server-side spans under the same tree; when it is 0 servers
 	// skip span bookkeeping entirely.
 	Trace uint64
+	// Tenant names the principal the request is billed to ("" = untagged).
+	// It rides every hop so per-tenant cost attribution works on the
+	// component side too, but it is deliberately NOT part of the
+	// canonical cache key: identical queries from different tenants share
+	// one cache entry.
+	Tenant string
+	// FrameLen is receiver-side metadata, not a wire field: DecodeRequest
+	// sets it to the decoded frame's total byte length (length prefix
+	// included) so servers can attribute inbound wire bytes without
+	// re-measuring the frame. Zero on requests built in process.
+	FrameLen int
 
 	CF     *CFRequest
 	Search *SearchRequest
@@ -225,6 +239,11 @@ type SubReply struct {
 	// execution) for a traced request, stitched into the aggregator's
 	// tree. Empty when the request carried no trace ID.
 	Spans []Span
+	// FrameLen is receiver-side metadata, not a wire field: DecodeSubReply
+	// sets it to the decoded frame's total byte length (length prefix
+	// included) so the aggregator can attribute reply wire bytes. Zero on
+	// sub-replies built in process.
+	FrameLen int
 
 	CF     *CFResult
 	Search *SearchResult
@@ -267,14 +286,35 @@ const (
 // Span is one server-side trace span: what kind of time it was, when
 // it started (server wall clock, Unix nanoseconds) and how long it
 // lasted. The aggregator converts Start into its trace's time base.
+// Since v6 a span also carries its resource cost, so attribution
+// travels inside replies the same way timing does.
 type Span struct {
 	Kind  uint8
 	Start int64
 	Dur   int64
+	Cost  Cost
+}
+
+// Cost is one span's resource account: what serving it actually
+// consumed. Zero values mean "nothing measured" — a queue span carries
+// only QueueNs, an exec span the other three.
+type Cost struct {
+	// CPUNs is handler execution time in nanoseconds (the CPU the
+	// handler held for the span's duration).
+	CPUNs uint64
+	// Scanned counts data units touched: fact rows, postings, sample
+	// units — the workload's natural scan unit.
+	Scanned uint64
+	// QueueNs is time spent waiting in a server queue, nanoseconds.
+	QueueNs uint64
+	// WireBytes is the frame bytes on the wire attributed to the span
+	// (the component server reports the request frame it decoded; the
+	// aggregator adds reply frames on its side).
+	WireBytes uint64
 }
 
 // spanWireSize is a Span's encoded size, used for count validation.
-const spanWireSize = 1 + 8 + 8
+const spanWireSize = 1 + 8 + 8 + 4*8
 
 // MaxFrame is the default bound on accepted frame sizes; a corrupt
 // length prefix fails fast instead of attempting a huge allocation.
@@ -439,6 +479,7 @@ func AppendRequestFrame(dst []byte, req *Request) []byte {
 	dst = appendU16(dst, uint16(req.Level))
 	dst = appendU64(dst, uint64(req.Deadline))
 	dst = appendU64(dst, req.Trace)
+	dst = appendStr(dst, req.Tenant)
 	switch req.Kind {
 	case KindCF:
 		dst = appendU32(dst, uint32(len(req.CF.Ratings)))
@@ -475,6 +516,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 	req.Level = int16(r.u16("level"))
 	req.Deadline = int64(r.u64("deadline"))
 	req.Trace = r.u64("trace")
+	req.Tenant = r.str("tenant")
 	switch req.Kind {
 	case KindCF:
 		cf := &CFRequest{}
@@ -498,6 +540,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 	if err := r.done("request"); err != nil {
 		return nil, err
 	}
+	req.FrameLen = 4 + len(body)
 	return req, nil
 }
 
@@ -518,6 +561,10 @@ func AppendSubReplyFrame(dst []byte, rep *SubReply) []byte {
 		dst = append(dst, sp.Kind)
 		dst = appendU64(dst, uint64(sp.Start))
 		dst = appendU64(dst, uint64(sp.Dur))
+		dst = appendU64(dst, sp.Cost.CPUNs)
+		dst = appendU64(dst, sp.Cost.Scanned)
+		dst = appendU64(dst, sp.Cost.QueueNs)
+		dst = appendU64(dst, sp.Cost.WireBytes)
 	}
 	if rep.Status == StatusOK {
 		dst = appendResultPayload(dst, rep.Kind, rep.CF, rep.Search, rep.Agg)
@@ -546,6 +593,10 @@ func DecodeSubReply(body []byte) (*SubReply, error) {
 			rep.Spans[i].Kind = r.u8("span kind")
 			rep.Spans[i].Start = int64(r.u64("span start"))
 			rep.Spans[i].Dur = int64(r.u64("span dur"))
+			rep.Spans[i].Cost.CPUNs = r.u64("span cpu")
+			rep.Spans[i].Cost.Scanned = r.u64("span scanned")
+			rep.Spans[i].Cost.QueueNs = r.u64("span queue")
+			rep.Spans[i].Cost.WireBytes = r.u64("span wire bytes")
 		}
 	}
 	if rep.Status == StatusOK {
@@ -558,6 +609,7 @@ func DecodeSubReply(body []byte) (*SubReply, error) {
 	if err := r.done("sub-reply"); err != nil {
 		return nil, err
 	}
+	rep.FrameLen = 4 + len(body)
 	return rep, nil
 }
 

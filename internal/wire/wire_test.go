@@ -23,6 +23,7 @@ func randRequest(rng *stats.RNG) *Request {
 		Level:       int16(rng.Intn(6)) - 1,
 		Deadline:    int64(rng.Uint64() >> 1),
 		Trace:       rng.Uint64() >> uint(rng.Intn(64)), // often small, sometimes 0
+		Tenant:      []string{"", "acme", "umbra", "wayne-enterprises"}[rng.Intn(4)],
 	}
 	switch Kind(rng.Intn(3)) {
 	case KindCF:
@@ -74,6 +75,12 @@ func randSubReply(rng *stats.RNG) *SubReply {
 			Kind:  uint8(rng.Intn(2)),
 			Start: int64(rng.Uint64() >> 1),
 			Dur:   int64(rng.Intn(1_000_000_000)),
+			Cost: Cost{
+				CPUNs:     uint64(rng.Intn(1_000_000)),
+				Scanned:   uint64(rng.Intn(100_000)),
+				QueueNs:   uint64(rng.Intn(1_000_000)),
+				WireBytes: uint64(rng.Intn(1 << 16)),
+			},
 		})
 	}
 	if rep.Status == StatusOK {
@@ -153,10 +160,15 @@ func TestRequestRoundTrip(t *testing.T) {
 	rng := stats.NewRNG(41)
 	for i := 0; i < 500; i++ {
 		req := randRequest(rng)
-		got, err := DecodeRequest(body(t, AppendRequestFrame(nil, req)))
+		frame := AppendRequestFrame(nil, req)
+		got, err := DecodeRequest(body(t, frame))
 		if err != nil {
 			t.Fatalf("decode: %v (%+v)", err, req)
 		}
+		if got.FrameLen != len(frame) {
+			t.Fatalf("FrameLen = %d, want %d", got.FrameLen, len(frame))
+		}
+		got.FrameLen = 0 // receiver-side metadata, not part of the round trip
 		if !reflect.DeepEqual(req, got) {
 			t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", req, got)
 		}
@@ -167,10 +179,15 @@ func TestSubReplyRoundTrip(t *testing.T) {
 	rng := stats.NewRNG(42)
 	for i := 0; i < 500; i++ {
 		rep := randSubReply(rng)
-		got, err := DecodeSubReply(body(t, AppendSubReplyFrame(nil, rep)))
+		frame := AppendSubReplyFrame(nil, rep)
+		got, err := DecodeSubReply(body(t, frame))
 		if err != nil {
 			t.Fatalf("decode: %v (%+v)", err, rep)
 		}
+		if got.FrameLen != len(frame) {
+			t.Fatalf("FrameLen = %d, want %d", got.FrameLen, len(frame))
+		}
+		got.FrameLen = 0 // receiver-side metadata, not part of the round trip
 		if !reflect.DeepEqual(rep, got) {
 			t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", rep, got)
 		}
@@ -248,8 +265,8 @@ func TestCorruptFramesError(t *testing.T) {
 	cfBody := body(t, AppendRequestFrame(nil, cfReq))
 	// ratings count sits right after the fixed request header
 	// (version, frame kind, id, seq, kind, subset, slo, minAccuracy,
-	// level, deadline, trace).
-	hdr := 2 + 8 + 8 + 1 + 4 + 1 + 8 + 2 + 8 + 8
+	// level, deadline, trace, tenant — empty, so just its u32 length).
+	hdr := 2 + 8 + 8 + 1 + 4 + 1 + 8 + 2 + 8 + 8 + 4
 	cp := append([]byte(nil), cfBody...)
 	cp[hdr] = 0xff
 	cp[hdr+1] = 0xff
@@ -311,8 +328,11 @@ func TestVersionMismatchTyped(t *testing.T) {
 func TestCorruptSpanFields(t *testing.T) {
 	rep := &SubReply{
 		ID: 9, Subset: 1, Status: StatusOK, Kind: KindAgg, Level: 2, SetsProcessed: 4,
-		Spans: []Span{{Kind: SpanQueue, Start: 100, Dur: 50}, {Kind: SpanExec, Start: 150, Dur: 75}},
-		Agg:   &AggResult{Sum: []float64{1}, Cnt: []float64{2}, SumVar: []float64{0}, CntVar: []float64{0}},
+		Spans: []Span{
+			{Kind: SpanQueue, Start: 100, Dur: 50, Cost: Cost{QueueNs: 50}},
+			{Kind: SpanExec, Start: 150, Dur: 75, Cost: Cost{CPUNs: 75, Scanned: 1000, WireBytes: 64}},
+		},
+		Agg: &AggResult{Sum: []float64{1}, Cnt: []float64{2}, SumVar: []float64{0}, CntVar: []float64{0}},
 	}
 	good := body(t, AppendSubReplyFrame(nil, rep))
 
@@ -329,7 +349,7 @@ func TestCorruptSpanFields(t *testing.T) {
 		t.Fatalf("inflated span count: %v", err)
 	}
 	// Truncations through the whole span block.
-	for cut := off; cut < off+4+2*17; cut++ {
+	for cut := off; cut < off+4+2*49; cut++ {
 		if _, err := DecodeSubReply(good[:cut]); err == nil {
 			t.Fatalf("span-block prefix of %d bytes decoded without error", cut)
 		}
